@@ -1,0 +1,128 @@
+// Ablation for the paper's "Comparison criteria" discussion: randomized
+// reference models are either too restrictive (motif counts barely change)
+// or too loose (counts collapse, everything looks significant). We compare
+// 3n3e totals on the original network against four reference models.
+
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/text_table.h"
+#include "analysis/significance.h"
+#include "core/counter.h"
+#include "nullmodels/shuffling.h"
+
+namespace tmotif {
+namespace {
+
+std::uint64_t CountThreeEvent(const TemporalGraph& graph) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::Both(2000, 3000);
+  return CountInstances(graph, o);
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Null-model instability",
+      "Section 5 'Comparison criteria': no reference model preserves both "
+      "structure and temporal correlations",
+      args);
+
+  TextTable table({"Network", "Original", "Time shuffle", "Gap shuffle",
+                   "Link shuffle", "Uniform times"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "ablation_nullmodels.csv"));
+  csv.WriteRow({"dataset", "model", "count", "ratio_vs_original"});
+
+  for (const DatasetId id :
+       {DatasetId::kSmsCopenhagen, DatasetId::kCollegeMsg,
+        DatasetId::kCallsCopenhagen}) {
+    const TemporalGraph graph = LoadBenchDataset(id, args);
+    Rng rng(args.seed);
+
+    const std::uint64_t original = CountThreeEvent(graph);
+    const std::uint64_t time_shuffled =
+        CountThreeEvent(ShuffleTimestamps(graph, &rng));
+    const std::uint64_t gap_shuffled =
+        CountThreeEvent(ShuffleInterEventTimes(graph, &rng));
+    const std::uint64_t link_shuffled =
+        CountThreeEvent(ShuffleLinks(graph, &rng));
+    const std::uint64_t uniform =
+        CountThreeEvent(UniformTimes(graph, &rng));
+
+    table.AddRow()
+        .AddCell(DatasetName(id))
+        .AddHumanCount(original)
+        .AddHumanCount(time_shuffled)
+        .AddHumanCount(gap_shuffled)
+        .AddHumanCount(link_shuffled)
+        .AddHumanCount(uniform);
+
+    const struct {
+      const char* name;
+      std::uint64_t count;
+    } rows[] = {{"original", original},
+                {"time_shuffle", time_shuffled},
+                {"gap_shuffle", gap_shuffled},
+                {"link_shuffle", link_shuffled},
+                {"uniform_times", uniform}};
+    for (const auto& row : rows) {
+      csv.WriteRow({DatasetName(id), row.name, std::to_string(row.count),
+                    std::to_string(original == 0
+                                       ? 0.0
+                                       : static_cast<double>(row.count) /
+                                             static_cast<double>(original))});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Z-scores of the top motifs against two reference models: the paper's
+  // point is that the loose models flag *everything* as significant while
+  // the restrictive one flags nothing reliably.
+  {
+    const TemporalGraph graph =
+        LoadBenchDataset(DatasetId::kSmsCopenhagen, args);
+    EnumerationOptions o;
+    o.num_events = 3;
+    o.max_nodes = 3;
+    o.timing = TimingConstraints::Both(2000, 3000);
+    TextTable ztable({"Motif", "Observed", "z (time-shuffle)",
+                      "z (gap-shuffle)"});
+    Rng rng1(args.seed);
+    Rng rng2(args.seed);
+    const auto loose = ComputeMotifSignificance(
+        graph, o, {ReferenceModel::kTimeShuffle, 6}, &rng1);
+    const auto tight = ComputeMotifSignificance(
+        graph, o, {ReferenceModel::kGapShuffle, 6}, &rng2);
+    const MotifCounts counts = CountMotifs(graph, o);
+    int shown = 0;
+    for (const auto& [code, count] : counts.SortedByCount()) {
+      if (++shown > 8) break;
+      ztable.AddRow()
+          .AddCell(code)
+          .AddUint(count)
+          .AddDouble(loose.at(code).z_score, 1)
+          .AddDouble(tight.at(code).z_score, 1);
+    }
+    std::printf("SMS-Copen. z-scores (3n3e, dC=2000s dW=3000s, 6 samples):\n");
+    std::printf("%s\n", ztable.Render().c_str());
+  }
+
+  std::printf(
+      "Expected: time/uniform shuffles destroy the bursty correlations and "
+      "collapse counts by orders of magnitude (too loose: every real motif "
+      "looks significant), while the gap shuffle keeps global burstiness "
+      "and stays closer to the original (too restrictive for link-level "
+      "correlations). No model reproduces the real counts - the paper's "
+      "reason for using raw counts as the significance indicator.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

@@ -1,0 +1,94 @@
+// Ablation for the "Algorithmic improvements" related work (Liu et al.
+// [38]): interval-sampling approximate counting vs exact enumeration.
+// Reports estimation error and speedup as the window budget shrinks.
+
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/sampling.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Sampling estimator",
+      "Section 3 'Algorithmic improvements': approximate counting via "
+      "random time windows (Liu-Benson-Charikar style)",
+      args);
+
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing = TimingConstraints::OnlyDeltaW(3000);
+
+  TextTable table({"Network", "Windows", "Exact", "Estimate", "Rel. error",
+                   "Work fraction", "Speedup"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "ablation_sampling.csv"));
+  csv.WriteRow({"dataset", "num_windows", "exact", "estimate", "rel_error",
+                "exact_seconds", "sampled_seconds"});
+
+  for (const DatasetId id :
+       {DatasetId::kCollegeMsg, DatasetId::kSmsCopenhagen,
+        DatasetId::kFbWall}) {
+    const TemporalGraph graph = LoadBenchDataset(id, args);
+
+    WallTimer exact_timer;
+    const std::uint64_t exact = CountInstances(graph, options);
+    const double exact_seconds = exact_timer.Seconds();
+
+    for (const int windows : {16, 64, 256}) {
+      Rng rng(args.seed);
+      SamplingConfig sampling;
+      sampling.window_length = 6000;
+      sampling.num_windows = windows;
+
+      WallTimer sample_timer;
+      const SampledCounts estimate =
+          EstimateMotifCounts(graph, options, sampling, &rng);
+      const double sample_seconds = sample_timer.Seconds();
+
+      const double rel_error =
+          exact == 0 ? 0.0
+                     : std::abs(estimate.estimated_total -
+                                static_cast<double>(exact)) /
+                           static_cast<double>(exact);
+      const double work =
+          exact == 0 ? 0.0
+                     : static_cast<double>(estimate.instances_seen) /
+                           static_cast<double>(exact);
+      table.AddRow()
+          .AddCell(DatasetName(id))
+          .AddInt(windows)
+          .AddHumanCount(exact)
+          .AddDouble(estimate.estimated_total, 0)
+          .AddPercent(rel_error)
+          .AddPercent(work)
+          .AddDouble(sample_seconds > 0 ? exact_seconds / sample_seconds
+                                        : 0.0,
+                     1);
+      csv.WriteRow({DatasetName(id), std::to_string(windows),
+                    std::to_string(exact),
+                    std::to_string(estimate.estimated_total),
+                    std::to_string(rel_error),
+                    std::to_string(exact_seconds),
+                    std::to_string(sample_seconds)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected: error shrinks roughly as 1/sqrt(windows); small window "
+      "budgets trade accuracy for an order-of-magnitude less enumeration "
+      "work (the paper's reference reports up to two orders of magnitude).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

@@ -1,0 +1,84 @@
+// Reproduces Figure 3 (+ appendix Figures 7-8): ratios of the six event
+// pair types in three-event and four-event motifs, comparing only-dW and
+// only-dC configurations (the paper's pie charts, printed as rows).
+
+#include <cstdio>
+
+#include "analysis/event_pair_analysis.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaW = 3000;
+
+EnumerationOptions ConfigFor(int num_events, bool only_dw) {
+  EnumerationOptions o;
+  o.num_events = num_events;
+  o.max_nodes = num_events;  // <=3 nodes for 3e, <=4 nodes for 4e.
+  if (only_dw) {
+    o.timing = TimingConstraints::OnlyDeltaW(kDeltaW);
+  } else {
+    // only-dC: ratio 1/(m-1) -> dC = dW / (m-1).
+    o.timing = TimingConstraints::Both(kDeltaW / (num_events - 1), kDeltaW);
+  }
+  return o;
+}
+
+// Four-event enumeration is cubic in burst size; run it at a reduced extra
+// scale so the full suite stays fast (the paper similarly slices its
+// largest dataset for efficiency).
+constexpr double kFourEventExtraScale = 0.35;
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Event-pair ratios",
+      "Figure 3 and Figures 7-8: six pair-type ratios, 3e and 4e motifs, "
+      "only-dW vs only-dC (dW=3000s)",
+      args);
+
+  TextTable table({"Network", "Motifs", "Config", "R", "P", "I", "O", "C",
+                   "W"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "fig3_event_pair_ratios.csv"));
+  csv.WriteRow({"dataset", "num_events", "config", "R", "P", "I", "O", "C",
+                "W"});
+
+  for (const DatasetId id : AllDatasets()) {
+    for (const int k : {3, 4}) {
+      BenchArgs scaled = args;
+      if (k == 4) scaled.scale_multiplier *= kFourEventExtraScale;
+      const TemporalGraph graph = LoadBenchDataset(id, scaled);
+      for (const bool only_dw : {true, false}) {
+        const EventPairStats stats =
+            CollectEventPairStats(graph, ConfigFor(k, only_dw));
+        table.AddRow()
+            .AddCell(DatasetName(id))
+            .AddCell(k == 3 ? "3e" : "4e")
+            .AddCell(only_dw ? "only-dW" : "only-dC");
+        std::vector<std::string> row = {DatasetName(id), std::to_string(k),
+                                        only_dw ? "only-dW" : "only-dC"};
+        for (int t = 0; t < kNumEventPairTypes; ++t) {
+          const double ratio = stats.Ratio(static_cast<EventPairType>(t));
+          table.AddPercent(ratio);
+          row.push_back(std::to_string(ratio));
+        }
+        csv.WriteRow(row);
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: the repetition share decreases when going from only-dW "
+      "to only-dC in almost all datasets, while the increasing type varies "
+      "(in-bursts for stack exchange, ping-pongs/conveys for calls).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

@@ -1,0 +1,105 @@
+// Reproduces Figure 4 (+ appendix Figure 9): the behaviour of intermediate
+// event occurrences for representative motifs under dC/dW sweeps. For each
+// configuration we print the normalized-position histogram of the second
+// (and third) events; enforcing dC regularizes the only-dW skew.
+
+#include <cstdio>
+
+#include "analysis/intermediate_events.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaW = 3000;
+
+EnumerationOptions ConfigFor(int num_events, double ratio) {
+  EnumerationOptions o;
+  o.num_events = num_events;
+  o.max_nodes = num_events;
+  if (ratio >= 1.0) {
+    o.timing = TimingConstraints::OnlyDeltaW(kDeltaW);
+  } else {
+    o.timing = TimingConstraints::Both(
+        static_cast<Timestamp>(ratio * kDeltaW), kDeltaW);
+  }
+  return o;
+}
+
+struct Panel {
+  DatasetId dataset;
+  const char* motif;
+  double extra_scale;  // 4-event panels run smaller.
+};
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Intermediate event behaviour",
+      "Figure 4 (010102 on SMS-Copen., 011221 on FBWall, 01212303 on "
+      "CollegeMsg) and Figure 9 panels",
+      args);
+
+  const Panel panels[] = {
+      {DatasetId::kSmsCopenhagen, "010102", 1.0},
+      {DatasetId::kFbWall, "011221", 1.0},
+      {DatasetId::kCollegeMsg, "01212303", 0.5},
+      {DatasetId::kCallsCopenhagen, "010102", 1.0},
+      {DatasetId::kEmail, "010102", 1.0},
+      {DatasetId::kBitcoinOtc, "01022123", 0.5},
+  };
+
+  CsvWriter csv(
+      BenchOutputPath(args.out_dir, "fig4_intermediate_events.csv"));
+  csv.WriteRow({"dataset", "motif", "config", "event_position", "bin_lo_pct",
+                "count"});
+
+  for (const Panel& panel : panels) {
+    const int k = static_cast<int>(std::string(panel.motif).size()) / 2;
+    BenchArgs scaled = args;
+    scaled.scale_multiplier *= panel.extra_scale;
+    const TemporalGraph graph = LoadBenchDataset(panel.dataset, scaled);
+
+    const double ratios[] = {1.0, 0.66, 1.0 / (k - 1)};
+    const char* names[] = {"only-dW", "dW-and-dC", "only-dC"};
+    std::printf("--- %s motif %s ---\n", DatasetName(panel.dataset),
+                panel.motif);
+    TextTable table({"Config", "Instances", "2nd centroid", "3rd centroid"});
+    for (int c = 0; c < 3; ++c) {
+      const IntermediateEventProfile profile = CollectIntermediatePositions(
+          graph, ConfigFor(k, ratios[c]), panel.motif, 20);
+      table.AddRow().AddCell(names[c]).AddUint(profile.num_instances);
+      for (int h = 0; h < 2; ++h) {
+        if (h < static_cast<int>(profile.histograms.size())) {
+          table.AddPercent(profile.histograms[static_cast<std::size_t>(h)]
+                               .MassCentroid());
+        } else {
+          table.AddCell("-");
+        }
+      }
+      for (std::size_t h = 0; h < profile.histograms.size(); ++h) {
+        const Histogram& hist = profile.histograms[h];
+        for (int b = 0; b < hist.num_bins(); ++b) {
+          csv.WriteRow({DatasetName(panel.dataset), panel.motif, names[c],
+                        std::to_string(h + 2), std::to_string(hist.bin_lo(b)),
+                        std::to_string(hist.bin_count(b))});
+        }
+      }
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Paper shape: under only-dW the intermediate events are skewed "
+      "(centroid far from 50%%: towards the first event for repetitions, "
+      "towards the last for closing ping-pongs); enforcing dC pulls the "
+      "centroid back towards the middle.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

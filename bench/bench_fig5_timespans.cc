@@ -1,0 +1,105 @@
+// Reproduces Figure 5 (+ appendix Figure 10): distributions of motif
+// timespans under only-dC, dW-and-dC, and only-dW configurations. only-dC
+// fails to bound timespans (mass spreads to the loose dC*(k-1) bound);
+// only-dW regularizes the distribution.
+
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/timespan_analysis.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaW = 3000;
+constexpr Timestamp kDeltaC = 1500;
+
+EnumerationOptions ConfigFor(const char* name) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  const std::string config(name);
+  if (config == "only-dC") {
+    o.timing = TimingConstraints::OnlyDeltaC(kDeltaC);
+  } else if (config == "dW-and-dC") {
+    o.timing = TimingConstraints::Both(2000, kDeltaW);
+  } else {
+    o.timing = TimingConstraints::OnlyDeltaW(kDeltaW);
+  }
+  return o;
+}
+
+struct Panel {
+  DatasetId dataset;
+  const char* motif;
+};
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Motif timespan distributions",
+      "Figure 5 (010102 on CollegeMsg) and Figure 10 panels (FBWall, "
+      "SMS-Copen., SuperUser, Calls-Copen., Bitcoin-otc)",
+      args);
+
+  const Panel panels[] = {
+      {DatasetId::kCollegeMsg, "010102"},
+      {DatasetId::kFbWall, "010102"},
+      {DatasetId::kSmsCopenhagen, "010102"},
+      {DatasetId::kSuperUser, "010102"},
+      {DatasetId::kCallsCopenhagen, "010102"},
+      {DatasetId::kBitcoinOtc, "011012"},
+  };
+  const char* configs[] = {"only-dC", "dW-and-dC", "only-dW"};
+
+  CsvWriter csv(BenchOutputPath(args.out_dir, "fig5_timespans.csv"));
+  csv.WriteRow({"dataset", "motif", "config", "span_bin_lo", "count"});
+
+  for (const Panel& panel : panels) {
+    const TemporalGraph graph = LoadBenchDataset(panel.dataset, args);
+    std::printf("--- %s motif %s ---\n", DatasetName(panel.dataset),
+                panel.motif);
+    TextTable table({"Config", "Instances", "Mean span (s)",
+                     "Mass in last third"});
+    for (const char* config : configs) {
+      const TimespanProfile profile =
+          CollectTimespans(graph, ConfigFor(config), panel.motif, 30);
+      // Fraction of instances whose span lies in the top third of the
+      // histogram range: only-dW admits long spans, only-dC does not bound
+      // them but rarely reaches the loose bound's tail in one histogram.
+      std::uint64_t tail = 0;
+      for (int b = 20; b < profile.histogram.num_bins(); ++b) {
+        tail += profile.histogram.bin_count(b);
+      }
+      const double tail_frac =
+          profile.num_instances == 0
+              ? 0.0
+              : static_cast<double>(tail) /
+                    static_cast<double>(profile.num_instances);
+      table.AddRow()
+          .AddCell(config)
+          .AddUint(profile.num_instances)
+          .AddDouble(profile.mean_span, 0)
+          .AddPercent(tail_frac);
+      for (int b = 0; b < profile.histogram.num_bins(); ++b) {
+        csv.WriteRow({DatasetName(panel.dataset), panel.motif, config,
+                      std::to_string(profile.histogram.bin_lo(b)),
+                      std::to_string(profile.histogram.bin_count(b))});
+      }
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Paper shape: only-dC spans spread towards the loose bound "
+      "dC*(k-1)=3000s; adding dW regularizes the distribution and caps the "
+      "span at dW.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

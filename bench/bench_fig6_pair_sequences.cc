@@ -1,0 +1,63 @@
+// Reproduces Figure 6 (+ appendix Figure 11): heat maps of ordered event
+// pair sequences for all three-event motifs (rows = first pair, columns =
+// second pair, log-scaled), with dC=2000s and dW=3000s.
+
+#include <cstdio>
+
+#include "analysis/event_pair_analysis.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+
+namespace tmotif {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Ordered event-pair sequences",
+      "Figure 6 (SMS-A, SMS-Copen., Calls-Copen., Email) and Figure 11 "
+      "(remaining datasets); 3-event motifs, dC=2000s, dW=3000s",
+      args);
+
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing = TimingConstraints::Both(2000, 3000);
+
+  CsvWriter csv(BenchOutputPath(args.out_dir, "fig6_pair_sequences.csv"));
+  csv.WriteRow({"dataset", "first_pair", "second_pair", "count",
+                "log_intensity"});
+
+  for (const DatasetId id : AllDatasets()) {
+    const TemporalGraph graph = LoadBenchDataset(id, args);
+    const PairSequenceMatrix matrix =
+        CollectPairSequenceMatrix(graph, options);
+    std::printf("--- %s (total %llu sequences) ---\n", DatasetName(id),
+                static_cast<unsigned long long>(matrix.total));
+    std::printf("%s\n", RenderPairSequenceHeatMap(matrix).c_str());
+
+    for (int a = 0; a < kNumEventPairTypes; ++a) {
+      for (int b = 0; b < kNumEventPairTypes; ++b) {
+        const auto first = static_cast<EventPairType>(a);
+        const auto second = static_cast<EventPairType>(b);
+        csv.WriteRow({DatasetName(id),
+                      std::string(1, EventPairLetter(first)),
+                      std::string(1, EventPairLetter(second)),
+                      std::to_string(matrix.cell(first, second)),
+                      std::to_string(matrix.LogIntensity(first, second))});
+      }
+    }
+  }
+  std::printf(
+      "Paper shape: repetition/ping-pong sequences dominate message "
+      "networks; repetition/out-burst dominate calls and email; "
+      "weakly-connected sequences are rare everywhere; convey/in-burst "
+      "compatibilities are asymmetric (I->C common, C->I rare).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the counting engines. Runtime was
+// explicitly out of scope for the paper ("a promising future direction");
+// this suite documents the cost of each model / restriction combination so
+// downstream users can budget their analyses.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/parallel.h"
+#include "bench_util.h"
+#include "core/counter.h"
+#include "core/models/model_info.h"
+#include "core/models/song.h"
+#include "gen/generator.h"
+
+namespace tmotif {
+namespace {
+
+TemporalGraph MakeGraph(int num_events) {
+  GeneratorConfig c;
+  c.num_nodes = std::max(50, num_events / 30);
+  c.num_events = num_events;
+  c.median_gap_seconds = 30;
+  c.prob_reply = 0.3;
+  c.prob_repeat = 0.2;
+  c.prob_session = 0.2;
+  c.session_max_extra = 5;
+  c.seed = 7;
+  return GenerateTemporalNetwork(c);
+}
+
+void BM_VanillaCount(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(static_cast<int>(state.range(0)));
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::Both(1500, 3000);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    total = CountInstances(graph, o);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["instances"] = static_cast<double>(total);
+  state.counters["instances/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_VanillaCount)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_ModelCount(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(8000);
+  const auto model = static_cast<ModelId>(state.range(0));
+  const EnumerationOptions o = OptionsForModel(model, 3, 3, 1500, 3000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountInstances(graph, o));
+  }
+  state.SetLabel(GetModelAspects(model).name);
+}
+BENCHMARK(BM_ModelCount)
+    ->Arg(static_cast<int>(ModelId::kKovanen))
+    ->Arg(static_cast<int>(ModelId::kSong))
+    ->Arg(static_cast<int>(ModelId::kHulovatyy))
+    ->Arg(static_cast<int>(ModelId::kParanjape));
+
+void BM_FourEventCount(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(static_cast<int>(state.range(0)));
+  EnumerationOptions o;
+  o.num_events = 4;
+  o.max_nodes = 4;
+  o.timing = TimingConstraints::Both(1000, 3000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountInstances(graph, o));
+  }
+}
+BENCHMARK(BM_FourEventCount)->Arg(1000)->Arg(4000);
+
+void BM_DeltaWSweep(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(8000);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountInstances(graph, o));
+  }
+}
+BENCHMARK(BM_DeltaWSweep)->Arg(300)->Arg(1000)->Arg(3000)->Arg(10000);
+
+void BM_StreamingPatternMatch(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(8000);
+  const EventPattern pattern = EventPattern::FromMotifCode("011202", 3000);
+  for (auto _ : state) {
+    EventPatternMatcher matcher(pattern);
+    std::uint64_t total = 0;
+    for (const Event& e : graph.events()) total += matcher.AddEvent(e);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_StreamingPatternMatch);
+
+void BM_ParallelCount(benchmark::State& state) {
+  const TemporalGraph graph = MakeGraph(32000);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::Both(1500, 3000);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountInstancesParallel(graph, o, threads));
+  }
+}
+BENCHMARK(BM_ParallelCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const TemporalGraph source = MakeGraph(static_cast<int>(state.range(0)));
+  const std::vector<Event> events = source.events();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphFromEvents(events));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(8000)->Arg(32000);
+
+}  // namespace
+}  // namespace tmotif
+
+BENCHMARK_MAIN();

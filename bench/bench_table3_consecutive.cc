@@ -1,0 +1,71 @@
+// Reproduces Table 3 (+ appendix Table 6): the impact of the Kovanen
+// consecutive-events restriction on 3n3e motif counts, with the ranking
+// changes of the four ask-reply motifs the paper finds amplified.
+
+#include <cstdio>
+
+#include "analysis/inducedness_analysis.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaC = 1500;
+const char* const kFocalMotifs[] = {"010210", "011210", "012010", "012110"};
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Consecutive-events restriction",
+      "Table 3 (totals + focal rank changes) and Table 6 (all 32 motifs), "
+      "3n3e, dC=1500s",
+      args);
+
+  TextTable table({"Network", "Non-cons.", "Cons.", "Removed", "010210",
+                   "011210", "012010", "012110"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "table3_consecutive.csv"));
+  csv.WriteRow({"dataset", "non_consecutive_total", "consecutive_total",
+                "removed_fraction", "motif", "rank_change"});
+  CsvWriter full(BenchOutputPath(args.out_dir, "table6_rank_changes.csv"));
+  full.WriteRow({"dataset", "motif", "rank_change"});
+
+  for (const DatasetId id : AllDatasets()) {
+    const TemporalGraph graph = LoadBenchDataset(id, args);
+    const ConsecutiveRestrictionReport report =
+        AnalyzeConsecutiveRestriction(graph, kDeltaC);
+
+    table.AddRow()
+        .AddCell(DatasetName(id))
+        .AddHumanCount(report.non_consecutive_total)
+        .AddHumanCount(report.consecutive_total)
+        .AddPercent(report.RemovedFraction());
+    for (const char* motif : kFocalMotifs) {
+      const int change = report.rank_changes.at(motif);
+      char cell[16];
+      std::snprintf(cell, sizeof(cell), "%+d", change);
+      table.AddCell(cell);
+      csv.WriteRow({DatasetName(id),
+                    std::to_string(report.non_consecutive_total),
+                    std::to_string(report.consecutive_total),
+                    std::to_string(report.RemovedFraction()), motif,
+                    std::to_string(change)});
+    }
+    for (const auto& [motif, change] : report.rank_changes) {
+      full.WriteRow({DatasetName(id), motif, std::to_string(change)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: >95%% of motifs removed on all datasets except "
+      "Bitcoin-otc; the four ask-reply motifs are amplified, most strongly "
+      "on message networks (CollegeMsg +18/+23/+10/+16).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

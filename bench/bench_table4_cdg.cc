@@ -1,0 +1,67 @@
+// Reproduces Table 4 (+ appendix Table 7): vanilla temporal motifs vs
+// constrained dynamic graphlets after degrading resolution to 300s.
+// Reports the variance of proportion changes and the four focal motifs.
+
+#include <cstdio>
+
+#include "analysis/inducedness_analysis.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+#include "graph/resolution.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaC = 1500;
+constexpr Timestamp kResolution = 300;
+const char* const kFocalMotifs[] = {"010102", "010202", "012020", "010201"};
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Constrained dynamic graphlets",
+      "Table 4 (variance + focal proportion changes) and Table 7 (all 32 "
+      "motifs), 3n3e, dC=1500s, resolution degraded to 300s",
+      args);
+
+  TextTable table({"Network", "Variance", "010102", "010202", "012020",
+                   "010201"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "table4_cdg.csv"));
+  csv.WriteRow({"dataset", "variance", "motif", "proportion_change_pp"});
+  CsvWriter full(BenchOutputPath(args.out_dir, "table7_cdg_changes.csv"));
+  full.WriteRow({"dataset", "motif", "proportion_change_pp"});
+
+  for (const DatasetId id : AllDatasets()) {
+    const TemporalGraph graph =
+        DegradeResolution(LoadBenchDataset(id, args), kResolution);
+    const CdgReport report =
+        AnalyzeConstrainedDynamicGraphlets(graph, kDeltaC);
+
+    table.AddRow().AddCell(DatasetName(id)).AddDouble(report.variance, 2);
+    for (const char* motif : kFocalMotifs) {
+      const double change = report.proportion_changes.at(motif);
+      char cell[24];
+      std::snprintf(cell, sizeof(cell), "%+.2f%%", change);
+      table.AddCell(cell);
+      csv.WriteRow({DatasetName(id), std::to_string(report.variance), motif,
+                    std::to_string(change)});
+    }
+    for (const auto& [motif, change] : report.proportion_changes) {
+      full.WriteRow({DatasetName(id), motif, std::to_string(change)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: Bitcoin-otc shows zero difference (no repeated edges); "
+      "message/email networks show the largest variance, with the delayed "
+      "repetition 010201 losing share to immediate repetitions "
+      "(010102/010202/012020).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

@@ -1,0 +1,98 @@
+// Reproduces Table 5: counts of event pairs (R/P/I/O vs C/W groups) in
+// 3n3e motifs under only-dW, dW-and-dC, and only-dC configurations, with
+// the reduction ratios relative to only-dW.
+
+#include <cstdio>
+
+#include "analysis/event_pair_analysis.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+constexpr Timestamp kDeltaW = 3000;
+
+EnumerationOptions ConfigFor(double ratio) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  if (ratio >= 1.0) {
+    o.timing = TimingConstraints::OnlyDeltaW(kDeltaW);
+  } else {
+    o.timing = TimingConstraints::Both(
+        static_cast<Timestamp>(ratio * kDeltaW), kDeltaW);
+  }
+  return o;
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Event pairs vs timing constraints",
+      "Table 5: R/P/I/O and C/W counts under only-dW (dC/dW=1.0), "
+      "dW-and-dC (0.66) and only-dC (0.5); dW=3000s",
+      args);
+
+  TextTable table({"Network", "Group", "only-dW", "dW-and-dC", "ratio",
+                   "only-dC", "ratio"});
+  CsvWriter csv(BenchOutputPath(args.out_dir, "table5_event_pairs.csv"));
+  csv.WriteRow({"dataset", "group", "only_dw", "both", "both_ratio",
+                "only_dc", "only_dc_ratio"});
+
+  const std::vector<DatasetId> datasets = {
+      DatasetId::kCollegeMsg, DatasetId::kFbWall, DatasetId::kBitcoinOtc,
+      DatasetId::kSmsCopenhagen, DatasetId::kSmsA};
+
+  for (const DatasetId id : datasets) {
+    const TemporalGraph graph = LoadBenchDataset(id, args);
+    const EventPairStats only_dw =
+        CollectEventPairStats(graph, ConfigFor(1.0));
+    const EventPairStats both = CollectEventPairStats(graph, ConfigFor(0.66));
+    const EventPairStats only_dc =
+        CollectEventPairStats(graph, ConfigFor(0.5));
+
+    struct GroupRow {
+      const char* name;
+      std::uint64_t dw, both, dc;
+    };
+    const GroupRow rows[2] = {
+        {"R,P,I,O", only_dw.rpio(), both.rpio(), only_dc.rpio()},
+        {"C,W", only_dw.cw(), both.cw(), only_dc.cw()},
+    };
+    for (const GroupRow& row : rows) {
+      const double both_ratio =
+          row.dw == 0 ? 0.0
+                      : static_cast<double>(row.both) /
+                            static_cast<double>(row.dw);
+      const double dc_ratio =
+          row.dw == 0 ? 0.0
+                      : static_cast<double>(row.dc) /
+                            static_cast<double>(row.dw);
+      table.AddRow()
+          .AddCell(DatasetName(id))
+          .AddCell(row.name)
+          .AddHumanCount(row.dw)
+          .AddHumanCount(row.both)
+          .AddPercent(both_ratio)
+          .AddHumanCount(row.dc)
+          .AddPercent(dc_ratio);
+      csv.WriteRow({DatasetName(id), row.name, std::to_string(row.dw),
+                    std::to_string(row.both), std::to_string(both_ratio),
+                    std::to_string(row.dc), std::to_string(dc_ratio)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: R/P/I/O counts dwarf C/W; tightening towards only-dC "
+      "removes proportionally more R/P/I/O pairs than C/W pairs (e.g. "
+      "CollegeMsg 56.8%% vs 58.9%% kept under only-dC).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

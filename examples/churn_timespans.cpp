@@ -1,0 +1,89 @@
+// Churn analysis via motif timespans (the paper's Section 5.2.3
+// motivation): "people have different churn behaviors in subscription
+// services ... selecting the motifs with uniform time distribution can
+// enable to see the patterns related to the customer's timeline rather
+// than the absolute period".
+//
+// We model subscribers who interact with a provider, drift away at varied
+// paces, and send a final complaint before leaving. The attrition motif is
+// the ask-reply 010*10 family stretched over the customer's own timeline.
+// only-dC selection biases towards one absolute pace; only-dW admits every
+// pace up to the window uniformly.
+
+#include <cstdio>
+
+#include "analysis/timespan_analysis.h"
+#include "common/random.h"
+#include "graph/temporal_graph.h"
+
+using namespace tmotif;
+
+namespace {
+
+// Builds provider<->customer traces: engage, idle for a customer-specific
+// drift, complain (customer -> provider), then silence.
+TemporalGraph BuildSubscriptionTraces(int num_customers, Rng* rng) {
+  TemporalGraphBuilder builder;
+  const NodeId provider = 0;
+  Timestamp t = 0;
+  for (int c = 1; c <= num_customers; ++c) {
+    const NodeId customer = static_cast<NodeId>(c);
+    t += rng->UniformInt(3600, 7200);  // Stagger customers.
+    // Engagement: provider pings the customer twice.
+    const Timestamp start = t;
+    builder.AddEvent(provider, customer, start);
+    builder.AddEvent(provider, customer,
+                     start + rng->UniformInt(60, 600));
+    // Drift: every customer leaves at a different pace (minutes to ~2h).
+    const Timestamp drift = rng->UniformInt(600, 7000);
+    builder.AddEvent(customer, provider, start + drift);  // The complaint.
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  const TemporalGraph traces = BuildSubscriptionTraces(400, &rng);
+  std::printf("Subscription traces: %d nodes, %d events\n\n",
+              traces.num_nodes(), traces.num_events());
+
+  // The attrition motif: ping, ping, complaint = (0,1),(0,1),(1,0) i.e.
+  // code 010110.
+  const MotifCode attrition = "010110";
+
+  EnumerationOptions only_dc;
+  only_dc.num_events = 3;
+  only_dc.max_nodes = 2;
+  only_dc.timing = TimingConstraints::OnlyDeltaC(3600);
+
+  EnumerationOptions only_dw = only_dc;
+  only_dw.timing = TimingConstraints::OnlyDeltaW(7200);
+
+  const TimespanProfile dc_profile =
+      CollectTimespans(traces, only_dc, attrition, 24, 7200);
+  const TimespanProfile dw_profile =
+      CollectTimespans(traces, only_dw, attrition, 24, 7200);
+
+  std::printf("Attrition motifs (%s) captured:\n", attrition.c_str());
+  std::printf("  only-dC (3600s): %llu customers, mean time-to-churn %.0fs\n",
+              static_cast<unsigned long long>(dc_profile.num_instances),
+              dc_profile.mean_span);
+  std::printf("  only-dW (7200s): %llu customers, mean time-to-churn %.0fs\n\n",
+              static_cast<unsigned long long>(dw_profile.num_instances),
+              dw_profile.mean_span);
+
+  std::printf("Time-to-churn distribution under only-dC:\n%s\n",
+              dc_profile.histogram.Render(40).c_str());
+  std::printf("Time-to-churn distribution under only-dW:\n%s\n",
+              dw_profile.histogram.Render(40).c_str());
+
+  std::printf(
+      "Reading (paper Section 5.2.3): the dC selection cuts off customers "
+      "whose complaint arrives more than dC after the last ping, biasing "
+      "the churn study towards fast leavers; the dW selection keeps every "
+      "pace up to the window, giving the uniform timespan coverage the "
+      "paper recommends for churn-style analyses.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Communication analysis with the event-pair lens (the paper's Section 5.3
+// workload): characterize a message network against a Q/A network, find
+// real conversations with the Kovanen restriction, and print the Figure 6
+// heat map.
+
+#include <cstdio>
+
+#include "analysis/event_pair_analysis.h"
+#include "analysis/inducedness_analysis.h"
+#include "analysis/report.h"
+#include "core/models/kovanen.h"
+#include "gen/presets.h"
+
+using namespace tmotif;
+
+int main() {
+  // A message network and a Q/A network, generated at small scale.
+  const TemporalGraph sms =
+      GenerateDataset(DatasetId::kSmsCopenhagen, 0.4, 11);
+  const TemporalGraph qa =
+      GenerateDataset(DatasetId::kStackOverflow, 0.004, 11);
+
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing = TimingConstraints::Both(2000, 3000);
+
+  // 1. The six-letter fingerprint of each medium.
+  const EventPairStats sms_pairs = CollectEventPairStats(sms, options);
+  const EventPairStats qa_pairs = CollectEventPairStats(qa, options);
+  std::printf("Event-pair fingerprints (3-event motifs, dC=2000s dW=3000s):\n");
+  std::printf("  SMS-like   %s\n", RenderPairRatios(sms_pairs).c_str());
+  std::printf("  Q/A-like   %s\n\n", RenderPairRatios(qa_pairs).c_str());
+  std::printf(
+      "Reading: messages are repetition/ping-pong heavy (one-to-one "
+      "conversations); Q/A sites are in-burst heavy (many answers to one "
+      "asker).\n\n");
+
+  // 2. Ordered pair sequences: the Figure 6 heat map for the SMS network.
+  const PairSequenceMatrix matrix = CollectPairSequenceMatrix(sms, options);
+  std::printf("Ordered pair sequences, SMS-like network (%llu motifs):\n%s\n",
+              static_cast<unsigned long long>(matrix.total),
+              RenderPairSequenceHeatMap(matrix).c_str());
+
+  // 3. Conversations vs spam bursts: the Kovanen consecutive-events
+  // restriction keeps ask-reply exchanges and drops bursts (Section 5.1.1:
+  // "two reciprocal messages in short time are likely a real
+  // conversation").
+  const ConsecutiveRestrictionReport report =
+      AnalyzeConsecutiveRestriction(sms, /*delta_c=*/1500);
+  std::printf("Kovanen restriction on the SMS network:\n");
+  std::printf("  unrestricted 3n3e motifs: %llu\n",
+              static_cast<unsigned long long>(report.non_consecutive_total));
+  std::printf("  conversations kept:       %llu (%.1f%% filtered as burst "
+              "noise)\n",
+              static_cast<unsigned long long>(report.consecutive_total),
+              100.0 * report.RemovedFraction());
+  std::printf("  ask-reply rank changes:   010210 %+d, 011210 %+d, "
+              "012010 %+d, 012110 %+d\n",
+              report.rank_changes.at("010210"),
+              report.rank_changes.at("011210"),
+              report.rank_changes.at("012010"),
+              report.rank_changes.at("012110"));
+
+  // 4. Kovanen counting surfaces the dominant conversation motifs.
+  KovanenConfig kovanen{3, 3, 1500};
+  const MotifCounts conversations = CountKovanenMotifs(sms, kovanen);
+  std::printf("\nTop conversation motifs (Kovanen model):\n%s",
+              RenderMotifCounts(conversations, 8).c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Colored temporal motifs and node-role profiles — the extensions of the
+// surveyed models that the paper's related-work section highlights:
+//   * Kovanen et al. 2013 [26]: colored motifs on an attribute-labeled call
+//     network revealed homophily ("same-sex pairs over-represented");
+//   * Hulovatyy et al. [13]: per-node dynamic-graphlet profiles predicted
+//     aging-related genes.
+// We rebuild both analyses on a synthetic two-community call network.
+
+#include <cstdio>
+
+#include "analysis/node_profiles.h"
+#include "common/random.h"
+#include "core/colored.h"
+#include "graph/temporal_graph.h"
+
+using namespace tmotif;
+
+namespace {
+
+// Two communities (label 0 and label 1) of callers; within-community calls
+// are four times likelier than cross-community ones, and calls are often
+// returned.
+TemporalGraph BuildTwoCommunityCalls(int per_community, int num_calls,
+                                     Rng* rng) {
+  TemporalGraphBuilder builder;
+  const int total = 2 * per_community;
+  for (NodeId n = 0; n < total; ++n) {
+    builder.SetNodeLabel(n, n < per_community ? 0 : 1);
+  }
+  Timestamp t = 0;
+  for (int i = 0; i < num_calls; ++i) {
+    t += rng->UniformInt(5, 120);
+    // Nodes 0-9 are telemarketing bots: they blast calls that are never
+    // returned (a distinct behavioural role for the profile analysis).
+    const bool bot_call = rng->Bernoulli(0.25);
+    const NodeId src =
+        bot_call ? static_cast<NodeId>(rng->UniformU64(10))
+                 : static_cast<NodeId>(rng->UniformU64(
+                       static_cast<std::uint64_t>(total)));
+    const bool same_side = rng->Bernoulli(0.8);  // Homophily.
+    const int side = (src < per_community) == same_side ? 0 : 1;
+    NodeId dst = src;
+    while (dst == src) {
+      dst = static_cast<NodeId>(side * per_community +
+                                static_cast<NodeId>(rng->UniformU64(
+                                    static_cast<std::uint64_t>(
+                                        per_community))));
+    }
+    builder.AddEvent(src, dst, t);
+    if (!bot_call && rng->Bernoulli(0.5)) {  // Human calls are returned.
+      builder.AddEvent(dst, src, t + rng->UniformInt(10, 300));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  const TemporalGraph calls = BuildTwoCommunityCalls(60, 4000, &rng);
+  std::printf("Call network: %d subscribers in two communities, %d calls\n\n",
+              calls.num_nodes(), calls.num_events());
+
+  EnumerationOptions options;
+  options.num_events = 2;
+  options.max_nodes = 2;
+  options.timing = TimingConstraints::OnlyDeltaC(600);
+
+  // 1. Colored motif counting: split the ping-pong motif by node colors.
+  const auto colored = CountColoredMotifs(calls, options);
+  std::printf("Ping-pong (0110) instances by community coloring:\n");
+  for (const char* key : {"0110|0,0", "0110|1,1", "0110|0,1", "0110|1,0"}) {
+    const auto it = colored.find(key);
+    std::printf("  %-10s %llu\n", key,
+                static_cast<unsigned long long>(
+                    it == colored.end() ? 0 : it->second));
+  }
+  std::printf("Homophily ratio of returned calls: %.1f%% (random mixing "
+              "would give ~50%%)\n\n",
+              100.0 * ColoredHomophilyRatio(colored, "0110"));
+
+  // 2. Node-role profiles: telemarketing bots (nodes 0-9) play out-burst
+  // roles, regular subscribers play conversation roles; cosine similarity
+  // over role vectors separates the two behaviours.
+  EnumerationOptions profile_options;
+  profile_options.num_events = 3;
+  profile_options.max_nodes = 3;
+  profile_options.timing = TimingConstraints::OnlyDeltaW(1800);
+  const NodeMotifProfiles profiles =
+      CollectNodeProfiles(calls, profile_options);
+  const std::vector<MotifCode> universe = EnumerateCodes(3, 3);
+
+  double bot_bot = 0.0;
+  double bot_human = 0.0;
+  double human_human = 0.0;
+  int pairs = 0;
+  for (NodeId a = 0; a < 5; ++a) {
+    bot_bot += profiles.CosineSimilarity(a, a + 5, universe);
+    bot_human += profiles.CosineSimilarity(a, 30 + a, universe);
+    human_human += profiles.CosineSimilarity(30 + a, 40 + a, universe);
+    ++pairs;
+  }
+  std::printf("Node-role similarity (cosine over 3-event role vectors):\n");
+  std::printf("  bot vs bot:     %.3f\n", bot_bot / pairs);
+  std::printf("  human vs human: %.3f\n", human_human / pairs);
+  std::printf("  bot vs human:   %.3f\n\n", bot_human / pairs);
+
+  std::printf(
+      "Reading: colored motifs expose the attribute mixing (homophily) the "
+      "plain motif census hides, and per-node role vectors group nodes by "
+      "behavioural role (bots cluster away from humans) - the two "
+      "label-aware extensions the paper's survey attributes to [26] and "
+      "[13].\n");
+  return 0;
+}

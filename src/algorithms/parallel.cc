@@ -1,0 +1,85 @@
+#include "algorithms/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmotif {
+namespace {
+
+/// Splits [0, num_events) into one contiguous range per worker. Chunks are
+/// equal-sized by event count; bursty regions may still imbalance shards,
+/// which is acceptable for a counting workload dominated by dense windows.
+std::vector<std::pair<EventIndex, EventIndex>> MakeShards(
+    EventIndex num_events, int num_threads) {
+  std::vector<std::pair<EventIndex, EventIndex>> shards;
+  const EventIndex per_shard =
+      (num_events + num_threads - 1) / num_threads;
+  for (EventIndex begin = 0; begin < num_events; begin += per_shard) {
+    shards.emplace_back(begin,
+                        std::min<EventIndex>(begin + per_shard, num_events));
+  }
+  return shards;
+}
+
+}  // namespace
+
+MotifCounts CountMotifsParallel(const TemporalGraph& graph,
+                                const EnumerationOptions& options,
+                                int num_threads) {
+  TMOTIF_CHECK_MSG(options.max_instances == 0,
+                   "max_instances is not supported in parallel counting");
+  if (num_threads <= 1 || graph.num_events() == 0) {
+    return CountMotifs(graph, options);
+  }
+  const auto shards = MakeShards(graph.num_events(), num_threads);
+  std::vector<MotifCounts> partials(shards.size());
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    workers.emplace_back([&, s] {
+      MotifCounts& local = partials[s];
+      EnumerateInstancesInRange(
+          graph, options, shards[s].first, shards[s].second,
+          [&](const MotifInstance& instance) { local.Add(instance.code); });
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  MotifCounts merged;
+  for (const MotifCounts& partial : partials) {
+    for (const auto& [code, count] : partial.raw()) {
+      merged.Add(code, count);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t CountInstancesParallel(const TemporalGraph& graph,
+                                     const EnumerationOptions& options,
+                                     int num_threads) {
+  TMOTIF_CHECK_MSG(options.max_instances == 0,
+                   "max_instances is not supported in parallel counting");
+  if (num_threads <= 1 || graph.num_events() == 0) {
+    return CountInstances(graph, options);
+  }
+  const auto shards = MakeShards(graph.num_events(), num_threads);
+  std::vector<std::uint64_t> partials(shards.size(), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    workers.emplace_back([&, s] {
+      partials[s] = EnumerateInstancesInRange(
+          graph, options, shards[s].first, shards[s].second,
+          [](const MotifInstance&) {});
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  std::uint64_t total = 0;
+  for (const std::uint64_t partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,28 @@
+#ifndef TMOTIF_ALGORITHMS_PARALLEL_H_
+#define TMOTIF_ALGORITHMS_PARALLEL_H_
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Multi-threaded motif counting. Instances are partitioned by their first
+/// event (every instance has exactly one), so shards are disjoint and the
+/// merged result equals the serial count exactly. All restrictions and
+/// inducedness modes are supported — they only *read* the graph.
+///
+/// `num_threads <= 1` falls back to the serial implementation;
+/// `options.max_instances` is not supported (it would make results depend
+/// on scheduling).
+MotifCounts CountMotifsParallel(const TemporalGraph& graph,
+                                const EnumerationOptions& options,
+                                int num_threads);
+
+/// Total-count-only variant.
+std::uint64_t CountInstancesParallel(const TemporalGraph& graph,
+                                     const EnumerationOptions& options,
+                                     int num_threads);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ALGORITHMS_PARALLEL_H_

@@ -1,0 +1,63 @@
+#include "algorithms/sampling.h"
+
+#include "common/check.h"
+#include "core/timing.h"
+#include "graph/resolution.h"
+
+namespace tmotif {
+
+SampledCounts EstimateMotifCounts(const TemporalGraph& graph,
+                                  const EnumerationOptions& options,
+                                  const SamplingConfig& sampling, Rng* rng) {
+  TMOTIF_CHECK(sampling.num_windows > 0);
+  TMOTIF_CHECK(sampling.window_length > 0);
+  // Global restrictions reference events outside a window; the window
+  // estimator is defined only for timing-constrained vanilla counting.
+  TMOTIF_CHECK_MSG(!options.consecutive_events_restriction &&
+                       !options.cdg_restriction &&
+                       options.inducedness == Inducedness::kNone,
+                   "sampling supports timing-only configurations");
+  // Instances must fit inside one window, otherwise they are never sampled.
+  Timestamp span_bound = -1;
+  if (options.timing.delta_w.has_value()) span_bound = *options.timing.delta_w;
+  if (options.timing.delta_c.has_value()) {
+    const Timestamp loose =
+        LooseWindowBound(*options.timing.delta_c, options.num_events);
+    span_bound = span_bound < 0 ? loose : std::min(span_bound, loose);
+  }
+  TMOTIF_CHECK_MSG(span_bound >= 0, "timing must bound instance timespans");
+  TMOTIF_CHECK_MSG(span_bound <= sampling.window_length,
+                   "window_length must cover the instance timespan bound");
+
+  SampledCounts result;
+  if (graph.num_events() == 0) return result;
+
+  const Timestamp t_min = graph.min_time();
+  const Timestamp t_max = graph.max_time();
+  const Timestamp length = sampling.window_length;
+  // Integer window starts uniform over [t_min - L, t_max]: an instance with
+  // timespan `span` is covered by exactly (L - span + 1) starts out of
+  // (t_max - t_min + L + 1).
+  const double domain =
+      static_cast<double>(t_max - t_min + length) + 1.0;
+
+  for (int w = 0; w < sampling.num_windows; ++w) {
+    const Timestamp start = rng->UniformInt(t_min - length, t_max);
+    const TemporalGraph window =
+        SliceTimeRange(graph, start, start + length);
+    EnumerateInstances(window, options, [&](const MotifInstance& instance) {
+      const Timestamp span =
+          window.event(instance.event_indices[instance.num_events - 1]).time -
+          window.event(instance.event_indices[0]).time;
+      const double coverage = static_cast<double>(length - span) + 1.0;
+      const double weight =
+          domain / (coverage * static_cast<double>(sampling.num_windows));
+      result.estimated_total += weight;
+      result.per_code[std::string(instance.code)] += weight;
+      ++result.instances_seen;
+    });
+  }
+  return result;
+}
+
+}  // namespace tmotif

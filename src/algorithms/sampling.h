@@ -1,0 +1,39 @@
+#ifndef TMOTIF_ALGORITHMS_SAMPLING_H_
+#define TMOTIF_ALGORITHMS_SAMPLING_H_
+
+#include "common/random.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Interval-sampling approximate motif counting in the spirit of
+/// Liu-Benson-Charikar (WSDM'19, the paper's reference [38]): draw random
+/// time windows of length `window_length`, count instances entirely inside
+/// each window exactly, and reweight by the probability that a random
+/// window covers an instance of that timespan. The estimator is unbiased
+/// for every configuration whose instances fit inside a window
+/// (window_length must be >= the instance timespan bound).
+struct SamplingConfig {
+  Timestamp window_length = 0;
+  int num_windows = 32;
+};
+
+struct SampledCounts {
+  /// Estimated total instance count.
+  double estimated_total = 0.0;
+  /// Per-code estimates.
+  std::unordered_map<MotifCode, double> per_code;
+  /// Exact instances seen across all sampled windows (work done).
+  std::uint64_t instances_seen = 0;
+};
+
+/// Estimates motif counts under `options` (which must bound instance
+/// timespans via dW or dC so that `window_length` can cover them).
+SampledCounts EstimateMotifCounts(const TemporalGraph& graph,
+                                  const EnumerationOptions& options,
+                                  const SamplingConfig& sampling, Rng* rng);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ALGORITHMS_SAMPLING_H_

@@ -1,0 +1,97 @@
+#include "algorithms/temporal_cycles.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+namespace {
+
+struct CycleDfs {
+  const TemporalGraph& graph;
+  const CycleConfig& config;
+  const CycleVisitor* visit;
+  std::vector<std::uint64_t> counts;
+
+  std::vector<EventIndex> path;
+  std::vector<NodeId> visited_nodes;
+  NodeId root = kInvalidNode;
+  Timestamp t_root = 0;
+
+  CycleDfs(const TemporalGraph& g, const CycleConfig& c,
+           const CycleVisitor* v)
+      : graph(g), config(c), visit(v) {
+    counts.assign(static_cast<std::size_t>(config.max_length) + 1, 0);
+  }
+
+  bool Visited(NodeId node) const {
+    return std::find(visited_nodes.begin(), visited_nodes.end(), node) !=
+           visited_nodes.end();
+  }
+
+  /// Extends the path from `current` looking for the root.
+  void Extend(NodeId current, Timestamp t_prev) {
+    const int length = static_cast<int>(path.size());
+    if (length >= config.max_length) return;
+    const Timestamp upper = t_root + config.delta_w;
+    // Outgoing events of `current` strictly after t_prev and within the
+    // window. The incident list mixes in/out events; filter by direction.
+    const std::vector<EventIndex>& inc = graph.incident(current);
+    const auto it0 = std::upper_bound(
+        inc.begin(), inc.end(), t_prev,
+        [&](Timestamp t, EventIndex i) { return t < graph.event(i).time; });
+    for (auto it = it0; it != inc.end(); ++it) {
+      const Event& e = graph.event(*it);
+      if (e.time > upper) break;
+      if (e.src != current) continue;  // Need an outgoing edge.
+      if (e.dst == root) {
+        if (length + 1 >= config.min_length) {
+          ++counts[static_cast<std::size_t>(length + 1)];
+          if (visit != nullptr) {
+            path.push_back(*it);
+            (*visit)(path);
+            path.pop_back();
+          }
+        }
+        continue;  // A closed cycle cannot be extended (simple cycles).
+      }
+      if (Visited(e.dst)) continue;
+      path.push_back(*it);
+      visited_nodes.push_back(e.dst);
+      Extend(e.dst, e.time);
+      visited_nodes.pop_back();
+      path.pop_back();
+    }
+  }
+
+  void Run() {
+    for (EventIndex i = 0; i < graph.num_events(); ++i) {
+      const Event& e = graph.event(i);
+      root = e.src;
+      t_root = e.time;
+      path.assign(1, i);
+      visited_nodes.assign({e.src, e.dst});
+      Extend(e.dst, e.time);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> EnumerateTemporalCycles(const TemporalGraph& graph,
+                                                   const CycleConfig& config,
+                                                   const CycleVisitor& visit) {
+  TMOTIF_CHECK(config.delta_w >= 0);
+  TMOTIF_CHECK(config.min_length >= 2);
+  TMOTIF_CHECK(config.max_length >= config.min_length);
+  CycleDfs dfs(graph, config, visit ? &visit : nullptr);
+  dfs.Run();
+  return dfs.counts;
+}
+
+std::vector<std::uint64_t> CountTemporalCycles(const TemporalGraph& graph,
+                                               const CycleConfig& config) {
+  return EnumerateTemporalCycles(graph, config, nullptr);
+}
+
+}  // namespace tmotif

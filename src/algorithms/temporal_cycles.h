@@ -1,0 +1,40 @@
+#ifndef TMOTIF_ALGORITHMS_TEMPORAL_CYCLES_H_
+#define TMOTIF_ALGORITHMS_TEMPORAL_CYCLES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// Temporal simple-cycle enumeration in the spirit of 2SCENT (Kumar &
+/// Calders, the paper's reference [34], itself extending Johnson's cycle
+/// algorithm): a temporal cycle of length L is a sequence of L events
+///   (v0 -> v1, t1), (v1 -> v2, t2), ..., (v_{L-1} -> v0, t_L)
+/// with strictly increasing timestamps, distinct intermediate nodes, and a
+/// total timespan of at most `delta_w`. These are the non-induced "temporal
+/// squares / cycles" the paper's Section 4.1 motivates for fraud detection.
+struct CycleConfig {
+  Timestamp delta_w = 0;
+  int max_length = 4;
+  int min_length = 2;
+};
+
+/// One cycle given by the indices of its events in chronological order.
+using CycleVisitor = std::function<void(const std::vector<EventIndex>&)>;
+
+/// Enumerates every temporal simple cycle; returns per-length counts
+/// (index = cycle length; entries below min_length are zero).
+std::vector<std::uint64_t> EnumerateTemporalCycles(const TemporalGraph& graph,
+                                                   const CycleConfig& config,
+                                                   const CycleVisitor& visit);
+
+/// Count-only convenience.
+std::vector<std::uint64_t> CountTemporalCycles(const TemporalGraph& graph,
+                                               const CycleConfig& config);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ALGORITHMS_TEMPORAL_CYCLES_H_

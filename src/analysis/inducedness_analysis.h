@@ -1,0 +1,52 @@
+#ifndef TMOTIF_ANALYSIS_INDUCEDNESS_ANALYSIS_H_
+#define TMOTIF_ANALYSIS_INDUCEDNESS_ANALYSIS_H_
+
+#include <map>
+
+#include "analysis/ranking.h"
+#include "core/counter.h"
+#include "core/timing.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// Section 5.1.1: effect of the Kovanen consecutive-events restriction on
+/// 3n3e motif counts and rankings (paper Tables 3 and 6).
+struct ConsecutiveRestrictionReport {
+  std::uint64_t non_consecutive_total = 0;
+  std::uint64_t consecutive_total = 0;
+  /// Rank change per 3n3e code when the restriction is added (positive =
+  /// the motif climbed the ranking).
+  std::map<MotifCode, int> rank_changes;
+  /// Fraction of motifs removed by the restriction.
+  double RemovedFraction() const;
+};
+
+ConsecutiveRestrictionReport AnalyzeConsecutiveRestriction(
+    const TemporalGraph& graph, Timestamp delta_c, int num_events = 3,
+    int max_nodes = 3);
+
+/// Section 5.1.2: vanilla counting vs constrained dynamic graphlets after
+/// degrading the resolution (paper Tables 4 and 7).
+struct CdgReport {
+  std::uint64_t vanilla_total = 0;
+  std::uint64_t cdg_total = 0;
+  /// Proportion change (percentage points) per 3n3e code.
+  std::map<MotifCode, double> proportion_changes;
+  /// Variance of the proportion changes across all codes (the paper's
+  /// per-dataset "Variance" column).
+  double variance = 0.0;
+};
+
+CdgReport AnalyzeConstrainedDynamicGraphlets(const TemporalGraph& graph,
+                                             Timestamp delta_c,
+                                             int num_events = 3,
+                                             int max_nodes = 3);
+
+/// The 3n3e code universe used by both reports (the paper's 32 motifs) --
+/// codes with exactly `num_nodes` nodes among the <= max_nodes spectrum.
+std::vector<MotifCode> CodesWithExactNodes(int num_events, int num_nodes);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ANALYSIS_INDUCEDNESS_ANALYSIS_H_

@@ -1,0 +1,41 @@
+#include "analysis/intermediate_events.h"
+
+#include "common/check.h"
+
+namespace tmotif {
+
+IntermediateEventProfile CollectIntermediatePositions(
+    const TemporalGraph& graph, const EnumerationOptions& options,
+    const MotifCode& code, int num_bins) {
+  TMOTIF_CHECK(IsValidCode(code));
+  TMOTIF_CHECK(CodeNumEvents(code) == options.num_events);
+  TMOTIF_CHECK(options.num_events >= 3);
+
+  IntermediateEventProfile profile;
+  profile.code = code;
+  for (int i = 0; i < options.num_events - 2; ++i) {
+    profile.histograms.emplace_back(0.0, 100.0, num_bins);
+  }
+
+  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
+    if (instance.code != code) return;
+    ++profile.num_instances;
+    const Timestamp t_first = graph.event(instance.event_indices[0]).time;
+    const Timestamp t_last =
+        graph.event(instance.event_indices[instance.num_events - 1]).time;
+    const Timestamp span = t_last - t_first;
+    if (span <= 0) {
+      ++profile.num_skipped_zero_span;
+      return;
+    }
+    for (int i = 1; i < instance.num_events - 1; ++i) {
+      const Timestamp t = graph.event(instance.event_indices[i]).time;
+      const double position = 100.0 * static_cast<double>(t - t_first) /
+                              static_cast<double>(span);
+      profile.histograms[static_cast<std::size_t>(i - 1)].Add(position);
+    }
+  });
+  return profile;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,31 @@
+#ifndef TMOTIF_ANALYSIS_INTERMEDIATE_EVENTS_H_
+#define TMOTIF_ANALYSIS_INTERMEDIATE_EVENTS_H_
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Distributions of the *normalized positions* of intermediate (non-first,
+/// non-last) events within instances of one motif code: 0% = at the first
+/// event, 100% = at the last event (paper Section 5.2.2, Figures 4 and 9).
+/// `histograms[i]` covers the (i+2)-th event of the motif; instances with a
+/// zero timespan are skipped (positions undefined).
+struct IntermediateEventProfile {
+  MotifCode code;
+  std::vector<Histogram> histograms;
+  std::uint64_t num_instances = 0;
+  std::uint64_t num_skipped_zero_span = 0;
+};
+
+/// Collects positions for instances whose canonical code equals `code`.
+IntermediateEventProfile CollectIntermediatePositions(
+    const TemporalGraph& graph, const EnumerationOptions& options,
+    const MotifCode& code, int num_bins = 20);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ANALYSIS_INTERMEDIATE_EVENTS_H_

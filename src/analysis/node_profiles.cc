@@ -1,0 +1,80 @@
+#include "analysis/node_profiles.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+NodeMotifProfiles::NodeMotifProfiles(NodeId num_nodes)
+    : per_node_(static_cast<std::size_t>(num_nodes)),
+      totals_(static_cast<std::size_t>(num_nodes), 0) {}
+
+std::uint64_t NodeMotifProfiles::count(NodeId node, const MotifCode& code,
+                                       int position) const {
+  TMOTIF_CHECK(node >= 0 && node < num_nodes());
+  const auto& table = per_node_[static_cast<std::size_t>(node)];
+  const auto it = table.find({code, position});
+  return it == table.end() ? 0 : it->second;
+}
+
+std::uint64_t NodeMotifProfiles::total(NodeId node) const {
+  TMOTIF_CHECK(node >= 0 && node < num_nodes());
+  return totals_[static_cast<std::size_t>(node)];
+}
+
+std::vector<double> NodeMotifProfiles::Vector(
+    NodeId node, const std::vector<MotifCode>& universe) const {
+  std::vector<double> out;
+  for (const MotifCode& code : universe) {
+    const int num_positions = CodeNumNodes(code);
+    for (int p = 0; p < num_positions; ++p) {
+      out.push_back(static_cast<double>(count(node, code, p)));
+    }
+  }
+  return out;
+}
+
+double NodeMotifProfiles::CosineSimilarity(
+    NodeId a, NodeId b, const std::vector<MotifCode>& universe) const {
+  const std::vector<double> va = Vector(a, universe);
+  const std::vector<double> vb = Vector(b, universe);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    dot += va[i] * vb[i];
+    na += va[i] * va[i];
+    nb += vb[i] * vb[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+NodeMotifProfiles CollectNodeProfiles(const TemporalGraph& graph,
+                                      const EnumerationOptions& options) {
+  NodeMotifProfiles profiles(graph.num_nodes());
+  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
+    // Recover the node -> digit assignment from the instance: digits are
+    // assigned by order of first appearance in the code.
+    NodeId digit_to_node[10];
+    int num_digits = 0;
+    const MotifCode code(instance.code);
+    for (int i = 0; i < instance.num_events; ++i) {
+      const Event& e = graph.event(instance.event_indices[i]);
+      const int src_digit = code[static_cast<std::size_t>(2 * i)] - '0';
+      const int dst_digit = code[static_cast<std::size_t>(2 * i + 1)] - '0';
+      digit_to_node[src_digit] = e.src;
+      digit_to_node[dst_digit] = e.dst;
+      num_digits = std::max(num_digits, std::max(src_digit, dst_digit) + 1);
+    }
+    for (int d = 0; d < num_digits; ++d) {
+      const NodeId node = digit_to_node[d];
+      ++profiles.per_node_[static_cast<std::size_t>(node)][{code, d}];
+      ++profiles.totals_[static_cast<std::size_t>(node)];
+    }
+  });
+  return profiles;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,63 @@
+#ifndef TMOTIF_ANALYSIS_NODE_PROFILES_H_
+#define TMOTIF_ANALYSIS_NODE_PROFILES_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Per-node motif participation profiles — the node-level view Hulovatyy
+/// et al. built their aging-gene predictor on ("captures various temporal
+/// motifs from each node's perspective"). For every node we count, per
+/// motif code and *position* (the digit the node plays in the canonical
+/// code), how many instances it participates in. The resulting vectors are
+/// temporal analogues of graphlet orbit degree vectors.
+class NodeMotifProfiles {
+ public:
+  explicit NodeMotifProfiles(NodeId num_nodes);
+
+  /// Count of `node` appearing as digit `position` of motif `code`.
+  std::uint64_t count(NodeId node, const MotifCode& code, int position) const;
+
+  /// Total instances `node` participates in (any code, any position).
+  std::uint64_t total(NodeId node) const;
+
+  /// The profile vector of a node over a fixed code universe: one entry per
+  /// (code, position) pair, in a canonical order shared by all nodes.
+  std::vector<double> Vector(NodeId node,
+                             const std::vector<MotifCode>& universe) const;
+
+  /// Cosine similarity of two nodes' profile vectors over `universe`
+  /// (0 when either node has an empty profile).
+  double CosineSimilarity(NodeId a, NodeId b,
+                          const std::vector<MotifCode>& universe) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(per_node_.size()); }
+
+ private:
+  friend NodeMotifProfiles CollectNodeProfiles(const TemporalGraph&,
+                                               const EnumerationOptions&);
+  struct Key {
+    MotifCode code;
+    int position;
+    bool operator<(const Key& other) const {
+      if (code != other.code) return code < other.code;
+      return position < other.position;
+    }
+  };
+  std::vector<std::map<Key, std::uint64_t>> per_node_;
+  std::vector<std::uint64_t> totals_;
+};
+
+/// Enumerates instances under `options` and accumulates every node's
+/// participation counts.
+NodeMotifProfiles CollectNodeProfiles(const TemporalGraph& graph,
+                                      const EnumerationOptions& options);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ANALYSIS_NODE_PROFILES_H_

@@ -1,0 +1,44 @@
+#include "analysis/timespan_analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/timing.h"
+
+namespace tmotif {
+
+TimespanProfile CollectTimespans(const TemporalGraph& graph,
+                                 const EnumerationOptions& options,
+                                 const MotifCode& code, int num_bins,
+                                 Timestamp unbounded_hi) {
+  TMOTIF_CHECK(IsValidCode(code));
+  TMOTIF_CHECK(CodeNumEvents(code) == options.num_events);
+
+  Timestamp hi = unbounded_hi;
+  if (options.timing.delta_w.has_value()) {
+    hi = *options.timing.delta_w;
+  } else if (options.timing.delta_c.has_value()) {
+    hi = LooseWindowBound(*options.timing.delta_c, options.num_events);
+  }
+  hi = std::max<Timestamp>(hi, 1);
+
+  TimespanProfile profile{code, Histogram(0.0, static_cast<double>(hi),
+                                          num_bins)};
+  double total_span = 0.0;
+  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
+    if (instance.code != code) return;
+    const Timestamp span =
+        graph.event(instance.event_indices[instance.num_events - 1]).time -
+        graph.event(instance.event_indices[0]).time;
+    profile.histogram.Add(static_cast<double>(span));
+    total_span += static_cast<double>(span);
+    ++profile.num_instances;
+  });
+  if (profile.num_instances > 0) {
+    profile.mean_span =
+        total_span / static_cast<double>(profile.num_instances);
+  }
+  return profile;
+}
+
+}  // namespace tmotif

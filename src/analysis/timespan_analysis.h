@@ -1,0 +1,29 @@
+#ifndef TMOTIF_ANALYSIS_TIMESPAN_ANALYSIS_H_
+#define TMOTIF_ANALYSIS_TIMESPAN_ANALYSIS_H_
+
+#include "common/histogram.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Distribution of motif timespans (t_last - t_first) for instances of one
+/// motif code (paper Section 5.2.3, Figures 5 and 10).
+struct TimespanProfile {
+  MotifCode code;
+  Histogram histogram;
+  std::uint64_t num_instances = 0;
+  double mean_span = 0.0;
+};
+
+/// Collects timespans of instances whose canonical code equals `code`.
+/// The histogram covers [0, hi] where `hi` is the effective window bound
+/// (dW, or dC * (k-1), or the given fallback when the config is unbounded).
+TimespanProfile CollectTimespans(const TemporalGraph& graph,
+                                 const EnumerationOptions& options,
+                                 const MotifCode& code, int num_bins = 30,
+                                 Timestamp unbounded_hi = 3600);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ANALYSIS_TIMESPAN_ANALYSIS_H_

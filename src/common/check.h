@@ -1,0 +1,31 @@
+#ifndef TMOTIF_COMMON_CHECK_H_
+#define TMOTIF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on assertions. `TMOTIF_CHECK` guards invariants whose violation
+// indicates a programming error; it aborts with a source location so that
+// failures in optimized bench builds are still diagnosable. These checks are
+// deliberately independent of NDEBUG: the counting code relies on them to
+// reject malformed inputs (e.g. self-loop events) in every build type.
+
+#define TMOTIF_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TMOTIF_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TMOTIF_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TMOTIF_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // TMOTIF_COMMON_CHECK_H_

@@ -1,0 +1,93 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace tmotif {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) std::fputc(',', file_);
+    const std::string escaped = CsvEscape(cells[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::optional<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  int ch;
+  while ((ch = std::fgetc(file)) != EOF) {
+    if (ch == '\n') {
+      rows.push_back(CsvSplit(line));
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  if (!line.empty()) rows.push_back(CsvSplit(line));
+  std::fclose(file);
+  return rows;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,41 @@
+#ifndef TMOTIF_COMMON_CSV_H_
+#define TMOTIF_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tmotif {
+
+/// Row-oriented CSV writer with RFC-4180-style quoting. The bench binaries
+/// use it to export every table/figure series for external plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `ok()` before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Escapes a single CSV field (quotes when it contains comma/quote/newline).
+std::string CsvEscape(const std::string& field);
+
+/// Parses one CSV line into fields, honoring double-quoted fields.
+std::vector<std::string> CsvSplit(const std::string& line);
+
+/// Reads an entire CSV file; returns nullopt when the file cannot be opened.
+std::optional<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_COMMON_CSV_H_

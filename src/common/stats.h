@@ -1,0 +1,37 @@
+#ifndef TMOTIF_COMMON_STATS_H_
+#define TMOTIF_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tmotif {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divide by N); 0 for inputs with < 2 elements.
+double Variance(const std::vector<double>& values);
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+/// Takes a copy because it needs to reorder.
+double Median(std::vector<double> values);
+double MedianInt(std::vector<std::int64_t> values);
+
+/// Quantile in [0, 1] using linear interpolation between order statistics.
+double Quantile(std::vector<double> values, double q);
+
+/// Compact five-number-style summary.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_COMMON_STATS_H_

@@ -1,0 +1,98 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+std::string HumanCount(std::uint64_t value) {
+  char buf[32];
+  if (value >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(value) / 1e6);
+  } else if (value >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(value) / 1e6);
+  } else if (value >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(value) / 1e3);
+  } else if (value >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", static_cast<double>(value) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::AddCell(std::string value) {
+  TMOTIF_CHECK(!rows_.empty());
+  TMOTIF_CHECK(rows_.back().size() < header_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::AddInt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return AddCell(buf);
+}
+
+TextTable& TextTable::AddUint(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return AddCell(buf);
+}
+
+TextTable& TextTable::AddDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return AddCell(buf);
+}
+
+TextTable& TextTable::AddPercent(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return AddCell(buf);
+}
+
+TextTable& TextTable::AddHumanCount(std::uint64_t value) {
+  return AddCell(HumanCount(value));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out->append(cell);
+      out->append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, header_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+}  // namespace tmotif

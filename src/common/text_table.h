@@ -1,0 +1,43 @@
+#ifndef TMOTIF_COMMON_TEXT_TABLE_H_
+#define TMOTIF_COMMON_TEXT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tmotif {
+
+/// Minimal column-aligned ASCII table used by the bench binaries to print
+/// paper-style rows. Cells are strings; numeric helpers format consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent `Add*` calls fill it left to right.
+  TextTable& AddRow();
+  TextTable& AddCell(std::string value);
+  TextTable& AddInt(std::int64_t value);
+  TextTable& AddUint(std::uint64_t value);
+  /// Fixed-precision double.
+  TextTable& AddDouble(double value, int precision = 2);
+  /// Percentage with a trailing '%'.
+  TextTable& AddPercent(double fraction, int precision = 1);
+  /// Human-readable count with K/M suffix (as in the paper's tables).
+  TextTable& AddHumanCount(std::uint64_t value);
+
+  /// Renders with a header separator; every column is right-padded.
+  std::string Render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count the way the paper's tables do: "35.6K", "1.02M", "904".
+std::string HumanCount(std::uint64_t value);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_COMMON_TEXT_TABLE_H_

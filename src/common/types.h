@@ -1,0 +1,32 @@
+#ifndef TMOTIF_COMMON_TYPES_H_
+#define TMOTIF_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace tmotif {
+
+/// Identifier of a node in a temporal network. Node ids are dense
+/// non-negative integers in `[0, num_nodes)`.
+using NodeId = std::int32_t;
+
+/// Timestamp of an event, in seconds (the paper's datasets have 1 s
+/// resolution). Signed so that time differences are representable.
+using Timestamp = std::int64_t;
+
+/// Duration of an event, in seconds. Most models ignore durations; the
+/// Hulovatyy et al. dynamic-graphlet model can take them into account.
+using Duration = std::int64_t;
+
+/// Index of an event in a `TemporalGraph`'s time-ordered event list.
+using EventIndex = std::int32_t;
+
+/// Categorical label attached to a node or an event (Song et al. patterns).
+/// `kNoLabel` means "unlabeled".
+using Label = std::int32_t;
+
+inline constexpr Label kNoLabel = -1;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_COMMON_TYPES_H_

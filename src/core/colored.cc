@@ -1,0 +1,99 @@
+#include "core/colored.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "core/motif_code.h"
+
+namespace tmotif {
+
+ColoredMotifCode MakeColoredCode(const MotifCode& code,
+                                 const std::vector<Label>& digit_labels) {
+  TMOTIF_CHECK(IsValidCode(code));
+  TMOTIF_CHECK(static_cast<int>(digit_labels.size()) == CodeNumNodes(code));
+  ColoredMotifCode out = code;
+  out.push_back('|');
+  for (std::size_t i = 0; i < digit_labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (digit_labels[i] == kNoLabel) {
+      out.push_back('?');
+    } else {
+      out += std::to_string(digit_labels[i]);
+    }
+  }
+  return out;
+}
+
+std::pair<MotifCode, std::vector<Label>> ParseColoredCode(
+    const ColoredMotifCode& colored) {
+  const std::size_t bar = colored.find('|');
+  TMOTIF_CHECK_MSG(bar != std::string::npos, "missing '|' separator");
+  const MotifCode code = colored.substr(0, bar);
+  TMOTIF_CHECK(IsValidCode(code));
+  std::vector<Label> labels;
+  std::string token;
+  for (std::size_t i = bar + 1; i <= colored.size(); ++i) {
+    if (i == colored.size() || colored[i] == ',') {
+      TMOTIF_CHECK_MSG(!token.empty(), "empty label token");
+      labels.push_back(token == "?" ? kNoLabel
+                                    : static_cast<Label>(
+                                          std::atoi(token.c_str())));
+      token.clear();
+    } else {
+      token.push_back(colored[i]);
+    }
+  }
+  TMOTIF_CHECK(static_cast<int>(labels.size()) == CodeNumNodes(code));
+  return {code, labels};
+}
+
+std::unordered_map<ColoredMotifCode, std::uint64_t> CountColoredMotifs(
+    const TemporalGraph& graph, const EnumerationOptions& options) {
+  std::unordered_map<ColoredMotifCode, std::uint64_t> counts;
+  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
+    // Recover digit -> node from the instance, then digit -> label.
+    NodeId digit_to_node[10];
+    int num_digits = 0;
+    const MotifCode code(instance.code);
+    for (int i = 0; i < instance.num_events; ++i) {
+      const Event& e = graph.event(instance.event_indices[i]);
+      const int src_digit = code[static_cast<std::size_t>(2 * i)] - '0';
+      const int dst_digit = code[static_cast<std::size_t>(2 * i + 1)] - '0';
+      digit_to_node[src_digit] = e.src;
+      digit_to_node[dst_digit] = e.dst;
+      num_digits = std::max(num_digits, std::max(src_digit, dst_digit) + 1);
+    }
+    std::vector<Label> labels;
+    labels.reserve(static_cast<std::size_t>(num_digits));
+    for (int d = 0; d < num_digits; ++d) {
+      labels.push_back(graph.node_label(digit_to_node[d]));
+    }
+    ++counts[MakeColoredCode(code, labels)];
+  });
+  return counts;
+}
+
+double ColoredHomophilyRatio(
+    const std::unordered_map<ColoredMotifCode, std::uint64_t>& counts,
+    const MotifCode& code) {
+  std::uint64_t labeled = 0;
+  std::uint64_t homophilous = 0;
+  for (const auto& [colored, count] : counts) {
+    const auto [plain, labels] = ParseColoredCode(colored);
+    if (plain != code) continue;
+    bool any_unlabeled = false;
+    bool all_same = true;
+    for (const Label l : labels) {
+      if (l == kNoLabel) any_unlabeled = true;
+      if (l != labels.front()) all_same = false;
+    }
+    if (any_unlabeled) continue;
+    labeled += count;
+    if (all_same) homophilous += count;
+  }
+  if (labeled == 0) return 0.0;
+  return static_cast<double>(homophilous) / static_cast<double>(labeled);
+}
+
+}  // namespace tmotif

@@ -1,0 +1,51 @@
+#ifndef TMOTIF_CORE_COLORED_H_
+#define TMOTIF_CORE_COLORED_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/motif_code.h"
+
+namespace tmotif {
+
+/// Colored temporal motifs (Kovanen et al. 2013, the paper's reference
+/// [26]): motifs over node-labeled networks where the identity of a motif
+/// includes the categorical label ("color") of each node. The reference
+/// used sex/age/subscription attributes of a call network to show, e.g.,
+/// gender homophily in temporal motifs.
+///
+/// A colored code is the canonical motif code followed by '|' and one
+/// label per digit, e.g. "0110|f,m" is a ping-pong from a female to a male
+/// subscriber. Unlabeled nodes get "?".
+using ColoredMotifCode = std::string;
+
+/// Builds the colored code for a plain code plus per-digit labels.
+ColoredMotifCode MakeColoredCode(const MotifCode& code,
+                                 const std::vector<Label>& digit_labels);
+
+/// Splits a colored code back into (code, labels); aborts on malformed
+/// input. Labels of "?" map to kNoLabel.
+std::pair<MotifCode, std::vector<Label>> ParseColoredCode(
+    const ColoredMotifCode& colored);
+
+/// Counts motifs keyed by colored code. Node labels come from the graph
+/// (`TemporalGraphBuilder::SetNodeLabel`); unlabeled graphs produce
+/// all-'?' colorings.
+std::unordered_map<ColoredMotifCode, std::uint64_t> CountColoredMotifs(
+    const TemporalGraph& graph, const EnumerationOptions& options);
+
+/// Homophily ratio of 2-color motifs: among instances of `code` whose
+/// nodes all carry real labels, the fraction whose nodes share one label.
+/// (The reference's headline analysis: same-sex pairs are over-represented
+/// in call motifs.)
+double ColoredHomophilyRatio(
+    const std::unordered_map<ColoredMotifCode, std::uint64_t>& counts,
+    const MotifCode& code);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_COLORED_H_

@@ -1,0 +1,51 @@
+#include "core/counter.h"
+
+#include <algorithm>
+
+namespace tmotif {
+
+void MotifCounts::Add(std::string_view code, std::uint64_t count) {
+  counts_[std::string(code)] += count;
+  total_ += count;
+}
+
+std::uint64_t MotifCounts::count(const MotifCode& code) const {
+  const auto it = counts_.find(code);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double MotifCounts::Proportion(const MotifCode& code) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(code)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<MotifCode, std::uint64_t>> MotifCounts::SortedByCount()
+    const {
+  std::vector<std::pair<MotifCode, std::uint64_t>> out(counts_.begin(),
+                                                       counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<MotifCode, std::uint64_t>> MotifCounts::SortedByCode()
+    const {
+  std::vector<std::pair<MotifCode, std::uint64_t>> out(counts_.begin(),
+                                                       counts_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+MotifCounts CountMotifs(const TemporalGraph& graph,
+                        const EnumerationOptions& options) {
+  MotifCounts counts;
+  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
+    counts.Add(instance.code);
+  });
+  return counts;
+}
+
+}  // namespace tmotif

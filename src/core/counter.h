@@ -1,0 +1,53 @@
+#ifndef TMOTIF_CORE_COUNTER_H_
+#define TMOTIF_CORE_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/motif_code.h"
+
+namespace tmotif {
+
+/// A table of motif counts keyed by canonical motif code.
+class MotifCounts {
+ public:
+  void Add(std::string_view code, std::uint64_t count = 1);
+
+  /// Count for one code (0 when absent).
+  std::uint64_t count(const MotifCode& code) const;
+
+  /// Sum over all codes.
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction of the total held by `code` (0 when the table is empty).
+  double Proportion(const MotifCode& code) const;
+
+  /// Number of distinct codes observed.
+  std::size_t num_codes() const { return counts_.size(); }
+
+  /// (code, count) pairs sorted by descending count, ties by code, so
+  /// rankings are deterministic.
+  std::vector<std::pair<MotifCode, std::uint64_t>> SortedByCount() const;
+
+  /// (code, count) pairs sorted by code.
+  std::vector<std::pair<MotifCode, std::uint64_t>> SortedByCode() const;
+
+  const std::unordered_map<MotifCode, std::uint64_t>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<MotifCode, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Enumerates instances under `options` and tallies them by canonical code.
+MotifCounts CountMotifs(const TemporalGraph& graph,
+                        const EnumerationOptions& options);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_COUNTER_H_

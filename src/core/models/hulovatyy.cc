@@ -1,0 +1,21 @@
+#include "core/models/hulovatyy.h"
+
+namespace tmotif {
+
+EnumerationOptions HulovatyyOptions(const HulovatyyConfig& config) {
+  EnumerationOptions options;
+  options.num_events = config.num_events;
+  options.max_nodes = config.max_nodes;
+  options.timing = TimingConstraints::OnlyDeltaC(config.delta_c);
+  options.inducedness = Inducedness::kStatic;
+  options.cdg_restriction = config.constrained;
+  options.duration_aware_gaps = config.duration_aware;
+  return options;
+}
+
+MotifCounts CountHulovatyyMotifs(const TemporalGraph& graph,
+                                 const HulovatyyConfig& config) {
+  return CountMotifs(graph, HulovatyyOptions(config));
+}
+
+}  // namespace tmotif

@@ -1,0 +1,36 @@
+#ifndef TMOTIF_CORE_MODELS_HULOVATYY_H_
+#define TMOTIF_CORE_MODELS_HULOVATYY_H_
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Hulovatyy et al. [13], dynamic graphlets. Relative to Kovanen et al.:
+///   * motifs must be induced in the *static* projection (all static edges
+///     among the motif's nodes must appear in the motif),
+///   * the consecutive-events restriction is dropped,
+///   * optional "constrained dynamic graphlets" filter out stale repeats:
+///     consecutive motif events on different static edges require that the
+///     second edge did not occur in between,
+///   * optional duration-aware gaps: dC is measured from the end of the
+///     previous event to the start of the next (the only published model
+///     that incorporates event durations, Section 4.2).
+struct HulovatyyConfig {
+  int num_events = 3;
+  int max_nodes = 3;
+  Timestamp delta_c = 0;
+  /// Enables the constrained-dynamic-graphlet restriction.
+  bool constrained = false;
+  /// Measures dC from previous event end (start + duration).
+  bool duration_aware = false;
+};
+
+EnumerationOptions HulovatyyOptions(const HulovatyyConfig& config);
+
+MotifCounts CountHulovatyyMotifs(const TemporalGraph& graph,
+                                 const HulovatyyConfig& config);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_HULOVATYY_H_

@@ -1,0 +1,19 @@
+#include "core/models/kovanen.h"
+
+namespace tmotif {
+
+EnumerationOptions KovanenOptions(const KovanenConfig& config) {
+  EnumerationOptions options;
+  options.num_events = config.num_events;
+  options.max_nodes = config.max_nodes;
+  options.timing = TimingConstraints::OnlyDeltaC(config.delta_c);
+  options.consecutive_events_restriction = true;
+  return options;
+}
+
+MotifCounts CountKovanenMotifs(const TemporalGraph& graph,
+                               const KovanenConfig& config) {
+  return CountMotifs(graph, KovanenOptions(config));
+}
+
+}  // namespace tmotif

@@ -1,0 +1,30 @@
+#ifndef TMOTIF_CORE_MODELS_KOVANEN_H_
+#define TMOTIF_CORE_MODELS_KOVANEN_H_
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Kovanen et al. [11], the first temporal motif model. A valid motif is a
+/// connected, totally ordered set of events where
+///   (1) every consecutive pair of events is at most `delta_c` apart, and
+///   (2) each node's events inside the motif are *consecutive* among that
+///       node's events in the whole graph (node-based temporal inducedness).
+/// No static inducedness; no dW window. The restriction (2) keeps star
+/// nodes from generating quadratically many motifs but systematically
+/// amplifies ask-reply motifs (the paper's Section 5.1.1 finding).
+struct KovanenConfig {
+  int num_events = 3;
+  int max_nodes = 3;
+  Timestamp delta_c = 0;
+};
+
+EnumerationOptions KovanenOptions(const KovanenConfig& config);
+
+MotifCounts CountKovanenMotifs(const TemporalGraph& graph,
+                               const KovanenConfig& config);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_KOVANEN_H_

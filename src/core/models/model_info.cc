@@ -1,0 +1,70 @@
+#include "core/models/model_info.h"
+
+#include "common/check.h"
+
+namespace tmotif {
+
+ModelAspects GetModelAspects(ModelId model) {
+  switch (model) {
+    case ModelId::kKovanen:
+      return {"Kovanen et al.", "[11]", "node-based temporal",
+              /*event_durations=*/false, /*partial_ordering=*/true,
+              /*directed_edges=*/true, /*node_edge_labels=*/false,
+              /*uses_delta_c=*/true, /*uses_delta_w=*/false};
+    case ModelId::kSong:
+      return {"Song et al.", "[12]", "no",
+              /*event_durations=*/false, /*partial_ordering=*/true,
+              /*directed_edges=*/true, /*node_edge_labels=*/true,
+              /*uses_delta_c=*/false, /*uses_delta_w=*/true};
+    case ModelId::kHulovatyy:
+      return {"Hulovatyy et al.", "[13]", "static only",
+              /*event_durations=*/true, /*partial_ordering=*/false,
+              /*directed_edges=*/false, /*node_edge_labels=*/false,
+              /*uses_delta_c=*/true, /*uses_delta_w=*/false};
+    case ModelId::kParanjape:
+      return {"Paranjape et al.", "[14]", "static only",
+              /*event_durations=*/false, /*partial_ordering=*/false,
+              /*directed_edges=*/true, /*node_edge_labels=*/false,
+              /*uses_delta_c=*/false, /*uses_delta_w=*/true};
+  }
+  TMOTIF_CHECK(false);
+  return {};
+}
+
+EnumerationOptions OptionsForModel(ModelId model, int num_events,
+                                   int max_nodes, Timestamp delta_c,
+                                   Timestamp delta_w) {
+  EnumerationOptions options;
+  options.num_events = num_events;
+  options.max_nodes = max_nodes;
+  switch (model) {
+    case ModelId::kKovanen:
+      options.timing = TimingConstraints::OnlyDeltaC(delta_c);
+      options.consecutive_events_restriction = true;
+      break;
+    case ModelId::kSong:
+      options.timing = TimingConstraints::OnlyDeltaW(delta_w);
+      break;
+    case ModelId::kHulovatyy:
+      options.timing = TimingConstraints::OnlyDeltaC(delta_c);
+      options.inducedness = Inducedness::kStatic;
+      break;
+    case ModelId::kParanjape:
+      options.timing = TimingConstraints::OnlyDeltaW(delta_w);
+      options.inducedness = Inducedness::kStatic;
+      break;
+  }
+  return options;
+}
+
+bool IsValidUnderModel(const TemporalGraph& graph,
+                       const std::vector<EventIndex>& event_indices,
+                       ModelId model, Timestamp delta_c, Timestamp delta_w) {
+  const int k = static_cast<int>(event_indices.size());
+  // Node cap is not part of the models themselves; allow the maximum.
+  const EnumerationOptions options =
+      OptionsForModel(model, k, k + 1, delta_c, delta_w);
+  return IsValidInstance(graph, event_indices, options);
+}
+
+}  // namespace tmotif

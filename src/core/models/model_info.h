@@ -1,0 +1,57 @@
+#ifndef TMOTIF_CORE_MODELS_MODEL_INFO_H_
+#define TMOTIF_CORE_MODELS_MODEL_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// The four published temporal motif models surveyed by the paper.
+enum class ModelId {
+  kKovanen,    // Kovanen et al. 2011 [11]
+  kSong,       // Song et al. 2014 [12]
+  kHulovatyy,  // Hulovatyy et al. 2015 [13]
+  kParanjape,  // Paranjape et al. 2017 [14]
+};
+
+inline constexpr ModelId kAllModels[] = {ModelId::kKovanen, ModelId::kSong,
+                                         ModelId::kHulovatyy,
+                                         ModelId::kParanjape};
+
+/// Table 1 of the paper: which aspects of temporality each model handles.
+struct ModelAspects {
+  const char* name;
+  const char* citation;
+  /// "node-based temporal", "static only", or "no".
+  const char* induced_subgraph;
+  bool event_durations;
+  bool partial_ordering;
+  bool directed_edges;
+  bool node_edge_labels;
+  /// Adjacent events bounded by dC.
+  bool uses_delta_c;
+  /// Entire motif bounded by dW.
+  bool uses_delta_w;
+};
+
+ModelAspects GetModelAspects(ModelId model);
+
+/// Enumerator options realizing `model` for k-event, <=max_nodes motifs.
+/// `delta_c` is used by Kovanen/Hulovatyy, `delta_w` by Song/Paranjape.
+EnumerationOptions OptionsForModel(ModelId model, int num_events,
+                                   int max_nodes, Timestamp delta_c,
+                                   Timestamp delta_w);
+
+/// Checks whether an explicit candidate event set is a valid motif under
+/// `model` (the Figure 1 exercise: the same candidate can be valid in some
+/// models and invalid in others).
+bool IsValidUnderModel(const TemporalGraph& graph,
+                       const std::vector<EventIndex>& event_indices,
+                       ModelId model, Timestamp delta_c, Timestamp delta_w);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_MODEL_INFO_H_

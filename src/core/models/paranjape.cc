@@ -1,0 +1,19 @@
+#include "core/models/paranjape.h"
+
+namespace tmotif {
+
+EnumerationOptions ParanjapeOptions(const ParanjapeConfig& config) {
+  EnumerationOptions options;
+  options.num_events = config.num_events;
+  options.max_nodes = config.max_nodes;
+  options.timing = TimingConstraints::OnlyDeltaW(config.delta_w);
+  options.inducedness = Inducedness::kStatic;
+  return options;
+}
+
+MotifCounts CountParanjapeMotifs(const TemporalGraph& graph,
+                                 const ParanjapeConfig& config) {
+  return CountMotifs(graph, ParanjapeOptions(config));
+}
+
+}  // namespace tmotif

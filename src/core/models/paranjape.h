@@ -1,0 +1,28 @@
+#ifndef TMOTIF_CORE_MODELS_PARANJAPE_H_
+#define TMOTIF_CORE_MODELS_PARANJAPE_H_
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Paranjape et al. [14], the practical window model: a motif is a totally
+/// ordered, connected k-event sequence whose whole timespan fits in a
+/// `delta_w` window, induced in the static projection (the survey's Table 1
+/// and Figure 1 reading: the second Figure 1 motif is rejected for not being
+/// an induced subgraph). The consecutive-events restriction is deliberately
+/// dropped so motifs occurring in short bursts are kept.
+struct ParanjapeConfig {
+  int num_events = 3;
+  int max_nodes = 3;
+  Timestamp delta_w = 0;
+};
+
+EnumerationOptions ParanjapeOptions(const ParanjapeConfig& config);
+
+MotifCounts CountParanjapeMotifs(const TemporalGraph& graph,
+                                 const ParanjapeConfig& config);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_PARANJAPE_H_

@@ -1,0 +1,291 @@
+#include "core/models/song.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+EventPattern EventPattern::FromMotifCode(const MotifCode& code,
+                                         Timestamp delta_w) {
+  const std::vector<CodePair> pairs = ParseCode(code);
+  EventPattern pattern;
+  pattern.num_vars = CodeNumNodes(code);
+  pattern.delta_w = delta_w;
+  for (const auto& [src, dst] : pairs) {
+    pattern.edges.push_back({src, dst, kNoLabel});
+  }
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    pattern.order.emplace_back(static_cast<int>(i - 1), static_cast<int>(i));
+  }
+  return pattern;
+}
+
+bool EventPattern::Valid() const {
+  if (num_vars < 2 || edges.empty()) return false;
+  if (delta_w < 0) return false;
+  for (const PatternEdge& e : edges) {
+    if (e.src_var < 0 || e.src_var >= num_vars) return false;
+    if (e.dst_var < 0 || e.dst_var >= num_vars) return false;
+    if (e.src_var == e.dst_var) return false;
+  }
+  if (!var_labels.empty() &&
+      static_cast<int>(var_labels.size()) != num_vars) {
+    return false;
+  }
+  const int n = static_cast<int>(edges.size());
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const auto& [before, after] : order) {
+    if (before < 0 || before >= n || after < 0 || after >= n) return false;
+    if (before == after) return false;
+    ++indegree[static_cast<std::size_t>(after)];
+  }
+  // Kahn's algorithm to verify acyclicity.
+  std::vector<int> queue;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) queue.push_back(i);
+  }
+  int processed = 0;
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (const auto& [before, after] : order) {
+      if (before != v) continue;
+      if (--indegree[static_cast<std::size_t>(after)] == 0) {
+        queue.push_back(after);
+      }
+    }
+  }
+  return processed == n;
+}
+
+std::vector<std::vector<int>> EventPattern::LinearExtensions() const {
+  const int n = static_cast<int>(edges.size());
+  std::vector<std::vector<int>> result;
+  std::vector<int> current;
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+  const auto ready = [&](int edge) {
+    for (const auto& [before, after] : order) {
+      if (after == edge && !placed[static_cast<std::size_t>(before)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const std::function<void()> rec = [&] {
+    if (static_cast<int>(current.size()) == n) {
+      result.push_back(current);
+      return;
+    }
+    for (int e = 0; e < n; ++e) {
+      if (placed[static_cast<std::size_t>(e)] || !ready(e)) continue;
+      placed[static_cast<std::size_t>(e)] = true;
+      current.push_back(e);
+      rec();
+      current.pop_back();
+      placed[static_cast<std::size_t>(e)] = false;
+    }
+  };
+  rec();
+  return result;
+}
+
+namespace {
+
+/// Backtracking search for complete assignments where `last_event` is bound
+/// to one pattern edge and every other edge is bound to a window event.
+class MatchSearch {
+ public:
+  MatchSearch(const EventPattern& pattern,
+              const std::vector<Label>& node_labels,
+              const std::deque<Event>& window, const Event& last_event,
+              const MatchVisitor* visit)
+      : pattern_(pattern),
+        node_labels_(node_labels),
+        window_(window),
+        last_event_(last_event),
+        visit_(visit) {
+    assigned_.assign(pattern_.edges.size(), nullptr);
+    bindings_.assign(static_cast<std::size_t>(pattern_.num_vars),
+                     kInvalidNode);
+  }
+
+  std::uint64_t Run() {
+    for (std::size_t p = 0; p < pattern_.edges.size(); ++p) {
+      // The arriving event must not be required to precede anything: with
+      // chronological streaming no strictly later event can already be in
+      // the window, so non-sink edges cannot host it.
+      if (HasSuccessor(static_cast<int>(p))) continue;
+      if (!Bind(static_cast<int>(p), last_event_)) continue;
+      Search(0);
+      Unbind(static_cast<int>(p));
+    }
+    return found_;
+  }
+
+ private:
+  bool HasSuccessor(int edge) const {
+    for (const auto& [before, after] : pattern_.order) {
+      (void)after;
+      if (before == edge) return true;
+    }
+    return false;
+  }
+
+  bool NodeLabelOk(int var, NodeId node) const {
+    if (pattern_.var_labels.empty()) return true;
+    const Label want = pattern_.var_labels[static_cast<std::size_t>(var)];
+    if (want == kNoLabel) return true;
+    if (node < 0 || node >= static_cast<NodeId>(node_labels_.size())) {
+      return false;
+    }
+    return node_labels_[static_cast<std::size_t>(node)] == want;
+  }
+
+  bool BindVar(int var, NodeId node) {
+    NodeId& slot = bindings_[static_cast<std::size_t>(var)];
+    if (slot != kInvalidNode) return slot == node;
+    // Injectivity: the node may not be bound to another variable.
+    for (int v = 0; v < pattern_.num_vars; ++v) {
+      if (bindings_[static_cast<std::size_t>(v)] == node) return false;
+    }
+    if (!NodeLabelOk(var, node)) return false;
+    slot = node;
+    newly_bound_.push_back(var);
+    return true;
+  }
+
+  /// Attempts to assign `event` to pattern edge `edge`; updates bindings.
+  /// On failure, rolls back any new variable bindings.
+  bool Bind(int edge, const Event& event) {
+    const PatternEdge& p = pattern_.edges[static_cast<std::size_t>(edge)];
+    if (p.edge_label != kNoLabel && p.edge_label != event.label) return false;
+    const std::size_t bound_before = newly_bound_.size();
+    if (!BindVar(p.src_var, event.src) || !BindVar(p.dst_var, event.dst)) {
+      RollbackVars(bound_before);
+      return false;
+    }
+    assigned_[static_cast<std::size_t>(edge)] = &event;
+    // Order constraints with both sides assigned must hold strictly.
+    for (const auto& [before, after] : pattern_.order) {
+      const Event* a = assigned_[static_cast<std::size_t>(before)];
+      const Event* b = assigned_[static_cast<std::size_t>(after)];
+      if (a != nullptr && b != nullptr && a->time >= b->time) {
+        assigned_[static_cast<std::size_t>(edge)] = nullptr;
+        RollbackVars(bound_before);
+        return false;
+      }
+    }
+    var_marks_.push_back(bound_before);
+    return true;
+  }
+
+  void Unbind(int edge) {
+    assigned_[static_cast<std::size_t>(edge)] = nullptr;
+    const std::size_t mark = var_marks_.back();
+    var_marks_.pop_back();
+    RollbackVars(mark);
+  }
+
+  void RollbackVars(std::size_t mark) {
+    while (newly_bound_.size() > mark) {
+      bindings_[static_cast<std::size_t>(newly_bound_.back())] = kInvalidNode;
+      newly_bound_.pop_back();
+    }
+  }
+
+  void Search(std::size_t next_edge) {
+    while (next_edge < assigned_.size() &&
+           assigned_[next_edge] != nullptr) {
+      ++next_edge;
+    }
+    if (next_edge == assigned_.size()) {
+      ++found_;
+      if (visit_ != nullptr) {
+        PatternMatch match;
+        match.events.reserve(assigned_.size());
+        for (const Event* e : assigned_) match.events.push_back(*e);
+        (*visit_)(match);
+      }
+      return;
+    }
+    // Distinct events: an event already assigned elsewhere may not be
+    // reused. Window events are distinct objects, so pointer identity works.
+    for (const Event& candidate : window_) {
+      bool reused = false;
+      for (const Event* e : assigned_) {
+        if (e == &candidate) {
+          reused = true;
+          break;
+        }
+      }
+      if (reused) continue;
+      if (Bind(static_cast<int>(next_edge), candidate)) {
+        Search(next_edge + 1);
+        Unbind(static_cast<int>(next_edge));
+      }
+    }
+  }
+
+  const EventPattern& pattern_;
+  const std::vector<Label>& node_labels_;
+  const std::deque<Event>& window_;
+  const Event& last_event_;
+  const MatchVisitor* visit_;
+  std::vector<const Event*> assigned_;
+  std::vector<NodeId> bindings_;
+  std::vector<int> newly_bound_;
+  std::vector<std::size_t> var_marks_;
+  std::uint64_t found_ = 0;
+};
+
+}  // namespace
+
+EventPatternMatcher::EventPatternMatcher(EventPattern pattern,
+                                         std::vector<Label> node_labels)
+    : pattern_(std::move(pattern)),
+      node_labels_(std::move(node_labels)),
+      last_time_(0) {
+  TMOTIF_CHECK_MSG(pattern_.Valid(), "invalid event pattern");
+}
+
+std::uint64_t EventPatternMatcher::AddEvent(const Event& event) {
+  return AddEvent(event, nullptr);
+}
+
+std::uint64_t EventPatternMatcher::AddEvent(const Event& event,
+                                            const MatchVisitor& visit) {
+  TMOTIF_CHECK_MSG(!saw_event_ || event.time >= last_time_,
+                   "stream must be chronological");
+  saw_event_ = true;
+  last_time_ = event.time;
+  // Evict events that can no longer share a dW window with `event`.
+  while (!window_.empty() &&
+         window_.front().time < event.time - pattern_.delta_w) {
+    window_.pop_front();
+  }
+  MatchSearch search(pattern_, node_labels_, window_, event,
+                     visit ? &visit : nullptr);
+  const std::uint64_t found = search.Run();
+  total_matches_ += found;
+  window_.push_back(event);
+  return found;
+}
+
+std::uint64_t CountPatternMatches(const TemporalGraph& graph,
+                                  const EventPattern& pattern) {
+  EventPatternMatcher matcher(pattern, graph.node_labels());
+  for (const Event& e : graph.events()) matcher.AddEvent(e);
+  return matcher.total_matches();
+}
+
+std::uint64_t MatchPattern(const TemporalGraph& graph,
+                           const EventPattern& pattern,
+                           const MatchVisitor& visit) {
+  EventPatternMatcher matcher(pattern, graph.node_labels());
+  for (const Event& e : graph.events()) matcher.AddEvent(e, visit);
+  return matcher.total_matches();
+}
+
+}  // namespace tmotif

@@ -1,0 +1,109 @@
+#ifndef TMOTIF_CORE_MODELS_SONG_H_
+#define TMOTIF_CORE_MODELS_SONG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/motif_code.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// One edge of a Song et al. event pattern: a directed interaction between
+/// two pattern variables, optionally constrained to a specific edge label.
+struct PatternEdge {
+  int src_var = 0;
+  int dst_var = 0;
+  /// `kNoLabel` matches any event label.
+  Label edge_label = kNoLabel;
+};
+
+/// Song et al. [12] event pattern ("event pattern matching over graph
+/// streams"): a small pattern graph over variables with
+///   * optional node-label predicates per variable,
+///   * optional edge-label predicates per pattern edge,
+///   * a *partial order* over pattern edges (pairs (i, j): the event matched
+///     to edge i must be strictly earlier than the event matched to j),
+///   * a dW window bounding the whole match.
+/// Variables bind injectively to distinct graph nodes. A match is an
+/// edge -> event mapping; patterns with symmetries therefore yield one match
+/// per mapping. Matches are counted once, when their last-arriving event
+/// enters the stream, so the matcher works on live streams (Section 4:
+/// "motifs are found on-the-fly").
+struct EventPattern {
+  int num_vars = 0;
+  std::vector<PatternEdge> edges;
+  /// Strict precedence constraints between pattern edges (indices into
+  /// `edges`). Any partial order; a chain makes the pattern totally ordered.
+  std::vector<std::pair<int, int>> order;
+  /// Per-variable node-label predicate; empty means all variables wildcard.
+  std::vector<Label> var_labels;
+  Timestamp delta_w = 0;
+
+  /// Builds the totally ordered, unlabeled pattern matching one canonical
+  /// motif code inside a dW window (equivalent to vanilla dW counting of
+  /// that code; tests rely on this equivalence).
+  static EventPattern FromMotifCode(const MotifCode& code, Timestamp delta_w);
+
+  /// Structural validation: variable indices in range, no self-loop edges,
+  /// order references valid edges and is acyclic.
+  bool Valid() const;
+
+  /// All total orders (permutations of edge indices) compatible with
+  /// `order`. Used to expand a partial-order pattern into its totally
+  /// ordered variants (Section 4.3: a partially ordered motif is the union
+  /// of the motifs of its linear extensions).
+  std::vector<std::vector<int>> LinearExtensions() const;
+};
+
+/// One completed match: `events[i]` is the graph event assigned to pattern
+/// edge `i`.
+struct PatternMatch {
+  std::vector<Event> events;
+};
+
+using MatchVisitor = std::function<void(const PatternMatch&)>;
+
+/// Streaming matcher. Feed events in chronological order; each `AddEvent`
+/// reports the matches completed by that event. Memory is bounded by the
+/// number of stream events inside the trailing dW window.
+class EventPatternMatcher {
+ public:
+  /// `node_labels` (optional) supplies node labels for var-label predicates;
+  /// when empty, any var-label predicate other than `kNoLabel` never matches.
+  explicit EventPatternMatcher(EventPattern pattern,
+                               std::vector<Label> node_labels = {});
+
+  /// Processes the next stream event (times must be non-decreasing).
+  /// Returns the number of matches whose last event is `event`.
+  std::uint64_t AddEvent(const Event& event);
+  std::uint64_t AddEvent(const Event& event, const MatchVisitor& visit);
+
+  std::uint64_t total_matches() const { return total_matches_; }
+  std::size_t window_size() const { return window_.size(); }
+
+ private:
+  EventPattern pattern_;
+  std::vector<Label> node_labels_;
+  std::deque<Event> window_;
+  Timestamp last_time_;
+  bool saw_event_ = false;
+  std::uint64_t total_matches_ = 0;
+};
+
+/// Batch counting: streams all events of `graph` through a matcher (node
+/// labels are taken from the graph).
+std::uint64_t CountPatternMatches(const TemporalGraph& graph,
+                                  const EventPattern& pattern);
+
+/// Batch matching with a visitor for every match.
+std::uint64_t MatchPattern(const TemporalGraph& graph,
+                           const EventPattern& pattern,
+                           const MatchVisitor& visit);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_SONG_H_

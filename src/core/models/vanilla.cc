@@ -1,0 +1,18 @@
+#include "core/models/vanilla.h"
+
+namespace tmotif {
+
+EnumerationOptions VanillaOptions(const VanillaConfig& config) {
+  EnumerationOptions options;
+  options.num_events = config.num_events;
+  options.max_nodes = config.max_nodes;
+  options.timing = config.timing;
+  return options;
+}
+
+MotifCounts CountVanillaMotifs(const TemporalGraph& graph,
+                               const VanillaConfig& config) {
+  return CountMotifs(graph, VanillaOptions(config));
+}
+
+}  // namespace tmotif

@@ -1,0 +1,29 @@
+#ifndef TMOTIF_CORE_MODELS_VANILLA_H_
+#define TMOTIF_CORE_MODELS_VANILLA_H_
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+#include "core/timing.h"
+
+namespace tmotif {
+
+/// The paper's "vanilla" temporal motif counting (Section 5.1.2): totally
+/// ordered, connected k-event sequences under dC / dW timing constraints,
+/// with no inducedness restriction. This is the baseline every evaluation
+/// in Section 5 compares against.
+struct VanillaConfig {
+  int num_events = 3;
+  int max_nodes = 3;
+  TimingConstraints timing;
+};
+
+/// Translates a config into enumerator options.
+EnumerationOptions VanillaOptions(const VanillaConfig& config);
+
+/// Counts motifs by canonical code.
+MotifCounts CountVanillaMotifs(const TemporalGraph& graph,
+                               const VanillaConfig& config);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_MODELS_VANILLA_H_

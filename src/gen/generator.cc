@@ -1,0 +1,253 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace tmotif {
+namespace {
+
+struct PendingEvent {
+  Event event;
+  // Min-heap on time; ties broken by insertion order for determinism.
+  std::uint64_t sequence;
+  friend bool operator>(const PendingEvent& a, const PendingEvent& b) {
+    if (a.event.time != b.event.time) return a.event.time > b.event.time;
+    return a.sequence > b.sequence;
+  }
+};
+
+/// Per-node reinforced partner memory.
+class PartnerMemory {
+ public:
+  explicit PartnerMemory(int num_nodes) : per_node_(static_cast<std::size_t>(num_nodes)) {}
+
+  bool HasPartners(NodeId node) const {
+    return !per_node_[static_cast<std::size_t>(node)].partners.empty();
+  }
+
+  NodeId SamplePartner(NodeId node, Rng* rng) const {
+    const Entry& entry = per_node_[static_cast<std::size_t>(node)];
+    const int idx = entry.picker.Sample(rng);
+    return entry.partners[static_cast<std::size_t>(idx)];
+  }
+
+  void Observe(NodeId node, NodeId partner) {
+    Entry& entry = per_node_[static_cast<std::size_t>(node)];
+    const auto it = entry.index.find(partner);
+    if (it == entry.index.end()) {
+      entry.index.emplace(partner, entry.picker.Add(1.0));
+      entry.partners.push_back(partner);
+    } else {
+      entry.picker.Reinforce(it->second, 1.0);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::vector<NodeId> partners;
+    std::unordered_map<NodeId, int> index;
+    DynamicWeightedPicker picker;
+  };
+  mutable std::vector<Entry> per_node_;
+};
+
+}  // namespace
+
+TemporalGraph GenerateTemporalNetwork(const GeneratorConfig& config) {
+  TMOTIF_CHECK(config.num_nodes >= 2);
+  TMOTIF_CHECK(config.num_events >= 1);
+  TMOTIF_CHECK(config.median_gap_seconds > 0.0);
+
+  Rng rng(config.seed);
+  const ZipfTable activity(config.num_nodes, config.activity_alpha);
+  PartnerMemory memory(config.num_nodes);
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                      std::greater<PendingEvent>>
+      pending;
+  std::uint64_t sequence = 0;
+  std::unordered_set<std::uint64_t> used_edges;
+  const auto edge_key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(config.num_events) + 16);
+  const double mu = std::log(config.median_gap_seconds);
+
+  const auto sample_duration = [&]() -> Duration {
+    if (config.mean_duration <= 0.0) return 0;
+    return static_cast<Duration>(
+        std::llround(rng.Exponential(config.mean_duration)));
+  };
+
+  const auto random_other_node = [&](NodeId not_this) {
+    NodeId node = not_this;
+    while (node == not_this) {
+      node = static_cast<NodeId>(rng.UniformU64(
+          static_cast<std::uint64_t>(config.num_nodes)));
+    }
+    return node;
+  };
+
+  const auto pick_partner = [&](NodeId src) -> NodeId {
+    if (config.unique_edges) {
+      // Rating networks: draw until an unused (src, dst) pair is found;
+      // after a few failures fall back to a linear scan.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const NodeId dst = random_other_node(src);
+        if (used_edges.find(edge_key(src, dst)) == used_edges.end()) {
+          return dst;
+        }
+      }
+      for (NodeId dst = 0; dst < config.num_nodes; ++dst) {
+        if (dst != src &&
+            used_edges.find(edge_key(src, dst)) == used_edges.end()) {
+          return dst;
+        }
+      }
+      return random_other_node(src);  // Saturated; accept a duplicate.
+    }
+    if (!memory.HasPartners(src) || rng.Bernoulli(config.prob_new_partner)) {
+      return random_other_node(src);
+    }
+    return memory.SamplePartner(src, &rng);
+  };
+
+  const auto emit = [&](NodeId src, NodeId dst, Timestamp time) {
+    Event e;
+    e.src = src;
+    e.dst = dst;
+    e.time = time;
+    e.duration = sample_duration();
+    events.push_back(e);
+    memory.Observe(src, dst);
+    if (config.unique_edges) used_edges.insert(edge_key(src, dst));
+  };
+
+  const auto trigger_delay = [&](double mean) {
+    const double raw = rng.Exponential(mean);
+    return static_cast<Timestamp>(std::max<long long>(1, std::llround(raw)));
+  };
+
+  // Replies and forwards may trigger off any message (base, session, or a
+  // previous trigger); cascades terminate because the probabilities are < 1.
+  const auto maybe_trigger_reactions = [&](NodeId src, NodeId dst,
+                                           Timestamp time) {
+    if (rng.Bernoulli(config.prob_reply)) {
+      Event reply;
+      reply.src = dst;
+      reply.dst = src;
+      reply.time = time + trigger_delay(config.reply_mean_delay);
+      pending.push({reply, sequence++});
+    }
+    if (rng.Bernoulli(config.prob_forward)) {
+      Event forward;
+      forward.src = dst;
+      forward.dst = pick_partner(dst);
+      forward.time = time + trigger_delay(config.forward_mean_delay);
+      if (forward.dst != forward.src) pending.push({forward, sequence++});
+    }
+  };
+
+  Timestamp now = 0;
+  while (events.size() < static_cast<std::size_t>(config.num_events)) {
+    // Advance the base clock.
+    if (!events.empty() || now != 0) {
+      if (!rng.Bernoulli(config.prob_zero_gap)) {
+        const double gap = rng.LogNormal(mu, config.gap_sigma);
+        now += static_cast<Timestamp>(
+            std::max<long long>(0, std::llround(gap)));
+      }
+    }
+
+    // Flush triggered events that are due before the base event.
+    while (!pending.empty() && pending.top().event.time <= now &&
+           events.size() < static_cast<std::size_t>(config.num_events)) {
+      const Event e = pending.top().event;
+      pending.pop();
+      if (config.unique_edges &&
+          used_edges.find(edge_key(e.src, e.dst)) != used_edges.end()) {
+        continue;  // Rating networks never repeat a directed edge.
+      }
+      emit(e.src, e.dst, e.time);
+      maybe_trigger_reactions(e.src, e.dst, e.time);
+    }
+    if (events.size() >= static_cast<std::size_t>(config.num_events)) break;
+
+    // Base event.
+    const NodeId src = static_cast<NodeId>(activity.Sample(&rng));
+    const NodeId dst = pick_partner(src);
+    emit(src, dst, now);
+
+    if (!config.unique_edges && rng.Bernoulli(config.prob_broadcast)) {
+      const int extra = 1 + static_cast<int>(rng.UniformU64(
+                                static_cast<std::uint64_t>(
+                                    std::max(1, config.broadcast_max_extra))));
+      for (int i = 0;
+           i < extra &&
+           events.size() < static_cast<std::size_t>(config.num_events);
+           ++i) {
+        emit(src, pick_partner(src), now);  // Same timestamp: cc copies.
+      }
+    }
+    maybe_trigger_reactions(src, dst, now);
+    if (!config.unique_edges && rng.Bernoulli(config.prob_repeat)) {
+      Event repeat;
+      repeat.src = src;
+      repeat.dst = dst;
+      repeat.time = now + trigger_delay(config.repeat_mean_delay > 0
+                                            ? config.repeat_mean_delay
+                                            : config.reply_mean_delay);
+      pending.push({repeat, sequence++});
+    }
+    if (rng.Bernoulli(config.prob_session)) {
+      const int extra =
+          1 + static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(
+                  std::max(1, config.session_max_extra))));
+      Timestamp when = now;
+      NodeId session_partner = dst;  // Conversations stick to one partner.
+      for (int i = 0; i < extra; ++i) {
+        when += trigger_delay(config.session_gap_mean);
+        if (config.unique_edges ||
+            rng.Bernoulli(config.session_switch_prob)) {
+          session_partner = pick_partner(src);
+        }
+        Event burst;
+        burst.src = src;
+        burst.dst = session_partner;
+        burst.time = when;
+        pending.push({burst, sequence++});
+      }
+    }
+    if (!config.unique_edges && rng.Bernoulli(config.prob_thread)) {
+      const int replies =
+          1 + static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(
+                  std::max(1, config.thread_max_replies))));
+      Timestamp when = now;
+      for (int i = 0; i < replies; ++i) {
+        when += trigger_delay(config.thread_reply_gap_mean);
+        Event answer;
+        answer.src = random_other_node(src);
+        answer.dst = src;  // Everyone answers the thread opener.
+        answer.time = when;
+        pending.push({answer, sequence++});
+      }
+    }
+  }
+
+  events.resize(static_cast<std::size_t>(config.num_events));
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(static_cast<NodeId>(config.num_nodes));
+  for (const Event& e : events) builder.AddEvent(e);
+  return builder.Build();
+}
+
+}  // namespace tmotif

@@ -1,0 +1,214 @@
+#include "gen/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBitcoinOtc: return "Bitcoin-otc";
+    case DatasetId::kCollegeMsg: return "CollegeMsg";
+    case DatasetId::kCallsCopenhagen: return "Calls-Copen.";
+    case DatasetId::kSmsCopenhagen: return "SMS-Copen.";
+    case DatasetId::kEmail: return "Email";
+    case DatasetId::kFbWall: return "FBWall";
+    case DatasetId::kSmsA: return "SMS-A";
+    case DatasetId::kStackOverflow: return "StackOver.";
+    case DatasetId::kSuperUser: return "SuperUser";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kBitcoinOtc,   DatasetId::kCollegeMsg,
+          DatasetId::kCallsCopenhagen, DatasetId::kSmsCopenhagen,
+          DatasetId::kEmail,        DatasetId::kFbWall,
+          DatasetId::kSmsA,         DatasetId::kStackOverflow,
+          DatasetId::kSuperUser};
+}
+
+GeneratorConfig PresetConfig(DatasetId id, double scale, std::uint64_t seed) {
+  TMOTIF_CHECK(scale > 0.0);
+  GeneratorConfig c;
+  c.seed = seed;
+  c.name = DatasetName(id);
+  const auto scaled = [scale](int value) {
+    return std::max(4, static_cast<int>(std::llround(value * scale)));
+  };
+  switch (id) {
+    case DatasetId::kBitcoinOtc:
+      // Trust ratings: every (src, dst) rated once; slow, nearly tie-free.
+      c.num_nodes = scaled(5880);
+      c.num_events = scaled(35600);
+      c.median_gap_seconds = 707;
+      c.gap_sigma = 1.3;
+      c.activity_alpha = 0.9;
+      c.unique_edges = true;
+      // Raters rate several counterparties per sitting and are often rated
+      // back; both respect edge uniqueness (the reverse edge is distinct).
+      c.prob_session = 0.40;
+      c.session_max_extra = 4;
+      c.session_gap_mean = 400;
+      c.prob_reply = 0.15;
+      c.reply_mean_delay = 2000;
+      break;
+    case DatasetId::kCollegeMsg:
+      // Campus messages: conversational, bursty.
+      c.num_nodes = scaled(1900);
+      c.num_events = scaled(59800);
+      c.median_gap_seconds = 350;
+      c.gap_sigma = 1.4;
+      c.activity_alpha = 1.1;
+      c.prob_new_partner = 0.30;
+      c.prob_reply = 0.30;
+      c.prob_repeat = 0.30;
+      c.repeat_mean_delay = 1700;
+      c.reply_mean_delay = 120;
+      c.prob_session = 0.30;
+      c.session_max_extra = 8;
+      c.session_gap_mean = 20;
+      c.prob_forward = 0.25;
+      c.forward_mean_delay = 40;
+      break;
+    case DatasetId::kCallsCopenhagen:
+      // Phone calls: out-bursts dominate, few ping-pongs, long durations.
+      c.num_nodes = scaled(536);
+      c.num_events = scaled(3600);
+      c.median_gap_seconds = 268;
+      c.gap_sigma = 1.3;
+      c.activity_alpha = 1.3;
+      c.prob_new_partner = 0.25;
+      c.prob_reply = 0.12;
+      c.prob_repeat = 0.20;
+      c.reply_mean_delay = 600;
+      c.mean_duration = 110;
+      break;
+    case DatasetId::kSmsCopenhagen:
+      // Tight two-party conversations: tiny partner sets, heavy ping-pong.
+      c.num_nodes = scaled(568);
+      c.num_events = scaled(24300);
+      c.median_gap_seconds = 350;
+      c.gap_sigma = 1.4;
+      c.activity_alpha = 1.0;
+      c.prob_new_partner = 0.06;
+      c.prob_reply = 0.40;
+      c.prob_repeat = 0.18;
+      c.repeat_mean_delay = 600;
+      c.reply_mean_delay = 90;
+      c.prob_session = 0.30;
+      c.session_max_extra = 8;
+      c.session_gap_mean = 15;
+      c.prob_forward = 0.15;
+      c.forward_mean_delay = 60;
+      break;
+    case DatasetId::kEmail:
+      // Research-institution email: cc broadcasts share timestamps
+      // (Table 2: only 50.5% of events have a unique timestamp).
+      c.num_nodes = scaled(986);
+      c.num_events = scaled(332000);
+      c.median_gap_seconds = 38;
+      c.gap_sigma = 1.3;
+      c.activity_alpha = 1.1;
+      c.prob_new_partner = 0.10;
+      c.prob_reply = 0.20;
+      c.prob_repeat = 0.22;
+      c.reply_mean_delay = 900;
+      c.prob_broadcast = 0.30;
+      c.broadcast_max_extra = 4;
+      c.prob_forward = 0.10;
+      c.forward_mean_delay = 600;
+      break;
+    case DatasetId::kFbWall:
+      // Facebook wall posts: social, moderately conversational.
+      c.num_nodes = scaled(47000);
+      c.num_events = scaled(877000);
+      c.median_gap_seconds = 80;
+      c.gap_sigma = 1.3;
+      c.activity_alpha = 1.1;
+      c.prob_new_partner = 0.30;
+      c.prob_reply = 0.30;
+      c.prob_repeat = 0.18;
+      c.repeat_mean_delay = 2000;
+      c.reply_mean_delay = 3600;
+      c.prob_session = 0.15;
+      c.session_max_extra = 3;
+      c.session_gap_mean = 60;
+      c.prob_forward = 0.08;
+      c.forward_mean_delay = 300;
+      break;
+    case DatasetId::kSmsA:
+      // Nation-scale SMS: very dense stream, frequent timestamp ties.
+      c.num_nodes = scaled(44400);
+      c.num_events = scaled(548000);
+      c.median_gap_seconds = 14;
+      c.gap_sigma = 1.2;
+      c.prob_zero_gap = 0.10;
+      c.activity_alpha = 1.1;
+      c.prob_new_partner = 0.10;
+      c.prob_reply = 0.35;
+      c.prob_repeat = 0.18;
+      c.repeat_mean_delay = 1600;
+      c.reply_mean_delay = 100;
+      c.prob_session = 0.30;
+      c.session_max_extra = 8;
+      c.session_gap_mean = 8;
+      c.prob_forward = 0.12;
+      c.forward_mean_delay = 40;
+      break;
+    case DatasetId::kStackOverflow:
+      // Q/A threads: many distinct users answering one asker (in-bursts).
+      c.num_nodes = scaled(260000);
+      c.num_events = scaled(6350000);
+      c.median_gap_seconds = 12;
+      c.gap_sigma = 1.2;
+      c.prob_zero_gap = 0.08;
+      c.activity_alpha = 1.0;
+      c.prob_new_partner = 0.85;
+      c.prob_reply = 0.08;
+      c.prob_repeat = 0.05;
+      c.reply_mean_delay = 1200;
+      c.prob_thread = 0.30;
+      c.thread_max_replies = 5;
+      c.thread_reply_gap_mean = 400;
+      break;
+    case DatasetId::kSuperUser:
+      c.num_nodes = scaled(194000);
+      c.num_events = scaled(1440000);
+      c.median_gap_seconds = 125;
+      c.gap_sigma = 1.2;
+      c.activity_alpha = 1.0;
+      c.prob_new_partner = 0.85;
+      c.prob_reply = 0.08;
+      c.prob_repeat = 0.05;
+      c.reply_mean_delay = 1800;
+      c.prob_thread = 0.25;
+      c.thread_max_replies = 4;
+      c.thread_reply_gap_mean = 900;
+      break;
+  }
+  return c;
+}
+
+double DefaultBenchScale(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBitcoinOtc: return 1.0;       // 35.6K events.
+    case DatasetId::kCollegeMsg: return 1.0;       // 59.8K events.
+    case DatasetId::kCallsCopenhagen: return 1.0;  // 3.6K events.
+    case DatasetId::kSmsCopenhagen: return 1.0;    // 24.3K events.
+    case DatasetId::kEmail: return 0.10;           // ~33K events.
+    case DatasetId::kFbWall: return 0.05;          // ~44K events.
+    case DatasetId::kSmsA: return 0.08;            // ~44K events.
+    case DatasetId::kStackOverflow: return 0.01;   // ~64K events.
+    case DatasetId::kSuperUser: return 0.03;       // ~43K events.
+  }
+  return 1.0;
+}
+
+TemporalGraph GenerateDataset(DatasetId id, double scale, std::uint64_t seed) {
+  return GenerateTemporalNetwork(PresetConfig(id, scale, seed));
+}
+
+}  // namespace tmotif

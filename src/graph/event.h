@@ -1,0 +1,50 @@
+#ifndef TMOTIF_GRAPH_EVENT_H_
+#define TMOTIF_GRAPH_EVENT_H_
+
+#include <tuple>
+
+#include "common/types.h"
+
+namespace tmotif {
+
+/// A temporal edge ("event"): a directed interaction from `src` to `dst`
+/// starting at `time`. Matches the paper's 4-tuple (u_i, v_i, t_i, dt_i);
+/// most models ignore `duration` (the paper's simplifying convention), the
+/// Hulovatyy model can honor it. `label` is an optional categorical edge
+/// label used by the Song et al. pattern matcher.
+struct Event {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Timestamp time = 0;
+  Duration duration = 0;
+  Label label = kNoLabel;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.src == b.src && a.dst == b.dst && a.time == b.time &&
+           a.duration == b.duration && a.label == b.label;
+  }
+};
+
+/// Orders events chronologically; ties broken by (src, dst, duration, label)
+/// so sorting is deterministic.
+inline bool EventTimeLess(const Event& a, const Event& b) {
+  return std::tie(a.time, a.src, a.dst, a.duration, a.label) <
+         std::tie(b.time, b.src, b.dst, b.duration, b.label);
+}
+
+/// The static projection of an event: the directed edge (src, dst).
+struct StaticEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  friend bool operator==(const StaticEdge& a, const StaticEdge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const StaticEdge& a, const StaticEdge& b) {
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  }
+};
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_GRAPH_EVENT_H_

@@ -1,0 +1,109 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace tmotif {
+namespace {
+
+/// Parses up to 5 whitespace-separated integer fields from `line`.
+/// Returns the number of fields parsed, or -1 on any malformed token.
+int ParseFields(const std::string& line, long long out[5]) {
+  int count = 0;
+  const char* p = line.c_str();
+  while (*p != '\0' && count < 5) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const long long value = std::strtoll(p, &end, 10);
+    if (end == p) return -1;
+    out[count++] = value;
+    p = end;
+  }
+  // Trailing garbage check.
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0' && count == 5) return -1;
+  return count;
+}
+
+}  // namespace
+
+std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
+                                           const EdgeListOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::nullopt;
+
+  EdgeListResult result;
+  TemporalGraphBuilder builder;
+  std::unordered_map<long long, NodeId> remap;
+  const auto map_node = [&](long long raw) -> NodeId {
+    if (!options.compact_node_ids) return static_cast<NodeId>(raw);
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  int ch;
+  const auto process_line = [&]() {
+    if (line.empty()) return;
+    ++result.num_lines;
+    if (line[0] == '#' || line[0] == '%') return;
+    long long fields[5] = {0, 0, 0, 0, 0};
+    const int n = ParseFields(line, fields);
+    if (n < 3) {
+      ++result.num_bad_lines;
+      return;
+    }
+    if (fields[0] < 0 || fields[1] < 0 || (n >= 4 && fields[3] < 0)) {
+      ++result.num_bad_lines;
+      return;
+    }
+    if (fields[0] == fields[1]) {
+      if (options.skip_self_loops) {
+        ++result.num_skipped_self_loops;
+      } else {
+        ++result.num_bad_lines;
+      }
+      return;
+    }
+    Event e;
+    e.src = map_node(fields[0]);
+    e.dst = map_node(fields[1]);
+    e.time = static_cast<Timestamp>(fields[2]);
+    e.duration = n >= 4 ? static_cast<Duration>(fields[3]) : 0;
+    e.label = n >= 5 ? static_cast<Label>(fields[4]) : kNoLabel;
+    builder.AddEvent(e);
+    ++result.num_events;
+  };
+
+  while ((ch = std::fgetc(file)) != EOF) {
+    if (ch == '\n') {
+      process_line();
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  process_line();
+  std::fclose(file);
+
+  result.graph = builder.Build();
+  return result;
+}
+
+bool SaveEdgeList(const TemporalGraph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const Event& e : graph.events()) {
+    std::fprintf(file, "%d %d %lld %lld %d\n", e.src, e.dst,
+                 static_cast<long long>(e.time),
+                 static_cast<long long>(e.duration), e.label);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace tmotif

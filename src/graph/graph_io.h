@@ -1,0 +1,40 @@
+#ifndef TMOTIF_GRAPH_GRAPH_IO_H_
+#define TMOTIF_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// Options for reading whitespace-separated edge lists
+/// (`src dst time [duration [label]]` per line; `#` / `%` start comments).
+struct EdgeListOptions {
+  /// Drop events whose src == dst instead of failing (raw datasets such as
+  /// the stack exchange networks contain self-answers).
+  bool skip_self_loops = true;
+  /// Remap arbitrary non-negative ids onto a dense [0, n) range.
+  bool compact_node_ids = false;
+};
+
+struct EdgeListResult {
+  TemporalGraph graph;
+  std::size_t num_lines = 0;
+  std::size_t num_events = 0;
+  std::size_t num_skipped_self_loops = 0;
+  std::size_t num_bad_lines = 0;
+};
+
+/// Loads a temporal edge list; returns nullopt when the file cannot be read.
+/// Malformed lines are counted and skipped, never fatal.
+std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
+                                           const EdgeListOptions& options = {});
+
+/// Writes `graph` as "src dst time duration label" lines. Returns false on
+/// I/O failure.
+bool SaveEdgeList(const TemporalGraph& graph, const std::string& path);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,47 @@
+#include "graph/graph_stats.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tmotif {
+
+GraphStats ComputeStats(const TemporalGraph& graph) {
+  GraphStats stats;
+  stats.num_events = graph.num_events();
+  stats.num_static_edges = static_cast<std::int64_t>(graph.num_static_edges());
+
+  // Count only nodes that participate in at least one event (V is defined as
+  // the set of nodes appearing in E).
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (!graph.incident(n).empty()) ++stats.num_nodes;
+  }
+
+  std::unordered_map<Timestamp, int> per_timestamp;
+  per_timestamp.reserve(static_cast<std::size_t>(graph.num_events()));
+  for (const Event& e : graph.events()) ++per_timestamp[e.time];
+  stats.num_unique_timestamps = static_cast<std::int64_t>(per_timestamp.size());
+
+  std::int64_t unique_events = 0;
+  for (const auto& [time, count] : per_timestamp) {
+    (void)time;
+    if (count == 1) ++unique_events;
+  }
+  stats.frac_events_unique_timestamp =
+      graph.num_events() == 0
+          ? 0.0
+          : static_cast<double>(unique_events) /
+                static_cast<double>(graph.num_events());
+
+  std::vector<std::int64_t> gaps;
+  gaps.reserve(static_cast<std::size_t>(graph.num_events()));
+  for (EventIndex i = 1; i < graph.num_events(); ++i) {
+    gaps.push_back(graph.event(i).time - graph.event(i - 1).time);
+  }
+  stats.median_inter_event_time = MedianInt(std::move(gaps));
+  stats.timespan = graph.max_time() - graph.min_time();
+  return stats;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,33 @@
+#ifndef TMOTIF_GRAPH_GRAPH_STATS_H_
+#define TMOTIF_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// The dataset statistics reported in the paper's Table 2.
+struct GraphStats {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_events = 0;
+  /// Distinct directed (src, dst) pairs.
+  std::int64_t num_static_edges = 0;
+  /// Distinct timestamps across the whole timespan (#T).
+  std::int64_t num_unique_timestamps = 0;
+  /// Fraction of events whose timestamp is shared with no other event
+  /// (|Eu| / |E| in Table 2).
+  double frac_events_unique_timestamp = 0.0;
+  /// Median of the time gaps between consecutive events of the whole
+  /// network (m(dt) in Table 2), in seconds.
+  double median_inter_event_time = 0.0;
+  /// Total covered timespan in seconds.
+  std::int64_t timespan = 0;
+};
+
+/// Computes Table 2 statistics for a graph.
+GraphStats ComputeStats(const TemporalGraph& graph);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,113 @@
+#include "graph/measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace tmotif {
+namespace {
+
+double Burstiness(const std::vector<double>& gaps) {
+  if (gaps.size() < 2) return 0.0;
+  const double mean = Mean(gaps);
+  const double sigma = std::sqrt(Variance(gaps));
+  if (mean + sigma == 0.0) return 0.0;
+  return (sigma - mean) / (sigma + mean);
+}
+
+}  // namespace
+
+double BurstinessCoefficient(const TemporalGraph& graph) {
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<std::size_t>(graph.num_events()));
+  for (EventIndex i = 1; i < graph.num_events(); ++i) {
+    gaps.push_back(
+        static_cast<double>(graph.event(i).time - graph.event(i - 1).time));
+  }
+  return Burstiness(gaps);
+}
+
+double NodeBurstiness(const TemporalGraph& graph, NodeId node) {
+  const std::vector<EventIndex>& incident = graph.incident(node);
+  std::vector<double> gaps;
+  gaps.reserve(incident.size());
+  for (std::size_t i = 1; i < incident.size(); ++i) {
+    gaps.push_back(static_cast<double>(graph.event(incident[i]).time -
+                                       graph.event(incident[i - 1]).time));
+  }
+  return Burstiness(gaps);
+}
+
+double EdgeReciprocity(const TemporalGraph& graph) {
+  std::size_t total = 0;
+  std::size_t reciprocated = 0;
+  // Iterate distinct static edges via per-event first occurrence.
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    const Event& e = graph.event(i);
+    if (graph.edge_events(e.src, e.dst).front() != i) continue;  // Not first.
+    ++total;
+    if (graph.HasStaticEdge(e.dst, e.src)) ++reciprocated;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(reciprocated) / static_cast<double>(total);
+}
+
+std::vector<int> StaticOutDegrees(const TemporalGraph& graph) {
+  std::vector<int> degrees(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    const Event& e = graph.event(i);
+    if (graph.edge_events(e.src, e.dst).front() == i) {
+      ++degrees[static_cast<std::size_t>(e.src)];
+    }
+  }
+  return degrees;
+}
+
+std::vector<int> StaticInDegrees(const TemporalGraph& graph) {
+  std::vector<int> degrees(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    const Event& e = graph.event(i);
+    if (graph.edge_events(e.src, e.dst).front() == i) {
+      ++degrees[static_cast<std::size_t>(e.dst)];
+    }
+  }
+  return degrees;
+}
+
+double ActivityGini(const TemporalGraph& graph) {
+  std::vector<double> activity;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (!graph.incident(n).empty()) {
+      activity.push_back(static_cast<double>(graph.incident(n).size()));
+    }
+  }
+  if (activity.size() < 2) return 0.0;
+  std::sort(activity.begin(), activity.end());
+  const double n = static_cast<double>(activity.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    weighted += (static_cast<double>(i) + 1.0) * activity[i];
+    total += activity[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double MedianSameEdgeGap(const TemporalGraph& graph) {
+  std::vector<std::int64_t> gaps;
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    const Event& e = graph.event(i);
+    const std::vector<EventIndex>& occurrences =
+        graph.edge_events(e.src, e.dst);
+    if (occurrences.front() != i) continue;  // Process each edge once.
+    for (std::size_t j = 1; j < occurrences.size(); ++j) {
+      gaps.push_back(graph.event(occurrences[j]).time -
+                     graph.event(occurrences[j - 1]).time);
+    }
+  }
+  return MedianInt(std::move(gaps));
+}
+
+}  // namespace tmotif

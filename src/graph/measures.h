@@ -1,0 +1,44 @@
+#ifndef TMOTIF_GRAPH_MEASURES_H_
+#define TMOTIF_GRAPH_MEASURES_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// Temporal-network measures beyond Table 2, used to characterize datasets
+/// and to validate the synthetic presets against the qualitative properties
+/// the paper's analyses depend on (burstiness, reciprocity, hub structure).
+
+/// Goh-Barabási burstiness coefficient of the global inter-event times:
+/// B = (sigma - mean) / (sigma + mean), in (-1, 1]. 0 for a Poisson
+/// process, -> 1 for extremely bursty sequences, < 0 for regular ones.
+/// Returns 0 for graphs with < 3 events.
+double BurstinessCoefficient(const TemporalGraph& graph);
+
+/// Burstiness of one node's incident event sequence (same formula).
+double NodeBurstiness(const TemporalGraph& graph, NodeId node);
+
+/// Fraction of directed static edges (u, v) whose reverse (v, u) also
+/// occurs: the reciprocity that drives ping-pong motifs.
+double EdgeReciprocity(const TemporalGraph& graph);
+
+/// Out-degree (distinct partners messaged) per node.
+std::vector<int> StaticOutDegrees(const TemporalGraph& graph);
+/// In-degree (distinct partners heard from) per node.
+std::vector<int> StaticInDegrees(const TemporalGraph& graph);
+
+/// Gini coefficient of per-node event counts, in [0, 1): 0 = perfectly
+/// even activity, -> 1 = a few hubs dominate (star-heavy networks where
+/// the consecutive-events restriction bites hardest).
+double ActivityGini(const TemporalGraph& graph);
+
+/// Median time gap between consecutive events *on the same edge* (the
+/// repetition timescale behind the paper's Section 5.1.2 delayed-repeat
+/// discussion). Returns 0 when no edge repeats.
+double MedianSameEdgeGap(const TemporalGraph& graph);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_GRAPH_MEASURES_H_

@@ -1,0 +1,145 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+namespace {
+const std::vector<EventIndex> kEmptyIndexList;
+}  // namespace
+
+const std::vector<EventIndex>& TemporalGraph::incident(NodeId node) const {
+  TMOTIF_CHECK(node >= 0 && node < num_nodes_);
+  return incident_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<EventIndex>& TemporalGraph::edge_events(NodeId src,
+                                                          NodeId dst) const {
+  const auto it = edge_events_.find(EdgeKey(src, dst));
+  if (it == edge_events_.end()) return kEmptyIndexList;
+  return it->second;
+}
+
+bool TemporalGraph::HasStaticEdge(NodeId src, NodeId dst) const {
+  return edge_events_.find(EdgeKey(src, dst)) != edge_events_.end();
+}
+
+int TemporalGraph::CountIncidentInIndexRange(NodeId node, EventIndex lo,
+                                             EventIndex hi) const {
+  if (hi <= lo) return 0;
+  const std::vector<EventIndex>& list = incident(node);
+  const auto first = std::upper_bound(list.begin(), list.end(), lo);
+  const auto last = std::lower_bound(list.begin(), list.end(), hi);
+  return static_cast<int>(last - first);
+}
+
+int TemporalGraph::CountEdgeEventsInTimeRange(NodeId src, NodeId dst,
+                                              Timestamp t_lo,
+                                              Timestamp t_hi) const {
+  if (t_hi < t_lo) return 0;
+  const std::vector<EventIndex>& list = edge_events(src, dst);
+  const auto time_of = [this](EventIndex i) { return event(i).time; };
+  const auto first = std::lower_bound(
+      list.begin(), list.end(), t_lo,
+      [&](EventIndex i, Timestamp t) { return time_of(i) < t; });
+  const auto last = std::upper_bound(
+      list.begin(), list.end(), t_hi,
+      [&](Timestamp t, EventIndex i) { return t < time_of(i); });
+  return static_cast<int>(last - first);
+}
+
+int TemporalGraph::CountEdgeEventsInIndexRange(NodeId src, NodeId dst,
+                                               EventIndex lo,
+                                               EventIndex hi) const {
+  if (hi <= lo) return 0;
+  const std::vector<EventIndex>& list = edge_events(src, dst);
+  const auto first = std::upper_bound(list.begin(), list.end(), lo);
+  const auto last = std::lower_bound(list.begin(), list.end(), hi);
+  return static_cast<int>(last - first);
+}
+
+Label TemporalGraph::node_label(NodeId node) const {
+  TMOTIF_CHECK(node >= 0 && node < num_nodes_);
+  if (node_labels_.empty()) return kNoLabel;
+  return node_labels_[static_cast<std::size_t>(node)];
+}
+
+TemporalGraphBuilder& TemporalGraphBuilder::AddEvent(NodeId src, NodeId dst,
+                                                     Timestamp time,
+                                                     Duration duration,
+                                                     Label label) {
+  Event e;
+  e.src = src;
+  e.dst = dst;
+  e.time = time;
+  e.duration = duration;
+  e.label = label;
+  return AddEvent(e);
+}
+
+TemporalGraphBuilder& TemporalGraphBuilder::AddEvent(const Event& event) {
+  TMOTIF_CHECK_MSG(event.src >= 0 && event.dst >= 0, "negative node id");
+  TMOTIF_CHECK_MSG(event.src != event.dst, "self-loop events are not allowed");
+  TMOTIF_CHECK_MSG(event.duration >= 0, "negative duration");
+  events_.push_back(event);
+  return *this;
+}
+
+TemporalGraphBuilder& TemporalGraphBuilder::SetNodeLabel(NodeId node,
+                                                         Label label) {
+  TMOTIF_CHECK(node >= 0);
+  labels_.emplace_back(node, label);
+  return *this;
+}
+
+TemporalGraphBuilder& TemporalGraphBuilder::SetMinNumNodes(NodeId num_nodes) {
+  TMOTIF_CHECK(num_nodes >= 0);
+  min_num_nodes_ = std::max(min_num_nodes_, num_nodes);
+  return *this;
+}
+
+TemporalGraph TemporalGraphBuilder::Build() {
+  TemporalGraph graph;
+  std::stable_sort(events_.begin(), events_.end(), EventTimeLess);
+  graph.events_ = std::move(events_);
+  events_.clear();
+
+  NodeId max_node = min_num_nodes_ - 1;
+  for (const Event& e : graph.events_) {
+    max_node = std::max(max_node, std::max(e.src, e.dst));
+  }
+  for (const auto& [node, label] : labels_) {
+    (void)label;
+    max_node = std::max(max_node, node);
+  }
+  graph.num_nodes_ = max_node + 1;
+
+  graph.incident_.assign(static_cast<std::size_t>(graph.num_nodes_), {});
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    const Event& e = graph.event(i);
+    graph.incident_[static_cast<std::size_t>(e.src)].push_back(i);
+    graph.incident_[static_cast<std::size_t>(e.dst)].push_back(i);
+    graph.edge_events_[TemporalGraph::EdgeKey(e.src, e.dst)].push_back(i);
+  }
+
+  if (!labels_.empty()) {
+    graph.node_labels_.assign(static_cast<std::size_t>(graph.num_nodes_),
+                              kNoLabel);
+    for (const auto& [node, label] : labels_) {
+      graph.node_labels_[static_cast<std::size_t>(node)] = label;
+    }
+  }
+  labels_.clear();
+  min_num_nodes_ = 0;
+  return graph;
+}
+
+TemporalGraph GraphFromEvents(const std::vector<Event>& events) {
+  TemporalGraphBuilder builder;
+  for (const Event& e : events) builder.AddEvent(e);
+  return builder.Build();
+}
+
+}  // namespace tmotif

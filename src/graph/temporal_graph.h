@@ -1,0 +1,114 @@
+#ifndef TMOTIF_GRAPH_TEMPORAL_GRAPH_H_
+#define TMOTIF_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/event.h"
+
+namespace tmotif {
+
+/// Immutable temporal network G(V, E): a time-ordered list of events plus
+/// the indices the motif models need:
+///   * per-node incident-event lists (ascending event index),
+///   * per-static-edge occurrence lists (for the constrained-dynamic-graphlet
+///     restriction),
+///   * the static projection edge set (for inducedness checks).
+///
+/// Build instances through `TemporalGraphBuilder`.
+class TemporalGraph {
+ public:
+  /// Number of nodes (ids are dense in [0, num_nodes)).
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of events, time-ordered.
+  EventIndex num_events() const { return static_cast<EventIndex>(events_.size()); }
+  /// Number of distinct directed static edges.
+  std::size_t num_static_edges() const { return edge_events_.size(); }
+
+  const std::vector<Event>& events() const { return events_; }
+  const Event& event(EventIndex i) const { return events_[static_cast<std::size_t>(i)]; }
+
+  /// Indices of events incident to `node` (as source or target), ascending.
+  const std::vector<EventIndex>& incident(NodeId node) const;
+
+  /// Indices of events on the directed static edge (src, dst), ascending.
+  /// Returns an empty list when the edge never occurs.
+  const std::vector<EventIndex>& edge_events(NodeId src, NodeId dst) const;
+
+  /// True when the directed static edge (src, dst) occurs at least once.
+  bool HasStaticEdge(NodeId src, NodeId dst) const;
+
+  /// Number of events incident to `node` with event index strictly inside
+  /// (`lo`, `hi`). Used by the Kovanen consecutive-events restriction.
+  int CountIncidentInIndexRange(NodeId node, EventIndex lo, EventIndex hi) const;
+
+  /// Number of events on edge (src, dst) with timestamp in [t_lo, t_hi]
+  /// (inclusive). Used by the constrained-dynamic-graphlet restriction.
+  int CountEdgeEventsInTimeRange(NodeId src, NodeId dst, Timestamp t_lo,
+                                 Timestamp t_hi) const;
+
+  /// Number of events on edge (src, dst) with event index strictly inside
+  /// (`lo`, `hi`). Tie-robust variant of the range count above.
+  int CountEdgeEventsInIndexRange(NodeId src, NodeId dst, EventIndex lo,
+                                  EventIndex hi) const;
+
+  /// Earliest / latest timestamps (0 when empty).
+  Timestamp min_time() const { return events_.empty() ? 0 : events_.front().time; }
+  Timestamp max_time() const { return events_.empty() ? 0 : events_.back().time; }
+
+  /// Optional node labels; empty when the graph is unlabeled.
+  const std::vector<Label>& node_labels() const { return node_labels_; }
+  Label node_label(NodeId node) const;
+
+ private:
+  friend class TemporalGraphBuilder;
+
+  static std::uint64_t EdgeKey(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  NodeId num_nodes_ = 0;
+  std::vector<Event> events_;
+  std::vector<std::vector<EventIndex>> incident_;
+  std::unordered_map<std::uint64_t, std::vector<EventIndex>> edge_events_;
+  std::vector<Label> node_labels_;
+};
+
+/// Accumulates events and produces an immutable `TemporalGraph`. Events may
+/// be added in any order; `Build` sorts them chronologically (deterministic
+/// tie-breaking) and constructs all indices.
+class TemporalGraphBuilder {
+ public:
+  /// Adds one event. Self-loops are rejected (motif models assume u != v);
+  /// callers ingesting raw data should drop self-loops first (the edge-list
+  /// loader does this).
+  TemporalGraphBuilder& AddEvent(NodeId src, NodeId dst, Timestamp time,
+                                 Duration duration = 0, Label label = kNoLabel);
+  TemporalGraphBuilder& AddEvent(const Event& event);
+
+  /// Assigns a label to a node; implies the graph has >= node + 1 nodes.
+  TemporalGraphBuilder& SetNodeLabel(NodeId node, Label label);
+
+  /// Forces the node-count lower bound (ids seen in events also count).
+  TemporalGraphBuilder& SetMinNumNodes(NodeId num_nodes);
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Builds the graph. The builder can be reused afterwards (it is reset).
+  TemporalGraph Build();
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::pair<NodeId, Label>> labels_;
+  NodeId min_num_nodes_ = 0;
+};
+
+/// Convenience for tests and examples: builds a graph from an event list.
+TemporalGraph GraphFromEvents(const std::vector<Event>& events);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_GRAPH_TEMPORAL_GRAPH_H_

@@ -1,0 +1,68 @@
+#include "nullmodels/shuffling.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tmotif {
+
+namespace {
+
+TemporalGraph Rebuild(const TemporalGraph& graph,
+                      const std::vector<Event>& events) {
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(graph.num_nodes());
+  for (const Event& e : events) builder.AddEvent(e);
+  return builder.Build();
+}
+
+}  // namespace
+
+TemporalGraph ShuffleTimestamps(const TemporalGraph& graph, Rng* rng) {
+  std::vector<Timestamp> times;
+  times.reserve(static_cast<std::size_t>(graph.num_events()));
+  for (const Event& e : graph.events()) times.push_back(e.time);
+  rng->Shuffle(&times);
+  std::vector<Event> events = graph.events();
+  for (std::size_t i = 0; i < events.size(); ++i) events[i].time = times[i];
+  return Rebuild(graph, events);
+}
+
+TemporalGraph ShuffleInterEventTimes(const TemporalGraph& graph, Rng* rng) {
+  if (graph.num_events() < 3) return Rebuild(graph, graph.events());
+  std::vector<Timestamp> gaps;
+  gaps.reserve(static_cast<std::size_t>(graph.num_events() - 1));
+  for (EventIndex i = 1; i < graph.num_events(); ++i) {
+    gaps.push_back(graph.event(i).time - graph.event(i - 1).time);
+  }
+  rng->Shuffle(&gaps);
+  std::vector<Event> events = graph.events();
+  Timestamp t = events.front().time;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    t += gaps[i - 1];
+    events[i].time = t;
+  }
+  return Rebuild(graph, events);
+}
+
+TemporalGraph ShuffleLinks(const TemporalGraph& graph, Rng* rng) {
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(graph.num_events()));
+  for (const Event& e : graph.events()) endpoints.emplace_back(e.src, e.dst);
+  rng->Shuffle(&endpoints);
+  std::vector<Event> events = graph.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].src = endpoints[i].first;
+    events[i].dst = endpoints[i].second;
+  }
+  return Rebuild(graph, events);
+}
+
+TemporalGraph UniformTimes(const TemporalGraph& graph, Rng* rng) {
+  const Timestamp lo = graph.min_time();
+  const Timestamp hi = graph.max_time();
+  std::vector<Event> events = graph.events();
+  for (Event& e : events) e.time = rng->UniformInt(lo, hi);
+  return Rebuild(graph, events);
+}
+
+}  // namespace tmotif

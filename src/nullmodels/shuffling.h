@@ -1,0 +1,35 @@
+#ifndef TMOTIF_NULLMODELS_SHUFFLING_H_
+#define TMOTIF_NULLMODELS_SHUFFLING_H_
+
+#include "common/random.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+
+/// Randomized reference models for temporal networks (Gauvin et al., the
+/// paper's reference [50]). The paper's "Comparison criteria" discussion
+/// reports that available null models are either too restrictive (counts
+/// barely change) or too loose (everything looks significant); the
+/// bench_ablation_nullmodels binary reproduces that observation.
+
+/// Permutes the multiset of timestamps across events; static structure is
+/// preserved exactly, temporal correlations are destroyed ("time shuffle").
+TemporalGraph ShuffleTimestamps(const TemporalGraph& graph, Rng* rng);
+
+/// Permutes the inter-event gaps of the global event sequence while keeping
+/// each event's (src, dst); preserves the gap distribution (burstiness) but
+/// decouples it from structure.
+TemporalGraph ShuffleInterEventTimes(const TemporalGraph& graph, Rng* rng);
+
+/// Link shuffle: permutes the (src, dst) endpoint pairs across events,
+/// preserving each edge's event sequence length distribution and the global
+/// timestamp sequence, but rewiring who interacts with whom.
+TemporalGraph ShuffleLinks(const TemporalGraph& graph, Rng* rng);
+
+/// Replaces every timestamp with an i.i.d. uniform draw over the original
+/// timespan (the loosest reference model).
+TemporalGraph UniformTimes(const TemporalGraph& graph, Rng* rng);
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_NULLMODELS_SHUFFLING_H_

@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  TMOTIF_CHECK(1 + 1 == 2);
+  TMOTIF_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH(TMOTIF_CHECK(false), "TMOTIF_CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH(TMOTIF_CHECK_MSG(false, "the-extra-context"),
+               "the-extra-context");
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "core/colored.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+EnumerationOptions TwoEvent(Timestamp delta_w) {
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(delta_w);
+  return o;
+}
+
+TEST(ColoredCode, MakeAndParseRoundTrip) {
+  const ColoredMotifCode colored = MakeColoredCode("0110", {3, 7});
+  EXPECT_EQ(colored, "0110|3,7");
+  const auto [code, labels] = ParseColoredCode(colored);
+  EXPECT_EQ(code, "0110");
+  EXPECT_EQ(labels, (std::vector<Label>{3, 7}));
+}
+
+TEST(ColoredCode, UnlabeledNodesUseQuestionMark) {
+  const ColoredMotifCode colored = MakeColoredCode("011202", {1, kNoLabel, 2});
+  EXPECT_EQ(colored, "011202|1,?,2");
+  const auto [code, labels] = ParseColoredCode(colored);
+  EXPECT_EQ(labels[1], kNoLabel);
+}
+
+TEST(CountColoredMotifs, SplitsByNodeLabels) {
+  // Two ping-pongs: one female-male (labels 0/1), one female-female.
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 10).AddEvent(1, 0, 20);      // Nodes 0,1.
+  builder.AddEvent(2, 3, 110).AddEvent(3, 2, 120);    // Nodes 2,3.
+  builder.SetNodeLabel(0, 0).SetNodeLabel(1, 1);
+  builder.SetNodeLabel(2, 0).SetNodeLabel(3, 0);
+  const TemporalGraph g = builder.Build();
+
+  const auto counts = CountColoredMotifs(g, TwoEvent(50));
+  EXPECT_EQ(counts.at("0110|0,1"), 1u);
+  EXPECT_EQ(counts.at("0110|0,0"), 1u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(CountColoredMotifs, UnlabeledGraphGetsWildcards) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 10}, {1, 0, 20}});
+  const auto counts = CountColoredMotifs(g, TwoEvent(50));
+  EXPECT_EQ(counts.at("0110|?,?"), 1u);
+}
+
+TEST(CountColoredMotifs, TotalsMatchPlainCounts) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 1).AddEvent(1, 2, 2).AddEvent(2, 0, 3);
+  builder.AddEvent(0, 2, 4).AddEvent(2, 1, 5);
+  builder.SetNodeLabel(0, 5).SetNodeLabel(1, 5).SetNodeLabel(2, 6);
+  const TemporalGraph g = builder.Build();
+  const EnumerationOptions o = TwoEvent(100);
+
+  const auto colored = CountColoredMotifs(g, o);
+  std::uint64_t colored_total = 0;
+  for (const auto& [code, count] : colored) colored_total += count;
+  EXPECT_EQ(colored_total, CountInstances(g, o));
+}
+
+TEST(ColoredHomophily, RatioOverLabeledInstances) {
+  // Three ping-pongs: two homophilous (0-0, 1-1), one mixed (0-1), and one
+  // involving an unlabeled node (ignored).
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 10).AddEvent(1, 0, 20);        // 0/0: homophilous.
+  builder.AddEvent(2, 3, 110).AddEvent(3, 2, 120);      // 1/1: homophilous.
+  builder.AddEvent(4, 5, 210).AddEvent(5, 4, 220);      // 0/1: mixed.
+  builder.AddEvent(6, 7, 310).AddEvent(7, 6, 320);      // 0/?: skipped.
+  builder.SetNodeLabel(0, 0).SetNodeLabel(1, 0);
+  builder.SetNodeLabel(2, 1).SetNodeLabel(3, 1);
+  builder.SetNodeLabel(4, 0).SetNodeLabel(5, 1);
+  builder.SetNodeLabel(6, 0);
+  const TemporalGraph g = builder.Build();
+
+  const auto counts = CountColoredMotifs(g, TwoEvent(50));
+  EXPECT_DOUBLE_EQ(ColoredHomophilyRatio(counts, "0110"), 2.0 / 3.0);
+}
+
+TEST(ColoredHomophily, ZeroWhenNothingLabeled) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 10}, {1, 0, 20}});
+  const auto counts = CountColoredMotifs(g, TwoEvent(50));
+  EXPECT_DOUBLE_EQ(ColoredHomophilyRatio(counts, "0110"), 0.0);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,76 @@
+#include "core/counter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/models/vanilla.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(MotifCounts, AddAndQuery) {
+  MotifCounts counts;
+  counts.Add("010102");
+  counts.Add("010102");
+  counts.Add("011202", 5);
+  EXPECT_EQ(counts.count("010102"), 2u);
+  EXPECT_EQ(counts.count("011202"), 5u);
+  EXPECT_EQ(counts.count("999999"), 0u);
+  EXPECT_EQ(counts.total(), 7u);
+  EXPECT_EQ(counts.num_codes(), 2u);
+}
+
+TEST(MotifCounts, Proportion) {
+  MotifCounts counts;
+  EXPECT_DOUBLE_EQ(counts.Proportion("0101"), 0.0);
+  counts.Add("0101", 1);
+  counts.Add("0110", 3);
+  EXPECT_DOUBLE_EQ(counts.Proportion("0101"), 0.25);
+  EXPECT_DOUBLE_EQ(counts.Proportion("0110"), 0.75);
+}
+
+TEST(MotifCounts, SortedByCountBreaksTiesByCode) {
+  MotifCounts counts;
+  counts.Add("0110", 5);
+  counts.Add("0101", 5);
+  counts.Add("0121", 9);
+  const auto sorted = counts.SortedByCount();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "0121");
+  EXPECT_EQ(sorted[1].first, "0101");  // Tie: lexicographic.
+  EXPECT_EQ(sorted[2].first, "0110");
+}
+
+TEST(MotifCounts, SortedByCode) {
+  MotifCounts counts;
+  counts.Add("0121");
+  counts.Add("0101");
+  const auto sorted = counts.SortedByCode();
+  EXPECT_EQ(sorted[0].first, "0101");
+  EXPECT_EQ(sorted[1].first, "0121");
+}
+
+TEST(CountMotifs, TotalsMatchCountInstances) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 3}, {0, 2, 5}, {2, 1, 7}, {0, 1, 9}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(10);
+  const MotifCounts counts = CountMotifs(g, o);
+  EXPECT_EQ(counts.total(), CountInstances(g, o));
+}
+
+TEST(CountVanillaMotifs, KnownTriangle) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  VanillaConfig config;
+  config.num_events = 3;
+  config.max_nodes = 3;
+  config.timing = TimingConstraints::OnlyDeltaW(10);
+  const MotifCounts counts = CountVanillaMotifs(g, config);
+  EXPECT_EQ(counts.total(), 1u);
+  EXPECT_EQ(counts.count("011202"), 1u);
+}
+
+}  // namespace
+}  // namespace tmotif

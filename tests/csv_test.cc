@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace tmotif {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvEscape, PlainFieldsUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("123"), "123");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvSplit, BasicFields) {
+  const auto fields = CsvSplit("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvSplit, QuotedFields) {
+  const auto fields = CsvSplit("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto fields = CsvSplit(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvSplit, StripsCarriageReturn) {
+  const auto fields = CsvSplit("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvWriter, RoundTripsThroughReader) {
+  const std::string path = TempPath("roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"motif", "count", "note"});
+    writer.WriteRow({"010102", "42", "has,comma"});
+    writer.WriteRow({"011202", "7", "quote\"inside"});
+  }
+  const auto rows = CsvReadFile(path);
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0], "motif");
+  EXPECT_EQ((*rows)[1][2], "has,comma");
+  EXPECT_EQ((*rows)[2][2], "quote\"inside");
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadFile, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(CsvReadFile("/nonexistent/path/nope.csv").has_value());
+}
+
+TEST(CsvWriter, UnwritablePathReportsNotOk) {
+  CsvWriter writer("/nonexistent-dir/file.csv");
+  EXPECT_FALSE(writer.ok());
+  writer.WriteRow({"ignored"});  // Must not crash.
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,367 @@
+// Randomized cross-check of the optimized enumerator against an
+// independent brute-force reference implementation of the instance
+// predicate (all C(m, k) combinations, linear-scan restriction checks).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+#include "core/motif_code.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Brute-force reference predicate (deliberately simple and index-free).
+// ---------------------------------------------------------------------------
+
+bool RefConnectedGrowth(const TemporalGraph& g,
+                        const std::vector<EventIndex>& combo,
+                        std::vector<NodeId>* node_set) {
+  node_set->clear();
+  const Event& first = g.event(combo[0]);
+  node_set->push_back(first.src);
+  node_set->push_back(first.dst);
+  for (std::size_t i = 1; i < combo.size(); ++i) {
+    const Event& e = g.event(combo[i]);
+    bool src_in = false;
+    bool dst_in = false;
+    for (const NodeId n : *node_set) {
+      if (n == e.src) src_in = true;
+      if (n == e.dst) dst_in = true;
+    }
+    if (!src_in && !dst_in) return false;
+    if (!src_in) node_set->push_back(e.src);
+    if (!dst_in) node_set->push_back(e.dst);
+  }
+  return true;
+}
+
+bool RefValid(const TemporalGraph& g, const std::vector<EventIndex>& combo,
+              const EnumerationOptions& o) {
+  // Strictly increasing times.
+  for (std::size_t i = 1; i < combo.size(); ++i) {
+    if (g.event(combo[i]).time <= g.event(combo[i - 1]).time) return false;
+  }
+  std::vector<NodeId> node_set;
+  if (!RefConnectedGrowth(g, combo, &node_set)) return false;
+  if (static_cast<int>(node_set.size()) > o.max_nodes) return false;
+
+  const Timestamp t_first = g.event(combo.front()).time;
+  const Timestamp t_last = g.event(combo.back()).time;
+  if (o.timing.delta_w.has_value() && t_last - t_first > *o.timing.delta_w) {
+    return false;
+  }
+  if (o.timing.delta_c.has_value()) {
+    for (std::size_t i = 1; i < combo.size(); ++i) {
+      const Event& prev = g.event(combo[i - 1]);
+      const Timestamp base =
+          o.duration_aware_gaps ? prev.time + prev.duration : prev.time;
+      if (g.event(combo[i]).time - base > *o.timing.delta_c) return false;
+    }
+  }
+
+  if (o.consecutive_events_restriction) {
+    for (const NodeId node : node_set) {
+      std::vector<EventIndex> touches;
+      for (const EventIndex idx : combo) {
+        const Event& e = g.event(idx);
+        if (e.src == node || e.dst == node) touches.push_back(idx);
+      }
+      for (std::size_t i = 1; i < touches.size(); ++i) {
+        for (EventIndex j = touches[i - 1] + 1; j < touches[i]; ++j) {
+          const Event& e = g.event(j);
+          if (e.src == node || e.dst == node) return false;
+        }
+      }
+    }
+  }
+
+  if (o.cdg_restriction) {
+    for (std::size_t i = 1; i < combo.size(); ++i) {
+      const Event& a = g.event(combo[i - 1]);
+      const Event& b = g.event(combo[i]);
+      if (a.src == b.src && a.dst == b.dst) continue;
+      for (EventIndex j = 0; j < g.num_events(); ++j) {
+        if (j == combo[i]) continue;
+        const Event& e = g.event(j);
+        if (e.src == b.src && e.dst == b.dst && e.time >= a.time &&
+            e.time <= b.time) {
+          return false;
+        }
+      }
+    }
+  }
+
+  if (o.inducedness == Inducedness::kStatic) {
+    for (const NodeId a : node_set) {
+      for (const NodeId b : node_set) {
+        if (a == b) continue;
+        bool exists = false;
+        for (const Event& e : g.events()) {
+          if (e.src == a && e.dst == b) {
+            exists = true;
+            break;
+          }
+        }
+        if (!exists) continue;
+        bool used = false;
+        for (const EventIndex idx : combo) {
+          const Event& e = g.event(idx);
+          if (e.src == a && e.dst == b) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) return false;
+      }
+    }
+  } else if (o.inducedness == Inducedness::kTemporalWindow) {
+    int inside = 0;
+    for (const Event& e : g.events()) {
+      bool src_in = false;
+      bool dst_in = false;
+      for (const NodeId n : node_set) {
+        if (n == e.src) src_in = true;
+        if (n == e.dst) dst_in = true;
+      }
+      if (src_in && dst_in && e.time >= t_first && e.time <= t_last) {
+        ++inside;
+      }
+    }
+    if (inside != static_cast<int>(combo.size())) return false;
+  }
+  return true;
+}
+
+std::map<std::string, std::uint64_t> BruteForceCounts(
+    const TemporalGraph& g, const EnumerationOptions& o) {
+  std::map<std::string, std::uint64_t> counts;
+  std::vector<EventIndex> combo(static_cast<std::size_t>(o.num_events));
+  const std::function<void(int, EventIndex)> rec = [&](int depth,
+                                                       EventIndex start) {
+    if (depth == o.num_events) {
+      if (RefValid(g, combo, o)) {
+        ++counts[EncodeInstance(g, combo.data(), o.num_events)];
+      }
+      return;
+    }
+    for (EventIndex i = start; i < g.num_events(); ++i) {
+      combo[static_cast<std::size_t>(depth)] = i;
+      rec(depth + 1, i + 1);
+    }
+  };
+  rec(0, 0);
+  return counts;
+}
+
+TemporalGraph RandomGraph(std::uint32_t seed, int num_nodes, int num_events,
+                          Timestamp horizon, bool with_durations) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, num_nodes - 1);
+  std::uniform_int_distribution<Timestamp> time(0, horizon);
+  std::uniform_int_distribution<Duration> dur(0, 8);
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(static_cast<NodeId>(num_nodes));
+  for (int i = 0; i < num_events; ++i) {
+    const NodeId src = static_cast<NodeId>(node(rng));
+    NodeId dst = static_cast<NodeId>(node(rng));
+    while (dst == src) dst = static_cast<NodeId>(node(rng));
+    builder.AddEvent(src, dst, time(rng), with_durations ? dur(rng) : 0);
+  }
+  return builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep.
+// ---------------------------------------------------------------------------
+
+struct Case {
+  const char* name;
+  int num_events;
+  int max_nodes;
+  int delta_c;        // -1 = unset.
+  int delta_w;        // -1 = unset.
+  bool consecutive;
+  bool cdg;
+  Inducedness inducedness;
+  bool duration_aware;
+};
+
+std::ostream& operator<<(std::ostream& os, const Case& c) {
+  return os << c.name;
+}
+
+class EnumeratorPropertyTest : public ::testing::TestWithParam<Case> {};
+
+EnumerationOptions ToOptions(const Case& c) {
+  EnumerationOptions o;
+  o.num_events = c.num_events;
+  o.max_nodes = c.max_nodes;
+  if (c.delta_c >= 0) o.timing.delta_c = c.delta_c;
+  if (c.delta_w >= 0) o.timing.delta_w = c.delta_w;
+  o.consecutive_events_restriction = c.consecutive;
+  o.cdg_restriction = c.cdg;
+  o.inducedness = c.inducedness;
+  o.duration_aware_gaps = c.duration_aware;
+  return o;
+}
+
+TEST_P(EnumeratorPropertyTest, MatchesBruteForceOnRandomGraphs) {
+  const Case& c = GetParam();
+  const EnumerationOptions options = ToOptions(c);
+  for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+    // Small dense graphs with frequent timestamp ties and repeated edges.
+    const TemporalGraph g =
+        RandomGraph(seed * 7919u, /*num_nodes=*/6,
+                    /*num_events=*/c.num_events == 4 ? 26 : 34,
+                    /*horizon=*/40, c.duration_aware);
+    const auto expected = BruteForceCounts(g, options);
+    MotifCounts actual = CountMotifs(g, options);
+
+    std::uint64_t expected_total = 0;
+    for (const auto& [code, count] : expected) expected_total += count;
+    EXPECT_EQ(actual.total(), expected_total) << "seed " << seed;
+    for (const auto& [code, count] : expected) {
+      EXPECT_EQ(actual.count(code), count)
+          << "code " << code << " seed " << seed;
+    }
+    EXPECT_EQ(actual.num_codes(), expected.size()) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnumeratorPropertyTest,
+    ::testing::Values(
+        Case{"k2_unbounded", 2, 3, -1, -1, false, false, Inducedness::kNone,
+             false},
+        Case{"k3_unbounded", 3, 3, -1, -1, false, false, Inducedness::kNone,
+             false},
+        Case{"k3_dc", 3, 3, 8, -1, false, false, Inducedness::kNone, false},
+        Case{"k3_dw", 3, 3, -1, 15, false, false, Inducedness::kNone, false},
+        Case{"k3_both", 3, 3, 8, 12, false, false, Inducedness::kNone, false},
+        Case{"k3_consecutive", 3, 3, 10, -1, true, false, Inducedness::kNone,
+             false},
+        Case{"k3_cdg", 3, 3, 10, -1, false, true, Inducedness::kNone, false},
+        Case{"k3_static_induced", 3, 3, 10, -1, false, false,
+             Inducedness::kStatic, false},
+        Case{"k3_temporal_window", 3, 3, -1, 15, false, false,
+             Inducedness::kTemporalWindow, false},
+        Case{"k3_kovanen_full", 3, 3, 10, -1, true, false,
+             Inducedness::kNone, false},
+        Case{"k3_hulovatyy_full", 3, 3, 10, -1, false, true,
+             Inducedness::kStatic, false},
+        Case{"k3_paranjape", 3, 3, -1, 12, false, false, Inducedness::kStatic,
+             false},
+        Case{"k3_everything", 3, 3, 9, 14, true, true, Inducedness::kStatic,
+             false},
+        Case{"k3_durations", 3, 3, 6, -1, false, false, Inducedness::kNone,
+             true},
+        Case{"k4_dc", 4, 4, 8, -1, false, false, Inducedness::kNone, false},
+        Case{"k4_dw", 4, 4, -1, 15, false, false, Inducedness::kNone, false},
+        Case{"k4_both", 4, 4, 8, 14, false, false, Inducedness::kNone, false},
+        Case{"k4_consecutive", 4, 4, 10, -1, true, false, Inducedness::kNone,
+             false},
+        Case{"k4_cdg", 4, 4, 10, -1, false, true, Inducedness::kNone, false},
+        Case{"k4_static_induced", 4, 4, -1, 15, false, false,
+             Inducedness::kStatic, false},
+        Case{"k4_temporal_window", 4, 4, -1, 15, false, false,
+             Inducedness::kTemporalWindow, false},
+        Case{"k4_maxnodes3", 4, 3, 10, -1, false, false, Inducedness::kNone,
+             false},
+        Case{"k2_maxnodes2", 2, 2, 10, -1, false, false, Inducedness::kNone,
+             false}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.name);
+    });
+
+// Monotonicity properties the paper relies on (Section 5.2: "the set of
+// motifs observed under a smaller dC/dW ratio is a subset of a larger
+// dC/dW configuration").
+TEST(EnumeratorProperties, CountsMonotoneInDeltaC) {
+  const TemporalGraph g = RandomGraph(1234, 8, 60, 100, false);
+  std::uint64_t prev = 0;
+  for (const Timestamp dc : {2, 5, 10, 20, 50, 100}) {
+    EnumerationOptions o;
+    o.num_events = 3;
+    o.max_nodes = 3;
+    o.timing = TimingConstraints::OnlyDeltaC(dc);
+    const std::uint64_t count = CountInstances(g, o);
+    EXPECT_GE(count, prev) << "dC=" << dc;
+    prev = count;
+  }
+}
+
+TEST(EnumeratorProperties, CountsMonotoneInDeltaW) {
+  const TemporalGraph g = RandomGraph(4321, 8, 60, 100, false);
+  std::uint64_t prev = 0;
+  for (const Timestamp dw : {2, 5, 10, 20, 50, 100}) {
+    EnumerationOptions o;
+    o.num_events = 3;
+    o.max_nodes = 3;
+    o.timing = TimingConstraints::OnlyDeltaW(dw);
+    const std::uint64_t count = CountInstances(g, o);
+    EXPECT_GE(count, prev) << "dW=" << dw;
+    prev = count;
+  }
+}
+
+TEST(EnumeratorProperties, RestrictionsOnlyRemoveInstances) {
+  const TemporalGraph g = RandomGraph(999, 7, 50, 80, false);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(20);
+  const std::uint64_t vanilla = CountInstances(g, o);
+
+  for (int variant = 0; variant < 3; ++variant) {
+    EnumerationOptions r = o;
+    if (variant == 0) r.consecutive_events_restriction = true;
+    if (variant == 1) r.cdg_restriction = true;
+    if (variant == 2) r.inducedness = Inducedness::kStatic;
+    EXPECT_LE(CountInstances(g, r), vanilla) << "variant " << variant;
+  }
+}
+
+TEST(EnumeratorProperties, BothConstraintsAreIntersection) {
+  const TemporalGraph g = RandomGraph(777, 7, 50, 80, false);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::Both(10, 16);
+  const std::uint64_t both = CountInstances(g, o);
+  o.timing = TimingConstraints::OnlyDeltaC(10);
+  const std::uint64_t only_c = CountInstances(g, o);
+  o.timing = TimingConstraints::OnlyDeltaW(16);
+  const std::uint64_t only_w = CountInstances(g, o);
+  EXPECT_LE(both, only_c);
+  EXPECT_LE(both, only_w);
+}
+
+// Every enumerated instance passes the library's standalone validator.
+TEST(EnumeratorProperties, InstancesSatisfyIsValidInstance) {
+  const TemporalGraph g = RandomGraph(31337, 6, 40, 60, false);
+  for (const bool consecutive : {false, true}) {
+    EnumerationOptions o;
+    o.num_events = 3;
+    o.max_nodes = 3;
+    o.timing = TimingConstraints::Both(15, 25);
+    o.consecutive_events_restriction = consecutive;
+    o.cdg_restriction = consecutive;
+    EnumerateInstances(g, o, [&](const MotifInstance& m) {
+      const std::vector<EventIndex> inst(m.event_indices,
+                                         m.event_indices + m.num_events);
+      EXPECT_TRUE(IsValidInstance(g, inst, o));
+      EXPECT_EQ(EncodeInstance(g, m.event_indices, m.num_events), m.code);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,141 @@
+#include "core/event_pair.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace tmotif {
+namespace {
+
+TEST(ClassifyEventPair, AllSixTypesFromFigure2) {
+  // Figure 2 right: the six event-pair types.
+  EXPECT_EQ(ClassifyEventPair(1, 2, 1, 2), EventPairType::kRepetition);
+  EXPECT_EQ(ClassifyEventPair(1, 2, 2, 1), EventPairType::kPingPong);
+  EXPECT_EQ(ClassifyEventPair(1, 2, 3, 2), EventPairType::kInBurst);
+  EXPECT_EQ(ClassifyEventPair(1, 2, 1, 3), EventPairType::kOutBurst);
+  EXPECT_EQ(ClassifyEventPair(1, 2, 2, 3), EventPairType::kConvey);
+  EXPECT_EQ(ClassifyEventPair(1, 2, 3, 1), EventPairType::kWeaklyConnected);
+}
+
+TEST(ClassifyEventPair, DisjointPairs) {
+  EXPECT_EQ(ClassifyEventPair(1, 2, 3, 4), EventPairType::kDisjoint);
+}
+
+TEST(ClassifyEventPair, OrderMatters) {
+  // (1->2, 2->3) is a convey; reversed in time it is weakly-connected.
+  EXPECT_EQ(ClassifyEventPair(1, 2, 2, 3), EventPairType::kConvey);
+  EXPECT_EQ(ClassifyEventPair(2, 3, 1, 2), EventPairType::kWeaklyConnected);
+}
+
+TEST(EventPairLetter, MatchesPaperAlphabet) {
+  EXPECT_EQ(EventPairLetter(EventPairType::kRepetition), 'R');
+  EXPECT_EQ(EventPairLetter(EventPairType::kPingPong), 'P');
+  EXPECT_EQ(EventPairLetter(EventPairType::kInBurst), 'I');
+  EXPECT_EQ(EventPairLetter(EventPairType::kOutBurst), 'O');
+  EXPECT_EQ(EventPairLetter(EventPairType::kConvey), 'C');
+  EXPECT_EQ(EventPairLetter(EventPairType::kWeaklyConnected), 'W');
+}
+
+TEST(IsRpioType, GroupsMatchTable5) {
+  EXPECT_TRUE(IsRpioType(EventPairType::kRepetition));
+  EXPECT_TRUE(IsRpioType(EventPairType::kPingPong));
+  EXPECT_TRUE(IsRpioType(EventPairType::kInBurst));
+  EXPECT_TRUE(IsRpioType(EventPairType::kOutBurst));
+  EXPECT_FALSE(IsRpioType(EventPairType::kConvey));
+  EXPECT_FALSE(IsRpioType(EventPairType::kWeaklyConnected));
+}
+
+TEST(PairSequenceForCode, PaperFigure2Examples) {
+  // Figure 2 bottom: 3n3e motif as (repetition, out-burst) and a 4-event
+  // motif as (repetition, convey, ping-pong).
+  EXPECT_EQ(PairSequenceString(PairSequenceForCode("010102")), "RO");
+  EXPECT_EQ(PairSequenceString(PairSequenceForCode("01011221")), "RCP");
+  EXPECT_EQ(PairSequenceString(PairSequenceForCode("010112")), "RC");
+  EXPECT_EQ(PairSequenceString(PairSequenceForCode("011202")), "CI");
+}
+
+// The paper: the 6-letter alphabet "can exactly represent all 2n3e or 3n3e
+// motifs (36 in total, 6^2)". The pair-sequence map restricted to <= 3-node
+// motifs is a bijection.
+TEST(PairSequence, BijectionOnThreeEventSpectrum) {
+  std::set<std::string> sequences;
+  for (const MotifCode& code : EnumerateCodes(3, 3)) {
+    const auto seq = PairSequenceForCode(code);
+    ASSERT_EQ(seq.size(), 2u);
+    for (const EventPairType t : seq) {
+      EXPECT_NE(t, EventPairType::kDisjoint) << code;
+    }
+    sequences.insert(PairSequenceString(seq));
+    // Inverse map must return the same code.
+    const auto back = CodeForPairSequence(seq);
+    ASSERT_TRUE(back.has_value()) << code;
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_EQ(sequences.size(), 36u);  // 6^2 distinct sequences.
+}
+
+// "It also gives 216 (6^3) broad descriptions" for 4-event motifs: the
+// <=3-node 4-event spectrum is exactly the 216 sequences.
+TEST(PairSequence, BijectionOnFourEventThreeNodeSpectrum) {
+  std::set<std::string> sequences;
+  int count = 0;
+  for (const MotifCode& code : EnumerateCodes(4, 3)) {
+    ++count;
+    const auto seq = PairSequenceForCode(code);
+    sequences.insert(PairSequenceString(seq));
+    const auto back = CodeForPairSequence(seq);
+    ASSERT_TRUE(back.has_value()) << code;
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_EQ(count, 216);
+  EXPECT_EQ(sequences.size(), 216u);
+}
+
+// 4n4e motifs map onto the same 216 sequences non-uniquely, and some contain
+// disjoint consecutive pairs the alphabet cannot express.
+TEST(PairSequence, FourNodeMotifsAreBroadDescriptions) {
+  std::map<std::string, int> by_sequence;
+  int with_disjoint = 0;
+  for (const MotifCode& code : EnumerateCodes(4, 4)) {
+    if (CodeNumNodes(code) != 4) continue;
+    const auto seq = PairSequenceForCode(code);
+    bool disjoint = false;
+    for (const EventPairType t : seq) {
+      if (t == EventPairType::kDisjoint) disjoint = true;
+    }
+    if (disjoint) {
+      ++with_disjoint;
+    } else {
+      ++by_sequence[PairSequenceString(seq)];
+    }
+  }
+  // Some sequences describe multiple 4n4e motifs (broad, not exact).
+  int ambiguous = 0;
+  for (const auto& [seq, n] : by_sequence) {
+    if (n > 1) ++ambiguous;
+  }
+  EXPECT_GT(ambiguous, 0);
+  // And some 4n4e motifs escape the alphabet entirely (e.g. 01021323's
+  // middle pair 02/13 shares no node).
+  EXPECT_GT(with_disjoint, 0);
+}
+
+TEST(CodeForPairSequence, RejectsDisjoint) {
+  EXPECT_FALSE(CodeForPairSequence({EventPairType::kDisjoint}).has_value());
+}
+
+TEST(CodeForPairSequence, KnownSequences) {
+  EXPECT_EQ(CodeForPairSequence({EventPairType::kRepetition,
+                                 EventPairType::kRepetition}),
+            MotifCode("010101"));
+  EXPECT_EQ(CodeForPairSequence({EventPairType::kOutBurst,
+                                 EventPairType::kOutBurst}),
+            MotifCode("010201"));
+  EXPECT_EQ(CodeForPairSequence({EventPairType::kConvey,
+                                 EventPairType::kConvey}),
+            MotifCode("011220"));
+}
+
+}  // namespace
+}  // namespace tmotif

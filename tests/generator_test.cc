@@ -1,0 +1,179 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/counter.h"
+#include "core/enumerator.h"
+#include "graph/graph_stats.h"
+
+namespace tmotif {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig c;
+  c.num_nodes = 200;
+  c.num_events = 5000;
+  c.median_gap_seconds = 30;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Generator, ProducesRequestedEventCount) {
+  const TemporalGraph g = GenerateTemporalNetwork(SmallConfig());
+  EXPECT_EQ(g.num_events(), 5000);
+}
+
+TEST(Generator, DeterministicForEqualSeeds) {
+  const TemporalGraph a = GenerateTemporalNetwork(SmallConfig());
+  const TemporalGraph b = GenerateTemporalNetwork(SmallConfig());
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (EventIndex i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.event(i), b.event(i));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig c = SmallConfig();
+  const TemporalGraph a = GenerateTemporalNetwork(c);
+  c.seed = 8;
+  const TemporalGraph b = GenerateTemporalNetwork(c);
+  int differing = 0;
+  for (EventIndex i = 0; i < a.num_events(); ++i) {
+    if (!(a.event(i) == b.event(i))) ++differing;
+  }
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(Generator, EventsAreChronologicalAndInRange) {
+  const TemporalGraph g = GenerateTemporalNetwork(SmallConfig());
+  for (EventIndex i = 0; i < g.num_events(); ++i) {
+    const Event& e = g.event(i);
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 200);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, 200);
+    EXPECT_NE(e.src, e.dst);
+    if (i > 0) {
+      EXPECT_GE(e.time, g.event(i - 1).time);
+    }
+  }
+}
+
+TEST(Generator, MedianGapNearTarget) {
+  GeneratorConfig c = SmallConfig();
+  c.num_events = 20000;
+  const GraphStats stats = ComputeStats(GenerateTemporalNetwork(c));
+  // Triggered events tighten gaps slightly; allow a generous band.
+  EXPECT_GT(stats.median_inter_event_time, 10.0);
+  EXPECT_LT(stats.median_inter_event_time, 60.0);
+}
+
+TEST(Generator, ZeroGapProbabilityCreatesTimestampTies) {
+  GeneratorConfig c = SmallConfig();
+  const GraphStats without = ComputeStats(GenerateTemporalNetwork(c));
+  c.prob_zero_gap = 0.4;
+  const GraphStats with = ComputeStats(GenerateTemporalNetwork(c));
+  EXPECT_GT(without.frac_events_unique_timestamp, 0.9);
+  EXPECT_LT(with.frac_events_unique_timestamp, 0.7);
+}
+
+TEST(Generator, BroadcastsShareTimestamps) {
+  GeneratorConfig c = SmallConfig();
+  c.prob_broadcast = 0.5;
+  c.broadcast_max_extra = 4;
+  const GraphStats stats = ComputeStats(GenerateTemporalNetwork(c));
+  EXPECT_LT(stats.frac_events_unique_timestamp, 0.65);
+}
+
+TEST(Generator, UniqueEdgesNeverRepeat) {
+  GeneratorConfig c = SmallConfig();
+  c.num_nodes = 400;
+  c.num_events = 3000;
+  // Mild activity skew so no source exhausts its 399 possible partners.
+  c.activity_alpha = 0.5;
+  c.unique_edges = true;
+  const TemporalGraph g = GenerateTemporalNetwork(c);
+  EXPECT_EQ(g.num_static_edges(), static_cast<std::size_t>(g.num_events()));
+}
+
+TEST(Generator, ReplyProbabilityRaisesPingPongShare) {
+  // Count 2-event motifs: replies create ping-pongs (code "0110").
+  GeneratorConfig c = SmallConfig();
+  c.num_events = 8000;
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(600);
+
+  c.prob_reply = 0.0;
+  const MotifCounts base = CountMotifs(GenerateTemporalNetwork(c), o);
+  c.prob_reply = 0.6;
+  const MotifCounts replied = CountMotifs(GenerateTemporalNetwork(c), o);
+
+  const double base_share = base.Proportion("0110");
+  const double replied_share = replied.Proportion("0110");
+  EXPECT_GT(replied_share, base_share * 2);
+}
+
+TEST(Generator, RepeatProbabilityRaisesRepetitionShare) {
+  GeneratorConfig c = SmallConfig();
+  c.num_events = 8000;
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(600);
+
+  c.prob_repeat = 0.0;
+  const MotifCounts base = CountMotifs(GenerateTemporalNetwork(c), o);
+  c.prob_repeat = 0.6;
+  const MotifCounts repeated = CountMotifs(GenerateTemporalNetwork(c), o);
+  EXPECT_GT(repeated.Proportion("0101"), base.Proportion("0101") * 2);
+}
+
+TEST(Generator, ThreadsCreateInBursts) {
+  GeneratorConfig c = SmallConfig();
+  c.num_events = 8000;
+  c.prob_new_partner = 0.9;
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(600);
+
+  const MotifCounts base = CountMotifs(GenerateTemporalNetwork(c), o);
+  c.prob_thread = 0.4;
+  const MotifCounts threaded = CountMotifs(GenerateTemporalNetwork(c), o);
+  // In-bursts are 2-event motifs "0121" (two sources hit one target).
+  EXPECT_GT(threaded.Proportion("0121"), base.Proportion("0121") * 1.5);
+}
+
+TEST(Generator, DurationsAreSampledWhenConfigured) {
+  GeneratorConfig c = SmallConfig();
+  c.mean_duration = 100.0;
+  const TemporalGraph g = GenerateTemporalNetwork(c);
+  double total = 0;
+  for (const Event& e : g.events()) total += static_cast<double>(e.duration);
+  const double mean = total / static_cast<double>(g.num_events());
+  EXPECT_NEAR(mean, 100.0, 15.0);
+
+  c.mean_duration = 0.0;
+  const TemporalGraph zero = GenerateTemporalNetwork(c);
+  for (const Event& e : zero.events()) EXPECT_EQ(e.duration, 0);
+}
+
+TEST(Generator, PartnerMemoryConcentratesEdges) {
+  // Low new-partner probability -> far fewer distinct edges.
+  GeneratorConfig c = SmallConfig();
+  c.prob_new_partner = 0.9;
+  const std::size_t spread =
+      GenerateTemporalNetwork(c).num_static_edges();
+  c.prob_new_partner = 0.05;
+  c.seed = 7;
+  const std::size_t concentrated =
+      GenerateTemporalNetwork(c).num_static_edges();
+  EXPECT_LT(concentrated * 2, spread);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,113 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace tmotif {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+TEST(LoadEdgeList, ParsesBasicTriples) {
+  const std::string path = TempPath("basic.txt");
+  WriteFile(path, "0 1 10\n1 2 20\n2 0 30\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 3u);
+  EXPECT_EQ(result->graph.num_events(), 3);
+  EXPECT_EQ(result->graph.event(1).src, 1);
+  EXPECT_EQ(result->graph.event(1).time, 20);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, ParsesDurationAndLabel) {
+  const std::string path = TempPath("full.txt");
+  WriteFile(path, "0 1 10 5 2\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.event(0).duration, 5);
+  EXPECT_EQ(result->graph.event(0).label, 2);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.txt");
+  WriteFile(path, "# header\n% matrix-market style\n\n0 1 10\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  EXPECT_EQ(result->num_bad_lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, SkipsSelfLoopsByDefault) {
+  const std::string path = TempPath("selfloop.txt");
+  WriteFile(path, "3 3 10\n0 1 20\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  EXPECT_EQ(result->num_skipped_self_loops, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, CountsMalformedLines) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers at all\n0 1 10\n-1 2 5\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  EXPECT_EQ(result->num_bad_lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, CompactNodeIdsRemapsSparseIds) {
+  const std::string path = TempPath("sparse.txt");
+  WriteFile(path, "1000000 2000000 1\n2000000 1000000 2\n");
+  EdgeListOptions options;
+  options.compact_node_ids = true;
+  const auto result = LoadEdgeList(path, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_nodes(), 2);
+  EXPECT_EQ(result->graph.event(0).src, 0);
+  EXPECT_EQ(result->graph.event(1).src, 1);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/no/such/file.txt").has_value());
+}
+
+TEST(SaveEdgeList, RoundTripsThroughLoad) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 10, 3, 7).AddEvent(1, 2, 20);
+  const TemporalGraph g = builder.Build();
+
+  const std::string path = TempPath("save.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->graph.num_events(), 2);
+  EXPECT_EQ(result->graph.event(0).duration, 3);
+  EXPECT_EQ(result->graph.event(0).label, 7);
+  EXPECT_EQ(result->graph.event(1).dst, 2);
+  std::remove(path.c_str());
+}
+
+TEST(SaveEdgeList, FailsOnUnwritablePath) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}});
+  EXPECT_FALSE(SaveEdgeList(g, "/nonexistent-dir/out.txt"));
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,59 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(ComputeStats, CountsActiveNodesOnly) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 1);
+  builder.SetMinNumNodes(50);  // 48 isolated nodes.
+  const GraphStats stats = ComputeStats(builder.Build());
+  EXPECT_EQ(stats.num_nodes, 2);
+}
+
+TEST(ComputeStats, EventAndEdgeCounts) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {0, 1, 2}, {1, 0, 3}, {1, 2, 4}});
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_events, 4);
+  EXPECT_EQ(stats.num_static_edges, 3);
+  EXPECT_EQ(stats.num_nodes, 3);
+}
+
+TEST(ComputeStats, UniqueTimestampFraction) {
+  // Times: 1, 2, 2, 3 -> timestamps {1,2,3}; events with unique ts: 2 of 4.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 2}, {2, 3, 2}, {3, 0, 3}});
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_unique_timestamps, 3);
+  EXPECT_DOUBLE_EQ(stats.frac_events_unique_timestamp, 0.5);
+}
+
+TEST(ComputeStats, MedianInterEventTime) {
+  // Times 0, 10, 30, 60 -> gaps 10, 20, 30 -> median 20.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 0}, {1, 2, 10}, {2, 3, 30}, {3, 0, 60}});
+  EXPECT_DOUBLE_EQ(ComputeStats(g).median_inter_event_time, 20.0);
+}
+
+TEST(ComputeStats, Timespan) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 5}, {1, 2, 105}});
+  EXPECT_EQ(ComputeStats(g).timespan, 100);
+}
+
+TEST(ComputeStats, EmptyGraph) {
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(3);
+  const GraphStats stats = ComputeStats(builder.Build());
+  EXPECT_EQ(stats.num_events, 0);
+  EXPECT_EQ(stats.num_nodes, 0);
+  EXPECT_DOUBLE_EQ(stats.frac_events_unique_timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(stats.median_inter_event_time, 0.0);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,75 @@
+#include "core/models/hulovatyy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(HulovatyyOptions, StaticInducednessWithoutConsecutiveRestriction) {
+  HulovatyyConfig config;
+  config.delta_c = 1000;
+  const EnumerationOptions o = HulovatyyOptions(config);
+  EXPECT_EQ(o.inducedness, Inducedness::kStatic);
+  EXPECT_FALSE(o.consecutive_events_restriction);
+  EXPECT_FALSE(o.cdg_restriction);
+  EXPECT_EQ(*o.timing.delta_c, 1000);
+}
+
+TEST(CountHulovatyyMotifs, PaperTriangleSkipsStaleEvent) {
+  // Section 4.1: given (a,b,2),(b,c,4),(c,a,5),(c,a,6), the triangle of the
+  // 1st, 2nd and 4th events is valid in Hulovatyy's model.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 2}, {1, 2, 4}, {2, 0, 5}, {2, 0, 6}});
+  HulovatyyConfig config{3, 3, 10, /*constrained=*/false};
+  const MotifCounts counts = CountHulovatyyMotifs(g, config);
+  EXPECT_EQ(counts.count("011220"), 2u);  // Both triangles.
+}
+
+TEST(CountHulovatyyMotifs, ConstrainedRejectsStaleRepeat) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 2}, {1, 2, 4}, {2, 0, 5}, {2, 0, 6}});
+  HulovatyyConfig config{3, 3, 10, /*constrained=*/true};
+  const MotifCounts counts = CountHulovatyyMotifs(g, config);
+  // Only the tight triangle (events 1,2,3rd) remains; the one skipping
+  // (c,a,5) is filtered because edge (c,a) occurred in between.
+  EXPECT_EQ(counts.count("011220"), 1u);
+}
+
+TEST(CountHulovatyyMotifs, RequiresStaticInducedness) {
+  // A temporal triangle whose node set also carries a diagonal edge in the
+  // static projection is rejected.
+  const TemporalGraph induced = GraphFromEvents(
+      {{0, 1, 0}, {1, 2, 2}, {0, 2, 4}});
+  const TemporalGraph non_induced = GraphFromEvents(
+      {{0, 1, 0}, {1, 2, 2}, {0, 2, 4}, {2, 1, 1000}});
+  HulovatyyConfig config{3, 3, 10};
+  EXPECT_EQ(CountHulovatyyMotifs(induced, config).count("011202"), 1u);
+  EXPECT_EQ(CountHulovatyyMotifs(non_induced, config).count("011202"), 0u);
+}
+
+TEST(CountHulovatyyMotifs, DurationAwareGapsExtendReach) {
+  // A 50s call followed 55s later by a callback: start-to-start gap 55
+  // breaks dC=10, end-to-start gap 5 does not (Section 4.2).
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0, 50}, {1, 0, 55}});
+  HulovatyyConfig config;
+  config.num_events = 2;
+  config.max_nodes = 2;
+  config.delta_c = 10;
+  EXPECT_EQ(CountHulovatyyMotifs(g, config).total(), 0u);
+  config.duration_aware = true;
+  EXPECT_EQ(CountHulovatyyMotifs(g, config).total(), 1u);
+}
+
+TEST(CountHulovatyyMotifs, ConstrainedIsNoOpWithoutRepeatedEdges) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 0}, {1, 2, 2}, {2, 0, 4}, {1, 0, 6}});
+  HulovatyyConfig plain{3, 3, 10, /*constrained=*/false};
+  HulovatyyConfig constrained{3, 3, 10, /*constrained=*/true};
+  EXPECT_EQ(CountHulovatyyMotifs(g, plain).total(),
+            CountHulovatyyMotifs(g, constrained).total());
+}
+
+}  // namespace
+}  // namespace tmotif

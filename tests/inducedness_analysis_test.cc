@@ -1,0 +1,107 @@
+#include "analysis/inducedness_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "graph/resolution.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(CodesWithExactNodes, The32ThreeNodeThreeEventMotifs) {
+  const auto codes = CodesWithExactNodes(3, 3);
+  EXPECT_EQ(codes.size(), 32u);
+  for (const MotifCode& code : codes) {
+    EXPECT_EQ(CodeNumNodes(code), 3);
+  }
+}
+
+TEST(AnalyzeConsecutiveRestriction, RestrictionRemovesMotifs) {
+  GeneratorConfig c;
+  c.num_nodes = 100;
+  c.num_events = 4000;
+  c.median_gap_seconds = 30;
+  c.prob_reply = 0.4;
+  c.prob_repeat = 0.3;
+  c.prob_new_partner = 0.2;
+  c.seed = 17;
+  const TemporalGraph g = GenerateTemporalNetwork(c);
+  const ConsecutiveRestrictionReport report =
+      AnalyzeConsecutiveRestriction(g, /*delta_c=*/1500);
+  EXPECT_GT(report.non_consecutive_total, 0u);
+  EXPECT_LT(report.consecutive_total, report.non_consecutive_total);
+  // Table 3: the restriction removes the overwhelming majority of motifs.
+  EXPECT_GT(report.RemovedFraction(), 0.5);
+  // Rank changes exist for all 32 motifs.
+  EXPECT_EQ(report.rank_changes.size(), 32u);
+}
+
+TEST(AnalyzeConsecutiveRestriction, RankChangesSumToZero) {
+  GeneratorConfig c;
+  c.num_nodes = 80;
+  c.num_events = 3000;
+  c.median_gap_seconds = 20;
+  c.prob_reply = 0.3;
+  c.seed = 5;
+  const TemporalGraph g = GenerateTemporalNetwork(c);
+  const ConsecutiveRestrictionReport report =
+      AnalyzeConsecutiveRestriction(g, 1500);
+  int total = 0;
+  for (const auto& [code, change] : report.rank_changes) total += change;
+  EXPECT_EQ(total, 0);  // Permutation of ranks.
+}
+
+TEST(AnalyzeCdg, BitcoinLikeUniqueEdgesShowZeroDifference) {
+  // Table 4's Bitcoin-otc row: no repeated edges -> CDG == vanilla.
+  GeneratorConfig c;
+  c.num_nodes = 300;
+  c.num_events = 2500;
+  c.median_gap_seconds = 700;
+  c.unique_edges = true;
+  c.seed = 23;
+  const TemporalGraph g =
+      DegradeResolution(GenerateTemporalNetwork(c), 300);
+  const CdgReport report = AnalyzeConstrainedDynamicGraphlets(g, 1500);
+  EXPECT_EQ(report.vanilla_total, report.cdg_total);
+  EXPECT_DOUBLE_EQ(report.variance, 0.0);
+  for (const auto& [code, change] : report.proportion_changes) {
+    EXPECT_DOUBLE_EQ(change, 0.0) << code;
+  }
+}
+
+TEST(AnalyzeCdg, RepetitionHeavyNetworksShiftProportions) {
+  GeneratorConfig c;
+  c.num_nodes = 60;
+  c.num_events = 5000;
+  c.median_gap_seconds = 30;
+  c.prob_repeat = 0.5;
+  c.prob_reply = 0.3;
+  c.prob_new_partner = 0.1;
+  c.seed = 31;
+  const TemporalGraph g =
+      DegradeResolution(GenerateTemporalNetwork(c), 300);
+  const CdgReport report = AnalyzeConstrainedDynamicGraphlets(g, 1500);
+  EXPECT_LT(report.cdg_total, report.vanilla_total);
+  EXPECT_GT(report.variance, 0.0);
+}
+
+TEST(AnalyzeCdg, ProportionChangesSumToZero) {
+  GeneratorConfig c;
+  c.num_nodes = 60;
+  c.num_events = 4000;
+  c.median_gap_seconds = 30;
+  c.prob_repeat = 0.4;
+  c.seed = 37;
+  const TemporalGraph g =
+      DegradeResolution(GenerateTemporalNetwork(c), 300);
+  const CdgReport report = AnalyzeConstrainedDynamicGraphlets(g, 1500);
+  double total = 0.0;
+  for (const auto& [code, change] : report.proportion_changes) {
+    total += change;
+  }
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,105 @@
+#include "graph/measures.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace tmotif {
+namespace {
+
+TEST(Burstiness, RegularSequenceIsNegative) {
+  TemporalGraphBuilder builder;
+  for (int i = 0; i < 50; ++i) builder.AddEvent(0, 1, i * 10);  // Even gaps.
+  EXPECT_LT(BurstinessCoefficient(builder.Build()), -0.9);
+}
+
+TEST(Burstiness, BurstySequenceIsPositive) {
+  TemporalGraphBuilder builder;
+  Timestamp t = 0;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 10; ++i) builder.AddEvent(0, 1, t + i);
+    t += 100000;  // Long silence between bursts.
+  }
+  EXPECT_GT(BurstinessCoefficient(builder.Build()), 0.5);
+}
+
+TEST(Burstiness, TooFewEventsIsZero) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 0, 5}});
+  EXPECT_DOUBLE_EQ(BurstinessCoefficient(g), 0.0);
+}
+
+TEST(NodeBurstiness, PerNodeSequences) {
+  TemporalGraphBuilder builder;
+  // Node 0: regular cadence. Node 5: two tight bursts far apart.
+  for (int i = 0; i < 20; ++i) builder.AddEvent(0, 1, i * 50);
+  for (int i = 0; i < 5; ++i) builder.AddEvent(5, 6, 10000 + i);
+  for (int i = 0; i < 5; ++i) builder.AddEvent(5, 6, 90000 + i);
+  const TemporalGraph g = builder.Build();
+  EXPECT_LT(NodeBurstiness(g, 0), -0.5);
+  EXPECT_GT(NodeBurstiness(g, 5), 0.4);
+}
+
+TEST(EdgeReciprocity, CountsReversedStaticEdges) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 0, 2}, {0, 2, 3}, {2, 3, 4}});
+  // Edges: (0,1)+(1,0) reciprocated, (0,2) and (2,3) not.
+  EXPECT_DOUBLE_EQ(EdgeReciprocity(g), 0.5);
+}
+
+TEST(EdgeReciprocity, FullAndZero) {
+  EXPECT_DOUBLE_EQ(
+      EdgeReciprocity(GraphFromEvents({{0, 1, 1}, {1, 0, 2}})), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EdgeReciprocity(GraphFromEvents({{0, 1, 1}, {0, 2, 2}})), 0.0);
+}
+
+TEST(StaticDegrees, DistinctPartners) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {0, 1, 2}, {0, 2, 3}, {1, 0, 4}});
+  const std::vector<int> out = StaticOutDegrees(g);
+  const std::vector<int> in = StaticInDegrees(g);
+  EXPECT_EQ(out[0], 2);  // (0,1) once despite the repeat, plus (0,2).
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(in[1], 1);
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[2], 1);
+}
+
+TEST(ActivityGini, EvenVsHubbed) {
+  TemporalGraphBuilder even;
+  for (int i = 0; i < 10; ++i) even.AddEvent(2 * i, 2 * i + 1, i);
+  EXPECT_LT(ActivityGini(even.Build()), 0.05);
+
+  TemporalGraphBuilder hubbed;
+  for (int i = 0; i < 50; ++i) hubbed.AddEvent(0, 1 + (i % 3), i);
+  hubbed.AddEvent(10, 11, 100);
+  EXPECT_GT(ActivityGini(hubbed.Build()), 0.4);
+}
+
+TEST(MedianSameEdgeGap, RepetitionTimescale) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 0}, {0, 1, 10}, {0, 1, 40}, {2, 3, 5}});
+  // Gaps on (0,1): 10 and 30 -> median 20; (2,3) never repeats.
+  EXPECT_DOUBLE_EQ(MedianSameEdgeGap(g), 20.0);
+}
+
+TEST(MedianSameEdgeGap, NoRepeatsIsZero) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}});
+  EXPECT_DOUBLE_EQ(MedianSameEdgeGap(g), 0.0);
+}
+
+TEST(Measures, GeneratorBurstinessResponds) {
+  GeneratorConfig regular;
+  regular.num_nodes = 50;
+  regular.num_events = 4000;
+  regular.median_gap_seconds = 30;
+  regular.gap_sigma = 0.2;  // Nearly constant gaps.
+  regular.seed = 3;
+  GeneratorConfig bursty = regular;
+  bursty.gap_sigma = 1.8;
+  EXPECT_LT(BurstinessCoefficient(GenerateTemporalNetwork(regular)),
+            BurstinessCoefficient(GenerateTemporalNetwork(bursty)));
+}
+
+}  // namespace
+}  // namespace tmotif

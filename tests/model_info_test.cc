@@ -1,0 +1,102 @@
+#include "core/models/model_info.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(ModelAspects, MatchesTable1) {
+  const ModelAspects kovanen = GetModelAspects(ModelId::kKovanen);
+  EXPECT_STREQ(kovanen.induced_subgraph, "node-based temporal");
+  EXPECT_TRUE(kovanen.uses_delta_c);
+  EXPECT_FALSE(kovanen.uses_delta_w);
+  EXPECT_FALSE(kovanen.event_durations);
+  EXPECT_TRUE(kovanen.partial_ordering);
+
+  const ModelAspects song = GetModelAspects(ModelId::kSong);
+  EXPECT_STREQ(song.induced_subgraph, "no");
+  EXPECT_TRUE(song.node_edge_labels);
+  EXPECT_TRUE(song.uses_delta_w);
+  EXPECT_TRUE(song.partial_ordering);
+
+  const ModelAspects hulovatyy = GetModelAspects(ModelId::kHulovatyy);
+  EXPECT_STREQ(hulovatyy.induced_subgraph, "static only");
+  EXPECT_TRUE(hulovatyy.event_durations);  // The only duration-aware model.
+  EXPECT_FALSE(hulovatyy.partial_ordering);
+  EXPECT_FALSE(hulovatyy.directed_edges);
+
+  const ModelAspects paranjape = GetModelAspects(ModelId::kParanjape);
+  EXPECT_STREQ(paranjape.induced_subgraph, "static only");
+  EXPECT_TRUE(paranjape.uses_delta_w);
+  EXPECT_FALSE(paranjape.uses_delta_c);
+}
+
+// A Figure 1-style scenario: one network, four candidate motifs, different
+// verdicts per model (dC = 5s, dW = 10s as in the figure).
+class Figure1Scenario : public ::testing::Test {
+ protected:
+  // Events (index: node pair @ time):
+  //  0: (0,1) @ 0     1: (1,2) @ 7     2: (1,3) @ 8     3: (2,0) @ 9
+  //  4: (0,2) @ 15    5: (2,1) @ 11
+  // Sorted order: 0:(0,1)@0, 1:(1,2)@7, 2:(1,3)@8, 3:(2,0)@9, 4:(2,1)@11,
+  //               5:(0,2)@15.
+  TemporalGraph graph_ = GraphFromEvents({{0, 1, 0},
+                                          {1, 2, 7},
+                                          {1, 3, 8},
+                                          {2, 0, 9},
+                                          {2, 1, 11},
+                                          {0, 2, 15}});
+  static constexpr Timestamp kDeltaC = 5;
+  static constexpr Timestamp kDeltaW = 10;
+
+  bool Valid(ModelId model, std::vector<EventIndex> events) {
+    return IsValidUnderModel(graph_, events, model, kDeltaC, kDeltaW);
+  }
+};
+
+TEST_F(Figure1Scenario, MotifBreakingDeltaCIsInvalidForKovanenStyleModels) {
+  // {(0,1)@0, (1,2)@7}: the 7s gap violates dC=5 but fits dW=10.
+  EXPECT_FALSE(Valid(ModelId::kKovanen, {0, 1}));
+  EXPECT_FALSE(Valid(ModelId::kHulovatyy, {0, 1}));
+  EXPECT_TRUE(Valid(ModelId::kSong, {0, 1}));
+}
+
+TEST_F(Figure1Scenario, NonInducedMotifIsInvalidForStaticInducedModels) {
+  // {(1,2)@7, (2,0)@9, (0,2)@15}: spans 8s <= dW; but the static edge
+  // (2,1) exists among {0,1,2} and is not part of the motif.
+  EXPECT_FALSE(Valid(ModelId::kParanjape, {1, 3, 5}));
+  EXPECT_TRUE(Valid(ModelId::kSong, {1, 3, 5}));
+}
+
+TEST_F(Figure1Scenario, ConsecutivenessViolationOnlyMattersForKovanen) {
+  // {(1,2)@7, (2,0)@9, (2,1)@11}: node 1 participates at 7 and 11 while
+  // the (1,3)@8 event intrudes -> invalid for Kovanen only.
+  EXPECT_FALSE(Valid(ModelId::kKovanen, {1, 3, 4}));
+  EXPECT_TRUE(Valid(ModelId::kSong, {1, 3, 4}));
+}
+
+TEST_F(Figure1Scenario, TightMotifValidEverywhere) {
+  // {(1,3)@8, ...} pick a pair that satisfies every model: (2,0)@9 and
+  // (2,1)@11 share node 2, are 2s apart, induced on {0,1,2}? The static
+  // edges among {0,1,2} include (0,1),(1,2),(0,2) -> not induced. Use the
+  // 2-node motif {(1,2)@7, (2,1)@11} instead: nodes {1,2}, both directions
+  // used, gap 4 <= dC, span 4 <= dW, and no intruder on either node between
+  // those events... except (1,3)@8 and (2,0)@9 touch them. So the only
+  // universally valid motif here is {(2,0)@9, (2,1)@11}: gap 2, nodes
+  // {0,1,2}.
+  EXPECT_TRUE(Valid(ModelId::kSong, {3, 4}));
+  EXPECT_TRUE(Valid(ModelId::kKovanen, {3, 4}));
+}
+
+TEST(IsValidUnderModel, RespectsModelTimingParameters) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {1, 2, 4}});
+  EXPECT_TRUE(IsValidUnderModel(g, {0, 1}, ModelId::kKovanen, 5, 0));
+  EXPECT_FALSE(IsValidUnderModel(g, {0, 1}, ModelId::kKovanen, 3, 0));
+  EXPECT_TRUE(IsValidUnderModel(g, {0, 1}, ModelId::kSong, 0, 5));
+  EXPECT_FALSE(IsValidUnderModel(g, {0, 1}, ModelId::kSong, 0, 3));
+}
+
+}  // namespace
+}  // namespace tmotif

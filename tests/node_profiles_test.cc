@@ -1,0 +1,100 @@
+#include "analysis/node_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+EnumerationOptions ThreeEvent(Timestamp delta_w) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(delta_w);
+  return o;
+}
+
+TEST(NodeProfiles, SingleTrianglePositions) {
+  // 011202 on nodes 5 (digit 0), 7 (digit 1), 9 (digit 2).
+  const TemporalGraph g = GraphFromEvents({{5, 7, 1}, {7, 9, 2}, {5, 9, 3}});
+  const NodeMotifProfiles profiles =
+      CollectNodeProfiles(g, ThreeEvent(100));
+  EXPECT_EQ(profiles.count(5, "011202", 0), 1u);
+  EXPECT_EQ(profiles.count(7, "011202", 1), 1u);
+  EXPECT_EQ(profiles.count(9, "011202", 2), 1u);
+  EXPECT_EQ(profiles.count(5, "011202", 1), 0u);
+  EXPECT_EQ(profiles.total(5), 1u);
+}
+
+TEST(NodeProfiles, TotalsMatchInstancesTimesNodes) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 0}, {1, 0, 5}, {0, 2, 10}, {2, 1, 15}, {0, 1, 20}});
+  const EnumerationOptions o = ThreeEvent(100);
+  const std::uint64_t instances = CountInstances(g, o);
+  const NodeMotifProfiles profiles = CollectNodeProfiles(g, o);
+  std::uint64_t node_participations = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    node_participations += profiles.total(n);
+  }
+  // Every instance contributes one participation per distinct node.
+  std::uint64_t expected = 0;
+  EnumerateInstances(g, o, [&](const MotifInstance& m) {
+    expected += static_cast<std::uint64_t>(
+        CodeNumNodes(std::string(m.code)));
+  });
+  EXPECT_EQ(node_participations, expected);
+  EXPECT_GT(instances, 0u);
+}
+
+TEST(NodeProfiles, StarCenterVsLeafRoles) {
+  // A hub bursts to a few leaves repeatedly: the hub holds digit-0
+  // positions of out-burst motifs, leaves never do.
+  TemporalGraphBuilder builder;
+  for (int i = 0; i < 9; ++i) builder.AddEvent(0, 1 + (i % 3), i);
+  const TemporalGraph g = builder.Build();
+  EnumerationOptions o = ThreeEvent(100);
+  o.max_nodes = 3;  // Only 2n/3n motifs; star picks are 010202-style.
+  const NodeMotifProfiles profiles = CollectNodeProfiles(g, o);
+  EXPECT_GT(profiles.total(0), 0u);
+  // The hub never plays a receiving digit in out-burst motifs.
+  EXPECT_EQ(profiles.count(0, "010202", 1), 0u);
+  EXPECT_GT(profiles.count(0, "010202", 0), 0u);
+}
+
+TEST(NodeProfiles, VectorLayoutIsSharedAcrossNodes) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  const NodeMotifProfiles profiles =
+      CollectNodeProfiles(g, ThreeEvent(100));
+  const std::vector<MotifCode> universe = EnumerateCodes(3, 3);
+  const std::vector<double> v0 = profiles.Vector(0, universe);
+  const std::vector<double> v1 = profiles.Vector(1, universe);
+  EXPECT_EQ(v0.size(), v1.size());
+  // Universe positions: sum over codes of CodeNumNodes.
+  std::size_t expected_size = 0;
+  for (const MotifCode& code : universe) {
+    expected_size += static_cast<std::size_t>(CodeNumNodes(code));
+  }
+  EXPECT_EQ(v0.size(), expected_size);
+}
+
+TEST(NodeProfiles, CosineSimilarityIdentifiesEquivalentRoles) {
+  // Two disjoint identical triangles: corresponding corners have identical
+  // profiles (similarity 1); an isolated node has similarity 0.
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1},
+                                           {1, 2, 2},
+                                           {0, 2, 3},
+                                           {10, 11, 101},
+                                           {11, 12, 102},
+                                           {10, 12, 103}});
+  const NodeMotifProfiles profiles =
+      CollectNodeProfiles(g, ThreeEvent(10));
+  const std::vector<MotifCode> universe = EnumerateCodes(3, 3);
+  EXPECT_DOUBLE_EQ(profiles.CosineSimilarity(0, 10, universe), 1.0);
+  EXPECT_DOUBLE_EQ(profiles.CosineSimilarity(1, 11, universe), 1.0);
+  EXPECT_DOUBLE_EQ(profiles.CosineSimilarity(0, 11, universe), 0.0);
+  EXPECT_DOUBLE_EQ(profiles.CosineSimilarity(0, 5, universe), 0.0);
+}
+
+}  // namespace
+}  // namespace tmotif

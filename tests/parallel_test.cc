@@ -1,0 +1,132 @@
+#include "algorithms/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace tmotif {
+namespace {
+
+TemporalGraph TestGraph(std::uint64_t seed) {
+  GeneratorConfig c;
+  c.num_nodes = 120;
+  c.num_events = 6000;
+  c.median_gap_seconds = 25;
+  c.prob_reply = 0.3;
+  c.prob_repeat = 0.2;
+  c.prob_session = 0.2;
+  c.seed = seed;
+  return GenerateTemporalNetwork(c);
+}
+
+struct ParallelCase {
+  const char* name;
+  int num_events;
+  int threads;
+  bool consecutive;
+  bool cdg;
+  Inducedness inducedness;
+};
+
+std::ostream& operator<<(std::ostream& os, const ParallelCase& c) {
+  return os << c.name;
+}
+
+class ParallelCountTest : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelCountTest, MatchesSerialExactly) {
+  const ParallelCase& c = GetParam();
+  const TemporalGraph g = TestGraph(11);
+  EnumerationOptions o;
+  o.num_events = c.num_events;
+  o.max_nodes = c.num_events;
+  o.timing = TimingConstraints::Both(600, 1200);
+  o.consecutive_events_restriction = c.consecutive;
+  o.cdg_restriction = c.cdg;
+  o.inducedness = c.inducedness;
+
+  const MotifCounts serial = CountMotifs(g, o);
+  const MotifCounts parallel = CountMotifsParallel(g, o, c.threads);
+  EXPECT_EQ(parallel.total(), serial.total());
+  EXPECT_EQ(parallel.num_codes(), serial.num_codes());
+  for (const auto& [code, count] : serial.raw()) {
+    EXPECT_EQ(parallel.count(code), count) << code;
+  }
+  EXPECT_EQ(CountInstancesParallel(g, o, c.threads), serial.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelCountTest,
+    ::testing::Values(
+        ParallelCase{"k3_t2", 3, 2, false, false, Inducedness::kNone},
+        ParallelCase{"k3_t4", 3, 4, false, false, Inducedness::kNone},
+        ParallelCase{"k3_t8", 3, 8, false, false, Inducedness::kNone},
+        ParallelCase{"k3_t4_consecutive", 3, 4, true, false,
+                     Inducedness::kNone},
+        ParallelCase{"k3_t4_cdg", 3, 4, false, true, Inducedness::kNone},
+        ParallelCase{"k3_t4_induced", 3, 4, false, false,
+                     Inducedness::kStatic},
+        ParallelCase{"k4_t4", 4, 4, false, false, Inducedness::kNone},
+        ParallelCase{"k2_t3", 2, 3, false, false, Inducedness::kNone}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(ParallelCount, OneThreadFallsBackToSerial) {
+  const TemporalGraph g = TestGraph(5);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(800);
+  EXPECT_EQ(CountMotifsParallel(g, o, 1).total(), CountMotifs(g, o).total());
+}
+
+TEST(ParallelCount, EmptyGraph) {
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(4);
+  const TemporalGraph g = builder.Build();
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  EXPECT_EQ(CountInstancesParallel(g, o, 4), 0u);
+}
+
+TEST(ParallelCount, MoreThreadsThanEvents) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(10);
+  EXPECT_EQ(CountInstancesParallel(g, o, 16), 1u);
+}
+
+TEST(ParallelCountDeathTest, RejectsMaxInstances) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}});
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.max_instances = 5;
+  EXPECT_DEATH(CountMotifsParallel(g, o, 2), "max_instances");
+}
+
+TEST(RangeEnumeration, DisjointRangesPartitionInstances) {
+  const TemporalGraph g = TestGraph(21);
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(900);
+  const std::uint64_t whole = CountInstances(g, o);
+  const EventIndex mid = g.num_events() / 2;
+  std::uint64_t left = 0;
+  std::uint64_t right = 0;
+  EnumerateInstancesInRange(g, o, 0, mid,
+                            [&](const MotifInstance&) { ++left; });
+  EnumerateInstancesInRange(g, o, mid, g.num_events(),
+                            [&](const MotifInstance&) { ++right; });
+  EXPECT_EQ(left + right, whole);
+  EXPECT_GT(left, 0u);
+  EXPECT_GT(right, 0u);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,106 @@
+#include "gen/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/event_pair_analysis.h"
+#include "graph/graph_stats.h"
+
+namespace tmotif {
+namespace {
+
+TEST(Presets, AllDatasetsListedInTable2Order) {
+  const auto all = AllDatasets();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_STREQ(DatasetName(all.front()), "Bitcoin-otc");
+  EXPECT_STREQ(DatasetName(all.back()), "SuperUser");
+}
+
+TEST(Presets, ScaleControlsSize) {
+  const GeneratorConfig full =
+      PresetConfig(DatasetId::kCollegeMsg, 1.0, 1);
+  const GeneratorConfig half =
+      PresetConfig(DatasetId::kCollegeMsg, 0.5, 1);
+  EXPECT_EQ(full.num_events, 59800);
+  EXPECT_NEAR(half.num_events, 29900, 2);
+  EXPECT_NEAR(half.num_nodes, 950, 2);
+}
+
+TEST(Presets, Table2TargetsAtFullScale) {
+  // Spot-check the published node/event counts.
+  const GeneratorConfig bitcoin =
+      PresetConfig(DatasetId::kBitcoinOtc, 1.0, 1);
+  EXPECT_EQ(bitcoin.num_nodes, 5880);
+  EXPECT_EQ(bitcoin.num_events, 35600);
+  EXPECT_TRUE(bitcoin.unique_edges);
+
+  const GeneratorConfig email = PresetConfig(DatasetId::kEmail, 1.0, 1);
+  EXPECT_EQ(email.num_events, 332000);
+  EXPECT_GT(email.prob_broadcast, 0.0);
+
+  const GeneratorConfig calls =
+      PresetConfig(DatasetId::kCallsCopenhagen, 1.0, 1);
+  EXPECT_GT(calls.mean_duration, 0.0);  // Calls have durations.
+}
+
+TEST(Presets, DefaultBenchScaleKeepsDatasetsTractable) {
+  for (const DatasetId id : AllDatasets()) {
+    const double scale = DefaultBenchScale(id);
+    const GeneratorConfig c = PresetConfig(id, scale, 1);
+    EXPECT_LE(c.num_events, 70000) << DatasetName(id);
+    EXPECT_GE(c.num_events, 3000) << DatasetName(id);
+  }
+}
+
+TEST(Presets, GeneratedStatsMatchCharacter) {
+  // Medium scale smoke check of the qualitative Table 2 targets.
+  const TemporalGraph email =
+      GenerateDataset(DatasetId::kEmail, 0.03, 11);
+  const GraphStats email_stats = ComputeStats(email);
+  // Email's defining feature: roughly half the events share timestamps.
+  EXPECT_LT(email_stats.frac_events_unique_timestamp, 0.75);
+
+  const TemporalGraph bitcoin =
+      GenerateDataset(DatasetId::kBitcoinOtc, 0.2, 11);
+  const GraphStats bitcoin_stats = ComputeStats(bitcoin);
+  // Ratings: #edges == #events, almost all timestamps unique.
+  EXPECT_EQ(bitcoin_stats.num_static_edges, bitcoin_stats.num_events);
+  EXPECT_GT(bitcoin_stats.frac_events_unique_timestamp, 0.9);
+
+  const TemporalGraph sms =
+      GenerateDataset(DatasetId::kSmsCopenhagen, 0.5, 11);
+  const GraphStats sms_stats = ComputeStats(sms);
+  // Conversations: events heavily reuse edges.
+  EXPECT_LT(sms_stats.num_static_edges * 4, sms_stats.num_events);
+}
+
+TEST(Presets, MessageNetworksAreReplyHeavy) {
+  // The paper's Figure 6 reading: repetitions and ping-pongs dominate the
+  // message networks, while Q/A sites are in-burst heavy.
+  EnumerationOptions o;
+  o.num_events = 2;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(600);
+
+  const EventPairStats sms = CollectEventPairStats(
+      GenerateDataset(DatasetId::kSmsCopenhagen, 0.5, 3), o);
+  const double sms_rp = sms.Ratio(EventPairType::kRepetition) +
+                        sms.Ratio(EventPairType::kPingPong);
+  EXPECT_GT(sms_rp, 0.4);
+
+  const EventPairStats so = CollectEventPairStats(
+      GenerateDataset(DatasetId::kStackOverflow, 0.005, 3), o);
+  EXPECT_GT(so.Ratio(EventPairType::kInBurst),
+            sms.Ratio(EventPairType::kInBurst));
+}
+
+TEST(Presets, DeterministicAcrossCalls) {
+  const TemporalGraph a = GenerateDataset(DatasetId::kCallsCopenhagen, 1.0, 5);
+  const TemporalGraph b = GenerateDataset(DatasetId::kCallsCopenhagen, 1.0, 5);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (EventIndex i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.event(i), b.event(i));
+  }
+}
+
+}  // namespace
+}  // namespace tmotif

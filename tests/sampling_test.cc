@@ -1,0 +1,133 @@
+#include "algorithms/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace tmotif {
+namespace {
+
+EnumerationOptions ThreeEventDw(Timestamp delta_w) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(delta_w);
+  return o;
+}
+
+TemporalGraph TestGraph(std::uint64_t seed, int num_events) {
+  GeneratorConfig c;
+  c.num_nodes = 100;
+  c.num_events = num_events;
+  c.median_gap_seconds = 20;
+  c.prob_reply = 0.3;
+  c.prob_repeat = 0.2;
+  c.seed = seed;
+  return GenerateTemporalNetwork(c);
+}
+
+TEST(Sampling, FullCoverageWindowsAreExact) {
+  // A window as long as the whole timespan always covers everything, so
+  // the estimate collapses to near-exact values... but weights vary by
+  // span. Instead check the unbiasedness numerically with many windows.
+  const TemporalGraph g = TestGraph(3, 3000);
+  const EnumerationOptions o = ThreeEventDw(100);
+  const std::uint64_t exact = CountInstances(g, o);
+  ASSERT_GT(exact, 0u);
+
+  Rng rng(42);
+  SamplingConfig sampling;
+  sampling.window_length = 400;
+  sampling.num_windows = 600;
+  const SampledCounts estimate = EstimateMotifCounts(g, o, sampling, &rng);
+  EXPECT_NEAR(estimate.estimated_total, static_cast<double>(exact),
+              0.25 * static_cast<double>(exact));
+}
+
+TEST(Sampling, PerCodeEstimatesTrackExactCounts) {
+  const TemporalGraph g = TestGraph(5, 3000);
+  const EnumerationOptions o = ThreeEventDw(100);
+  const MotifCounts exact = CountMotifs(g, o);
+
+  Rng rng(7);
+  SamplingConfig sampling;
+  sampling.window_length = 500;
+  sampling.num_windows = 800;
+  const SampledCounts estimate = EstimateMotifCounts(g, o, sampling, &rng);
+
+  // The dominant code's estimate should be within 35% of the exact count.
+  const auto top = exact.SortedByCount().front();
+  ASSERT_GT(top.second, 50u);
+  const auto it = estimate.per_code.find(top.first);
+  ASSERT_NE(it, estimate.per_code.end());
+  EXPECT_NEAR(it->second, static_cast<double>(top.second),
+              0.35 * static_cast<double>(top.second));
+}
+
+TEST(Sampling, FewerWindowsMeansLessWork) {
+  const TemporalGraph g = TestGraph(9, 3000);
+  const EnumerationOptions o = ThreeEventDw(100);
+  Rng rng1(1);
+  Rng rng2(1);
+  SamplingConfig small{400, 10};
+  SamplingConfig large{400, 100};
+  const SampledCounts a = EstimateMotifCounts(g, o, small, &rng1);
+  const SampledCounts b = EstimateMotifCounts(g, o, large, &rng2);
+  EXPECT_LT(a.instances_seen, b.instances_seen);
+}
+
+TEST(Sampling, DeterministicGivenRngSeed) {
+  const TemporalGraph g = TestGraph(11, 2000);
+  const EnumerationOptions o = ThreeEventDw(100);
+  SamplingConfig sampling{300, 50};
+  Rng rng1(5);
+  Rng rng2(5);
+  const SampledCounts a = EstimateMotifCounts(g, o, sampling, &rng1);
+  const SampledCounts b = EstimateMotifCounts(g, o, sampling, &rng2);
+  EXPECT_DOUBLE_EQ(a.estimated_total, b.estimated_total);
+  EXPECT_EQ(a.instances_seen, b.instances_seen);
+}
+
+TEST(Sampling, EmptyGraphEstimatesZero) {
+  TemporalGraphBuilder builder;
+  builder.SetMinNumNodes(2);
+  const TemporalGraph g = builder.Build();
+  Rng rng(1);
+  SamplingConfig sampling{100, 10};
+  const SampledCounts estimate =
+      EstimateMotifCounts(g, ThreeEventDw(50), sampling, &rng);
+  EXPECT_DOUBLE_EQ(estimate.estimated_total, 0.0);
+}
+
+TEST(SamplingDeathTest, RejectsUnboundedConfigurations) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}});
+  EnumerationOptions unbounded;
+  unbounded.num_events = 2;
+  unbounded.max_nodes = 3;
+  Rng rng(1);
+  SamplingConfig sampling{100, 4};
+  EXPECT_DEATH(EstimateMotifCounts(g, unbounded, sampling, &rng),
+               "timing must bound");
+}
+
+TEST(SamplingDeathTest, RejectsWindowsShorterThanSpanBound) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}});
+  EnumerationOptions o = ThreeEventDw(1000);
+  Rng rng(1);
+  SamplingConfig sampling{100, 4};  // Window 100 < dW 1000.
+  EXPECT_DEATH(EstimateMotifCounts(g, o, sampling, &rng),
+               "window_length must cover");
+}
+
+TEST(SamplingDeathTest, RejectsGlobalRestrictions) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}});
+  EnumerationOptions o = ThreeEventDw(50);
+  o.consecutive_events_restriction = true;
+  Rng rng(1);
+  SamplingConfig sampling{100, 4};
+  EXPECT_DEATH(EstimateMotifCounts(g, o, sampling, &rng),
+               "timing-only");
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,220 @@
+#include "core/models/song.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/counter.h"
+#include "core/models/vanilla.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TemporalGraph RandomGraph(std::uint32_t seed, int num_nodes, int num_events,
+                          Timestamp horizon) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, num_nodes - 1);
+  // Distinct odd timestamps so linear-extension counting is exact.
+  std::vector<Timestamp> times;
+  for (int i = 0; i < num_events; ++i) {
+    times.push_back(1 + 2 * (i * horizon / num_events));
+  }
+  TemporalGraphBuilder builder;
+  for (int i = 0; i < num_events; ++i) {
+    const NodeId src = static_cast<NodeId>(node(rng));
+    NodeId dst = static_cast<NodeId>(node(rng));
+    while (dst == src) dst = static_cast<NodeId>(node(rng));
+    builder.AddEvent(src, dst, times[static_cast<std::size_t>(i)]);
+  }
+  return builder.Build();
+}
+
+TEST(EventPattern, FromMotifCodeBuildsChain) {
+  const EventPattern p = EventPattern::FromMotifCode("011202", 100);
+  EXPECT_EQ(p.num_vars, 3);
+  ASSERT_EQ(p.edges.size(), 3u);
+  EXPECT_EQ(p.edges[1].src_var, 1);
+  EXPECT_EQ(p.edges[1].dst_var, 2);
+  ASSERT_EQ(p.order.size(), 2u);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(EventPattern, ValidRejectsBrokenPatterns) {
+  EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EXPECT_TRUE(p.Valid());
+
+  EventPattern self_loop = p;
+  self_loop.edges[0].dst_var = self_loop.edges[0].src_var;
+  EXPECT_FALSE(self_loop.Valid());
+
+  EventPattern out_of_range = p;
+  out_of_range.edges[0].src_var = 99;
+  EXPECT_FALSE(out_of_range.Valid());
+
+  EventPattern cyclic = p;
+  cyclic.order = {{0, 1}, {1, 0}};
+  EXPECT_FALSE(cyclic.Valid());
+
+  EventPattern negative_window = p;
+  negative_window.delta_w = -1;
+  EXPECT_FALSE(negative_window.Valid());
+}
+
+TEST(EventPattern, LinearExtensionsOfChainAndAntichain) {
+  EventPattern chain = EventPattern::FromMotifCode("010102", 10);
+  EXPECT_EQ(chain.LinearExtensions().size(), 1u);
+
+  EventPattern antichain = chain;
+  antichain.order.clear();
+  EXPECT_EQ(antichain.LinearExtensions().size(), 6u);  // 3! orders.
+
+  EventPattern vee = chain;
+  vee.order = {{0, 1}, {0, 2}};  // Edge 0 first, 1 and 2 free.
+  EXPECT_EQ(vee.LinearExtensions().size(), 2u);
+}
+
+TEST(EventPatternMatcher, FindsSimpleMatch) {
+  // Pattern: x->y then y->z within 10s.
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  EXPECT_EQ(matcher.AddEvent({0, 1, 100}), 0u);
+  EXPECT_EQ(matcher.AddEvent({1, 2, 105}), 1u);
+  EXPECT_EQ(matcher.total_matches(), 1u);
+}
+
+TEST(EventPatternMatcher, WindowEvictsOldEvents) {
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({0, 1, 100});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 111}), 0u);  // 11s apart: too late.
+  EXPECT_LE(matcher.window_size(), 2u);
+}
+
+TEST(EventPatternMatcher, InjectiveVariableBinding) {
+  // Convey x->y->z must not match a ping-pong 0->1->0.
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({0, 1, 100});
+  EXPECT_EQ(matcher.AddEvent({1, 0, 105}), 0u);
+}
+
+TEST(EventPatternMatcher, EdgeLabelsFilter) {
+  EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  p.edges[0].edge_label = 7;  // First edge must carry label 7.
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({0, 1, 100, 0, /*label=*/3});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 101}), 0u);
+  matcher.AddEvent({0, 1, 102, 0, /*label=*/7});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 103}), 1u);
+}
+
+TEST(EventPatternMatcher, NodeLabelsFilter) {
+  EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  p.var_labels = {5, kNoLabel, kNoLabel};  // Variable 0 must be a 5-node.
+  // Node labels: node 0 labeled 5, others unlabeled.
+  EventPatternMatcher matcher(p, /*node_labels=*/{5, kNoLabel, kNoLabel, 9});
+  matcher.AddEvent({3, 1, 100});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 101}), 0u);  // Node 3 has label 9.
+  matcher.AddEvent({0, 1, 102});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 103}), 1u);
+}
+
+TEST(EventPatternMatcher, PartialOrderAllowsBothOrders) {
+  // Two unordered edges x->y, x->z: both arrival orders match.
+  EventPattern p;
+  p.num_vars = 3;
+  p.edges = {{0, 1, kNoLabel}, {0, 2, kNoLabel}};
+  p.delta_w = 100;
+  ASSERT_TRUE(p.Valid());
+
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({4, 5, 10});
+  // (4->5, 4->6): edge0=first/edge1=second and the swapped assignment.
+  EXPECT_EQ(matcher.AddEvent({4, 6, 20}), 2u);
+}
+
+TEST(EventPatternMatcher, StrictOrderRejectsTies) {
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({0, 1, 100});
+  EXPECT_EQ(matcher.AddEvent({1, 2, 100}), 0u);  // Same timestamp.
+}
+
+TEST(EventPatternMatcherDeathTest, RejectsNonChronologicalStream) {
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  matcher.AddEvent({0, 1, 100});
+  EXPECT_DEATH(matcher.AddEvent({1, 2, 99}), "chronological");
+}
+
+TEST(EventPatternMatcher, VisitorReceivesAssignedEvents) {
+  const EventPattern p = EventPattern::FromMotifCode("0112", 10);
+  EventPatternMatcher matcher(p);
+  std::vector<PatternMatch> matches;
+  matcher.AddEvent({0, 1, 100},
+                   [&](const PatternMatch& m) { matches.push_back(m); });
+  matcher.AddEvent({1, 2, 105},
+                   [&](const PatternMatch& m) { matches.push_back(m); });
+  ASSERT_EQ(matches.size(), 1u);
+  ASSERT_EQ(matches[0].events.size(), 2u);
+  EXPECT_EQ(matches[0].events[0].src, 0);
+  EXPECT_EQ(matches[0].events[1].dst, 2);
+}
+
+// Totally ordered unlabeled patterns are equivalent to vanilla dW counting
+// of that code: the bridge between Song's model and the other models.
+TEST(SongVanillaEquivalence, TotalOrderPatternMatchesVanillaCount) {
+  const TemporalGraph g = RandomGraph(99, 6, 60, 200);
+  for (const char* code : {"0112", "0110", "010102", "011202", "011210"}) {
+    const EventPattern pattern = EventPattern::FromMotifCode(code, 40);
+    VanillaConfig config;
+    config.num_events = CodeNumEvents(code);
+    config.max_nodes = CodeNumNodes(code);
+    config.timing = TimingConstraints::OnlyDeltaW(40);
+    const MotifCounts vanilla = CountVanillaMotifs(g, config);
+    EXPECT_EQ(CountPatternMatches(g, pattern), vanilla.count(code))
+        << code;
+  }
+}
+
+// A partial-order pattern counts exactly the union over its linear
+// extensions (Section 4.3), when timestamps are distinct.
+TEST(SongPartialOrder, EqualsSumOfLinearExtensions) {
+  const TemporalGraph g = RandomGraph(123, 5, 50, 300);
+  // Acyclic triangle: B->C (edge 0) precedes both A->B (1) and A->C (2) --
+  // the Section 4.3 example.
+  EventPattern partial;
+  partial.num_vars = 3;  // A=0, B=1, C=2.
+  partial.edges = {{1, 2, kNoLabel}, {0, 1, kNoLabel}, {0, 2, kNoLabel}};
+  partial.order = {{0, 1}, {0, 2}};
+  partial.delta_w = 60;
+  ASSERT_TRUE(partial.Valid());
+
+  const std::uint64_t partial_count = CountPatternMatches(g, partial);
+
+  std::uint64_t total = 0;
+  for (const std::vector<int>& extension : partial.LinearExtensions()) {
+    EventPattern totalized = partial;
+    totalized.order.clear();
+    for (std::size_t i = 1; i < extension.size(); ++i) {
+      totalized.order.emplace_back(extension[i - 1], extension[i]);
+    }
+    total += CountPatternMatches(g, totalized);
+  }
+  EXPECT_EQ(partial.LinearExtensions().size(), 2u);
+  EXPECT_EQ(partial_count, total);
+}
+
+TEST(SongStreaming, IncrementalEqualsBatch) {
+  const TemporalGraph g = RandomGraph(321, 6, 80, 250);
+  const EventPattern pattern = EventPattern::FromMotifCode("011202", 50);
+  EventPatternMatcher matcher(pattern);
+  std::uint64_t incremental = 0;
+  for (const Event& e : g.events()) incremental += matcher.AddEvent(e);
+  EXPECT_EQ(incremental, matcher.total_matches());
+  EXPECT_EQ(incremental, CountPatternMatches(g, pattern));
+}
+
+}  // namespace
+}  // namespace tmotif

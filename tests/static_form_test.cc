@@ -1,0 +1,78 @@
+#include "core/static_form.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tmotif {
+namespace {
+
+TEST(CanonicalStaticForm, SingleEdge) {
+  EXPECT_EQ(CanonicalStaticForm({{7, 3}}), "01");
+}
+
+TEST(CanonicalStaticForm, CollapsesRepeatedEdges) {
+  EXPECT_EQ(CanonicalStaticForm({{0, 1}, {0, 1}, {0, 1}}), "01");
+}
+
+TEST(CanonicalStaticForm, InvariantUnderRelabeling) {
+  const StaticForm a = CanonicalStaticForm({{0, 1}, {1, 2}, {0, 2}});
+  const StaticForm b = CanonicalStaticForm({{9, 4}, {4, 7}, {9, 7}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalStaticForm, DistinguishesOrientation) {
+  // A feed-forward triangle vs a directed cycle.
+  const StaticForm ffl = CanonicalStaticForm({{0, 1}, {1, 2}, {0, 2}});
+  const StaticForm cycle = CanonicalStaticForm({{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_NE(ffl, cycle);
+}
+
+TEST(CanonicalStaticForm, ReciprocalPairVsTwoStars) {
+  const StaticForm pingpong = CanonicalStaticForm({{0, 1}, {1, 0}});
+  const StaticForm outburst = CanonicalStaticForm({{0, 1}, {0, 2}});
+  EXPECT_NE(pingpong, outburst);
+  EXPECT_EQ(StaticFormNumNodes(pingpong), 2);
+  EXPECT_EQ(StaticFormNumNodes(outburst), 3);
+}
+
+TEST(StaticFormOfCode, TemporalOrderIsErased) {
+  // All temporal orderings of the same triangle share one static form.
+  const StaticForm reference = StaticFormOfCode("011202");
+  EXPECT_EQ(StaticFormOfCode("010212"), reference);  // Different order.
+  // Repetition variants collapse onto smaller forms.
+  EXPECT_EQ(StaticFormOfCode("010101"), StaticFormOfCode("0101"));
+}
+
+TEST(StaticFormOfCode, AccessorsConsistent) {
+  const StaticForm form = StaticFormOfCode("01023132");
+  EXPECT_EQ(StaticFormNumNodes(form), 4);
+  EXPECT_EQ(StaticFormNumEdges(form), 4);
+}
+
+TEST(StaticForm, ThreeEventSpectrumCollapses) {
+  // The 36 temporal 3-event codes project onto far fewer static forms:
+  // temporal order is what multiplies the spectrum (the paper's Section 1:
+  // "the spectrum of motifs is significantly larger" with time).
+  std::set<StaticForm> forms;
+  for (const MotifCode& code : EnumerateCodes(3, 3)) {
+    forms.insert(StaticFormOfCode(code));
+  }
+  EXPECT_LT(forms.size(), 20u);
+  EXPECT_GT(forms.size(), 5u);
+}
+
+TEST(StaticForm, CanonicalIsIdempotent) {
+  for (const MotifCode& code : EnumerateCodes(3, 3)) {
+    const StaticForm form = StaticFormOfCode(code);
+    // Re-canonicalizing the form's own edges is a fixed point.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (std::size_t i = 0; i + 1 < form.size(); i += 2) {
+      edges.emplace_back(form[i] - '0', form[i + 1] - '0');
+    }
+    EXPECT_EQ(CanonicalStaticForm(edges), form) << code;
+  }
+}
+
+}  // namespace
+}  // namespace tmotif

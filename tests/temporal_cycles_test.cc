@@ -1,0 +1,97 @@
+#include "algorithms/temporal_cycles.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(TemporalCycles, FindsTriangleCycle) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}, {2, 0, 3}});
+  CycleConfig config{/*delta_w=*/10, /*max_length=*/4, /*min_length=*/2};
+  const auto counts = CountTemporalCycles(g, config);
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(TemporalCycles, TwoCyclesArePingPongs) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 0, 2}, {0, 1, 3}});
+  CycleConfig config{10, 3, 2};
+  const auto counts = CountTemporalCycles(g, config);
+  // (0->1@1, 1->0@2) and (1->0@2, 0->1@3).
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(TemporalCycles, RespectsTimeOrdering) {
+  // Edges exist but timestamps decrease around the triangle.
+  const TemporalGraph g = GraphFromEvents({{0, 1, 3}, {1, 2, 2}, {2, 0, 1}});
+  CycleConfig config{10, 4, 2};
+  const auto counts = CountTemporalCycles(g, config);
+  for (const auto c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(TemporalCycles, RespectsDeltaW) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {1, 2, 5}, {2, 0, 20}});
+  CycleConfig tight{10, 4, 2};
+  EXPECT_EQ(CountTemporalCycles(g, tight)[3], 0u);
+  CycleConfig loose{20, 4, 2};
+  EXPECT_EQ(CountTemporalCycles(g, loose)[3], 1u);
+}
+
+TEST(TemporalCycles, SimpleCyclesOnly) {
+  // A figure-eight through node 0 must not be reported as one long cycle:
+  // 0->1->0->2->0 revisits the root.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 0, 2}, {0, 2, 3}, {2, 0, 4}});
+  CycleConfig config{10, 4, 2};
+  const auto counts = CountTemporalCycles(g, config);
+  EXPECT_EQ(counts[2], 2u);  // The two 2-cycles.
+  EXPECT_EQ(counts[4], 0u);  // No figure-eight.
+}
+
+TEST(TemporalCycles, IntermediateNodesMustBeDistinct) {
+  // 0->1->2->1->... path would revisit node 1.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 2}, {2, 1, 3}, {1, 0, 4}});
+  CycleConfig config{10, 4, 2};
+  const auto counts = CountTemporalCycles(g, config);
+  // Valid cycles: 0->1->0 via (0,1,1),(1,0,4); 1->2->1 via (1,2,2),(2,1,3).
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(TemporalCycles, MaxLengthCutsLongCycles) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}});
+  CycleConfig short_cfg{10, 3, 2};
+  EXPECT_EQ(CountTemporalCycles(g, short_cfg)[3], 0u);
+  CycleConfig long_cfg{10, 4, 2};
+  EXPECT_EQ(CountTemporalCycles(g, long_cfg)[4], 1u);
+}
+
+TEST(TemporalCycles, VisitorReceivesChronologicalEvents) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 2, 2}, {2, 0, 3}});
+  CycleConfig config{10, 4, 2};
+  std::vector<std::vector<EventIndex>> cycles;
+  EnumerateTemporalCycles(g, config,
+                          [&](const std::vector<EventIndex>& cycle) {
+                            cycles.push_back(cycle);
+                          });
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<EventIndex>{0, 1, 2}));
+}
+
+TEST(TemporalCycles, EachCycleRootedAtEarliestEvent) {
+  // Two interleaved triangles sharing edges; counts must not double.
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 2}, {2, 0, 3}, {1, 2, 4}});
+  CycleConfig config{10, 3, 2};
+  const auto counts = CountTemporalCycles(g, config);
+  EXPECT_EQ(counts[3], 1u);  // Only 0->1->2->0 once.
+}
+
+}  // namespace
+}  // namespace tmotif

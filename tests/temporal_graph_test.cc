@@ -1,0 +1,147 @@
+#include "graph/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace tmotif {
+namespace {
+
+TEST(TemporalGraphBuilder, SortsEventsChronologically) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 30).AddEvent(1, 2, 10).AddEvent(2, 0, 20);
+  const TemporalGraph g = builder.Build();
+  ASSERT_EQ(g.num_events(), 3);
+  EXPECT_EQ(g.event(0).time, 10);
+  EXPECT_EQ(g.event(1).time, 20);
+  EXPECT_EQ(g.event(2).time, 30);
+}
+
+TEST(TemporalGraphBuilder, DeterministicTieOrdering) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(5, 6, 10).AddEvent(1, 2, 10).AddEvent(3, 4, 10);
+  const TemporalGraph g = builder.Build();
+  EXPECT_EQ(g.event(0).src, 1);
+  EXPECT_EQ(g.event(1).src, 3);
+  EXPECT_EQ(g.event(2).src, 5);
+}
+
+TEST(TemporalGraphBuilder, NumNodesFromMaxId) {
+  const TemporalGraph g = GraphFromEvents({{0, 9, 1}});
+  EXPECT_EQ(g.num_nodes(), 10);
+}
+
+TEST(TemporalGraphBuilder, SetMinNumNodesExtends) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 5);
+  builder.SetMinNumNodes(100);
+  const TemporalGraph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 100);
+  EXPECT_TRUE(g.incident(99).empty());
+}
+
+TEST(TemporalGraphBuilder, ReusableAfterBuild) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 5);
+  const TemporalGraph first = builder.Build();
+  EXPECT_EQ(first.num_events(), 1);
+  builder.AddEvent(2, 3, 7);
+  const TemporalGraph second = builder.Build();
+  EXPECT_EQ(second.num_events(), 1);
+  EXPECT_EQ(second.event(0).src, 2);
+}
+
+TEST(TemporalGraphBuilderDeathTest, RejectsSelfLoops) {
+  TemporalGraphBuilder builder;
+  EXPECT_DEATH(builder.AddEvent(3, 3, 1), "self-loop");
+}
+
+TEST(TemporalGraphBuilderDeathTest, RejectsNegativeIds) {
+  TemporalGraphBuilder builder;
+  EXPECT_DEATH(builder.AddEvent(-1, 2, 1), "negative node id");
+}
+
+TEST(TemporalGraph, IncidentListsAreAscendingAndComplete) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}, {2, 1, 4}});
+  EXPECT_EQ(g.incident(0), (std::vector<EventIndex>{0, 2}));
+  EXPECT_EQ(g.incident(1), (std::vector<EventIndex>{0, 1, 3}));
+  EXPECT_EQ(g.incident(2), (std::vector<EventIndex>{1, 2, 3}));
+}
+
+TEST(TemporalGraph, EdgeEventsAreDirected) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 0, 2}, {0, 1, 3}});
+  EXPECT_EQ(g.edge_events(0, 1), (std::vector<EventIndex>{0, 2}));
+  EXPECT_EQ(g.edge_events(1, 0), (std::vector<EventIndex>{1}));
+  EXPECT_TRUE(g.edge_events(1, 2).empty());
+}
+
+TEST(TemporalGraph, HasStaticEdgeIsDirected) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}});
+  EXPECT_TRUE(g.HasStaticEdge(0, 1));
+  EXPECT_FALSE(g.HasStaticEdge(1, 0));
+}
+
+TEST(TemporalGraph, NumStaticEdgesCountsDistinctPairs) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {0, 1, 2}, {1, 0, 3}, {1, 2, 4}});
+  EXPECT_EQ(g.num_static_edges(), 3u);
+}
+
+TEST(TemporalGraph, CountIncidentInIndexRangeIsExclusive) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {0, 2, 2}, {0, 3, 3}, {0, 4, 4}});
+  EXPECT_EQ(g.CountIncidentInIndexRange(0, 0, 3), 2);  // Events 1 and 2.
+  EXPECT_EQ(g.CountIncidentInIndexRange(0, 0, 1), 0);
+  EXPECT_EQ(g.CountIncidentInIndexRange(0, 3, 3), 0);
+  EXPECT_EQ(g.CountIncidentInIndexRange(1, 0, 3), 0);  // Node 1 only in e0.
+}
+
+TEST(TemporalGraph, CountEdgeEventsInTimeRangeInclusive) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 10}, {0, 1, 20}, {0, 1, 30}, {1, 0, 20}});
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(0, 1, 10, 30), 3);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(0, 1, 11, 29), 1);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(0, 1, 20, 20), 1);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(1, 0, 0, 100), 1);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(2, 0, 0, 100), 0);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(0, 1, 31, 10), 0);  // Empty range.
+}
+
+TEST(TemporalGraph, CountEdgeEventsInIndexRange) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 10}, {0, 1, 20}, {0, 1, 30}});
+  EXPECT_EQ(g.CountEdgeEventsInIndexRange(0, 1, 0, 2), 1);
+  EXPECT_EQ(g.CountEdgeEventsInIndexRange(0, 1, -1, 3), 3);
+}
+
+TEST(TemporalGraph, MinMaxTime) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 7}, {1, 2, 42}});
+  EXPECT_EQ(g.min_time(), 7);
+  EXPECT_EQ(g.max_time(), 42);
+}
+
+TEST(TemporalGraph, NodeLabels) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 1);
+  builder.SetNodeLabel(0, 5).SetNodeLabel(2, 9);
+  const TemporalGraph g = builder.Build();
+  EXPECT_EQ(g.node_label(0), 5);
+  EXPECT_EQ(g.node_label(1), kNoLabel);
+  EXPECT_EQ(g.node_label(2), 9);
+}
+
+TEST(TemporalGraph, UnlabeledGraphReturnsNoLabel) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 1}});
+  EXPECT_EQ(g.node_label(0), kNoLabel);
+  EXPECT_TRUE(g.node_labels().empty());
+}
+
+TEST(TemporalGraph, EventDurationsAndLabelsPreserved) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 10, /*duration=*/55, /*label=*/3);
+  const TemporalGraph g = builder.Build();
+  EXPECT_EQ(g.event(0).duration, 55);
+  EXPECT_EQ(g.event(0).label, 3);
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,66 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace tmotif {
+namespace {
+
+TEST(HumanCount, MatchesPaperStyle) {
+  EXPECT_EQ(HumanCount(904), "904");
+  EXPECT_EQ(HumanCount(1930), "1.93K");
+  EXPECT_EQ(HumanCount(35600), "35.6K");
+  EXPECT_EQ(HumanCount(1020000), "1.02M");
+  EXPECT_EQ(HumanCount(6350000), "6.35M");
+  EXPECT_EQ(HumanCount(0), "0");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "count"});
+  table.AddRow().AddCell("alpha").AddInt(10);
+  table.AddRow().AddCell("b").AddInt(123456);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatters) {
+  TextTable table({"a", "b", "c", "d", "e"});
+  table.AddRow()
+      .AddInt(-5)
+      .AddUint(7)
+      .AddDouble(3.14159, 3)
+      .AddPercent(0.1234, 1)
+      .AddHumanCount(25000);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("12.3%"), std::string::npos);
+  EXPECT_NE(out.find("25.0K"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow().AddCell("1");
+  table.AddRow().AddCell("2");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsRenderWithEmptyCells) {
+  TextTable table({"a", "b"});
+  table.AddRow().AddCell("only-a");
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, TooManyCellsAborts) {
+  TextTable table({"one"});
+  table.AddRow().AddCell("x");
+  EXPECT_DEATH(table.AddCell("overflow"), "TMOTIF_CHECK");
+}
+
+}  // namespace
+}  // namespace tmotif

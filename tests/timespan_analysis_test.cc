@@ -1,0 +1,87 @@
+#include "analysis/timespan_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace {
+
+TEST(Timespans, CollectsSpansForMatchingCode) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 0}, {0, 1, 10}, {0, 2, 40}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(100);
+  const TimespanProfile profile = CollectTimespans(g, o, "010102", 10);
+  EXPECT_EQ(profile.num_instances, 1u);
+  EXPECT_DOUBLE_EQ(profile.mean_span, 40.0);
+  EXPECT_EQ(profile.histogram.total(), 1u);
+  // Span 40 of range [0, 100] -> bin 4 of 10.
+  EXPECT_EQ(profile.histogram.bin_count(4), 1u);
+}
+
+TEST(Timespans, HistogramRangeFollowsDeltaW) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {0, 1, 1}, {0, 2, 2}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(3000);
+  const TimespanProfile profile = CollectTimespans(g, o, "010102", 30);
+  EXPECT_DOUBLE_EQ(profile.histogram.hi(), 3000.0);
+}
+
+TEST(Timespans, HistogramRangeFollowsLooseDeltaCBound) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {0, 1, 1}, {0, 2, 2}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaC(1500);
+  const TimespanProfile profile = CollectTimespans(g, o, "010102", 30);
+  EXPECT_DOUBLE_EQ(profile.histogram.hi(), 3000.0);  // dC * (k-1).
+}
+
+TEST(Timespans, UnboundedUsesFallback) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {0, 1, 1}, {0, 2, 2}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  const TimespanProfile profile =
+      CollectTimespans(g, o, "010102", 30, /*unbounded_hi=*/500);
+  EXPECT_DOUBLE_EQ(profile.histogram.hi(), 500.0);
+}
+
+TEST(Timespans, SpansNeverExceedDeltaW) {
+  TemporalGraphBuilder builder;
+  Timestamp t = 0;
+  for (int i = 0; i < 30; ++i) {
+    builder.AddEvent(0, 1, t);
+    builder.AddEvent(0, 1, t + 20 + i);
+    builder.AddEvent(0, 2 + i, t + 50 + 2 * i);
+    t += 5000;
+  }
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(200);
+  const TimespanProfile profile =
+      CollectTimespans(builder.Build(), o, "010102", 20);
+  EXPECT_EQ(profile.num_instances, 30u);
+  EXPECT_LE(profile.mean_span, 200.0);
+  EXPECT_GT(profile.mean_span, 0.0);
+}
+
+TEST(Timespans, EmptyProfileForAbsentCode) {
+  const TemporalGraph g = GraphFromEvents({{0, 1, 0}, {1, 0, 1}, {0, 1, 2}});
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::OnlyDeltaW(100);
+  const TimespanProfile profile = CollectTimespans(g, o, "010102", 10);
+  EXPECT_EQ(profile.num_instances, 0u);
+  EXPECT_DOUBLE_EQ(profile.mean_span, 0.0);
+}
+
+}  // namespace
+}  // namespace tmotif
