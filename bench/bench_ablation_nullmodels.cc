@@ -27,6 +27,7 @@ std::uint64_t CountThreeEvent(const TemporalGraph& graph) {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Null-model instability",
       "Section 5 'Comparison criteria': no reference model preserves both "
@@ -119,6 +120,7 @@ int Run(int argc, char** argv) {
       "and stays closer to the original (too restrictive for link-level "
       "correlations). No model reproduces the real counts - the paper's "
       "reason for using raw counts as the significance indicator.\n");
+  WriteBenchResult(args, "ablation_nullmodels", run_timer.Seconds());
   return 0;
 }
 

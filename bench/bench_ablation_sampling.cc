@@ -16,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Sampling estimator",
       "Section 3 'Algorithmic improvements': approximate counting via "
@@ -85,6 +86,7 @@ int Run(int argc, char** argv) {
       "Expected: error shrinks roughly as 1/sqrt(windows); small window "
       "budgets trade accuracy for an order-of-magnitude less enumeration "
       "work (the paper's reference reports up to two orders of magnitude).\n");
+  WriteBenchResult(args, "ablation_sampling", run_timer.Seconds());
   return 0;
 }
 

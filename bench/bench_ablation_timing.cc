@@ -29,6 +29,7 @@ std::uint64_t CountWith(const TemporalGraph& graph, int k,
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Timing-constraint trade-off",
       "Section 4.5's case analysis, verified empirically on CollegeMsg",
@@ -81,6 +82,7 @@ int Run(int argc, char** argv) {
       "Expected: rows classified only-dC match the only-dC count exactly, "
       "rows classified only-dW match the only-dW count, and dW-and-dC rows "
       "sit strictly between.\n");
+  WriteBenchResult(args, "ablation_timing", run_timer.Seconds());
   return 0;
 }
 

@@ -21,6 +21,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader("Model validity comparison",
                    "Figure 1 (four motifs x four models, dC=5s, dW=10s)",
                    args);
@@ -87,6 +88,7 @@ int Run(int argc, char** argv) {
         .AddCell(a.uses_delta_w ? "yes" : "no");
   }
   std::printf("%s\n", aspects.Render().c_str());
+  WriteBenchResult(args, "fig1_model_validity", run_timer.Seconds());
   return 0;
 }
 

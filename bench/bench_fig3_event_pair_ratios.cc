@@ -35,6 +35,7 @@ constexpr double kFourEventExtraScale = 0.35;
 
 int Run(int argc, char** argv) {
   BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Event-pair ratios",
       "Figure 3 and Figures 7-8: six pair-type ratios, 3e and 4e motifs, "
@@ -75,6 +76,7 @@ int Run(int argc, char** argv) {
       "Paper shape: the repetition share decreases when going from only-dW "
       "to only-dC in almost all datasets, while the increasing type varies "
       "(in-bursts for stack exchange, ping-pongs/conveys for calls).\n");
+  WriteBenchResult(args, "fig3_event_pair_ratios", run_timer.Seconds());
   return 0;
 }
 

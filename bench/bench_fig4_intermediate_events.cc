@@ -37,6 +37,7 @@ struct Panel {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Intermediate event behaviour",
       "Figure 4 (010102 on SMS-Copen., 011221 on FBWall, 01212303 on "
@@ -96,6 +97,7 @@ int Run(int argc, char** argv) {
       "(centroid far from 50%%: towards the first event for repetitions, "
       "towards the last for closing ping-pongs); enforcing dC pulls the "
       "centroid back towards the middle.\n");
+  WriteBenchResult(args, "fig4_intermediate_events", run_timer.Seconds());
   return 0;
 }
 

@@ -14,6 +14,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Ordered event-pair sequences",
       "Figure 6 (SMS-A, SMS-Copen., Calls-Copen., Email) and Figure 11 "
@@ -54,6 +55,7 @@ int Run(int argc, char** argv) {
       "networks; repetition/out-burst dominate calls and email; "
       "weakly-connected sequences are rare everywhere; convey/in-burst "
       "compatibilities are asymmetric (I->C common, C->I rare).\n");
+  WriteBenchResult(args, "fig6_pair_sequences", run_timer.Seconds());
   return 0;
 }
 

@@ -18,6 +18,7 @@ const char* const kFocalMotifs[] = {"010210", "011210", "012010", "012110"};
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Consecutive-events restriction",
       "Table 3 (totals + focal rank changes) and Table 6 (all 32 motifs), "
@@ -62,6 +63,7 @@ int Run(int argc, char** argv) {
       "Paper shape: >95%% of motifs removed on all datasets except "
       "Bitcoin-otc; the four ask-reply motifs are amplified, most strongly "
       "on message networks (CollegeMsg +18/+23/+10/+16).\n");
+  WriteBenchResult(args, "table3_consecutive", run_timer.Seconds());
   return 0;
 }
 

@@ -30,6 +30,7 @@ EnumerationOptions ConfigFor(double ratio) {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  WallTimer run_timer;
   PrintBenchHeader(
       "Event pairs vs timing constraints",
       "Table 5: R/P/I/O and C/W counts under only-dW (dC/dW=1.0), "
@@ -89,6 +90,7 @@ int Run(int argc, char** argv) {
       "Paper shape: R/P/I/O counts dwarf C/W; tightening towards only-dC "
       "removes proportionally more R/P/I/O pairs than C/W pairs (e.g. "
       "CollegeMsg 56.8%% vs 58.9%% kept under only-dC).\n");
+  WriteBenchResult(args, "table5_event_pairs", run_timer.Seconds());
   return 0;
 }
 

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "analysis/report.h"
 
 namespace tmotif {
 
@@ -48,6 +51,23 @@ void PrintBenchHeader(const std::string& title, const std::string& paper_ref,
               args.scale_multiplier,
               static_cast<unsigned long long>(args.seed));
   std::printf("================================================================\n\n");
+}
+
+void WriteBenchResult(const BenchArgs& args, const std::string& name,
+                      double seconds) {
+  const std::string path =
+      BenchOutputPath(args.out_dir, "BENCH_" + name + ".json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file,
+               "{\"bench\": \"%s\", \"scale\": %.4f, \"seed\": %llu, "
+               "\"seconds\": %.6f}\n",
+               name.c_str(), args.scale_multiplier,
+               static_cast<unsigned long long>(args.seed), seconds);
+  std::fclose(file);
 }
 
 std::vector<DatasetId> MessageDatasets() {

@@ -37,6 +37,13 @@ void PrintBenchHeader(const std::string& title, const std::string& paper_ref,
 /// The message-network subset the paper highlights repeatedly.
 std::vector<DatasetId> MessageDatasets();
 
+/// Writes `<out_dir>/BENCH_<name>.json`: one machine-readable record of this
+/// run — bench name, effective scale multiplier, seed, and wall seconds — so
+/// the perf trajectory of every bench can be tracked across PRs (e.g. by
+/// tools/run_benches.sh). Overwrites any previous record.
+void WriteBenchResult(const BenchArgs& args, const std::string& name,
+                      double seconds);
+
 /// Wall-clock helper for reporting bench runtimes.
 class WallTimer {
  public:

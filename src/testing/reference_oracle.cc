@@ -1,0 +1,87 @@
+#include "testing/reference_oracle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+namespace testing {
+
+namespace {
+
+/// Relabels the instance's nodes by order of first appearance and renders
+/// the 2n-digit code. Independent of core/motif_code.h on purpose: the
+/// differential tests compare this against both the enumerator's codes and
+/// `EncodeInstance`.
+MotifCode OracleCode(const TemporalGraph& graph,
+                     const std::vector<EventIndex>& event_indices) {
+  std::vector<NodeId> order;
+  const auto digit_of = [&](NodeId node) {
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      if (order[d] == node) return static_cast<int>(d);
+    }
+    order.push_back(node);
+    return static_cast<int>(order.size()) - 1;
+  };
+  MotifCode code;
+  code.reserve(2 * event_indices.size());
+  for (const EventIndex idx : event_indices) {
+    const Event& e = graph.event(idx);
+    code.push_back(static_cast<char>('0' + digit_of(e.src)));
+    code.push_back(static_cast<char>('0' + digit_of(e.dst)));
+  }
+  return code;
+}
+
+}  // namespace
+
+std::vector<ReferenceInstance> ReferenceEnumerate(
+    const TemporalGraph& graph, const EnumerationOptions& options) {
+  TMOTIF_CHECK(options.num_events >= 1);
+  const int k = options.num_events;
+  const EventIndex n = graph.num_events();
+  std::vector<ReferenceInstance> found;
+  if (n < k) return found;
+
+  // Classic lexicographic k-combination walk over event indices.
+  std::vector<EventIndex> subset(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) subset[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    if (IsValidInstance(graph, subset, options)) {
+      found.push_back({subset, OracleCode(graph, subset)});
+    }
+    int pos = k - 1;
+    while (pos >= 0 &&
+           subset[static_cast<std::size_t>(pos)] == n - k + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++subset[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  // The walk is already lexicographic, but sort anyway so the contract does
+  // not depend on the iteration scheme.
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::uint64_t ReferenceCount(const TemporalGraph& graph,
+                             const EnumerationOptions& options) {
+  return ReferenceEnumerate(graph, options).size();
+}
+
+MotifCounts ReferenceCountMotifs(const TemporalGraph& graph,
+                                 const EnumerationOptions& options) {
+  MotifCounts counts;
+  for (const ReferenceInstance& instance :
+       ReferenceEnumerate(graph, options)) {
+    counts.Add(instance.code);
+  }
+  return counts;
+}
+
+}  // namespace testing
+}  // namespace tmotif

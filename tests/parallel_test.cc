@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/generator.h"
+#include "testing/random_graphs.h"
 
 namespace tmotif {
 namespace {
@@ -107,6 +110,42 @@ TEST(ParallelCountDeathTest, RejectsMaxInstances) {
   o.max_nodes = 3;
   o.max_instances = 5;
   EXPECT_DEATH(CountMotifsParallel(g, o, 2), "max_instances");
+}
+
+// Property test: for every thread count — including counts exceeding the
+// number of events, which makes MakeShards produce single-event shards and
+// fewer shards than threads — the parallel count must equal the serial
+// count exactly, table entry by table entry.
+TEST(ParallelCount, AnyThreadCountMatchesSerialProperty) {
+  const int kThreadCounts[] = {1, 2, 3, 7, 16};
+  const int kEventCounts[] = {0, 1, 2, 5, 11, 60};
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.timing = TimingConstraints::Both(6, 10);
+  for (const int num_events : kEventCounts) {
+    tmotif::testing::RandomGraphSpec spec;
+    spec.num_nodes = 5;
+    spec.num_events = num_events;
+    spec.max_time = std::max(1, 2 * num_events);
+    tmotif::testing::ForEachRandomGraph(
+        0x9a7a11e1, 6, spec,
+        [&](std::uint64_t seed, const TemporalGraph& g) {
+          const MotifCounts serial = CountMotifs(g, o);
+          for (const int threads : kThreadCounts) {
+            SCOPED_TRACE(::testing::Message()
+                         << "events=" << num_events << " threads=" << threads
+                         << " seed=" << seed);
+            const MotifCounts parallel = CountMotifsParallel(g, o, threads);
+            EXPECT_EQ(parallel.total(), serial.total());
+            EXPECT_EQ(parallel.num_codes(), serial.num_codes());
+            for (const auto& [code, count] : serial.raw()) {
+              EXPECT_EQ(parallel.count(code), count) << code;
+            }
+            EXPECT_EQ(CountInstancesParallel(g, o, threads), serial.total());
+          }
+        });
+  }
 }
 
 TEST(RangeEnumeration, DisjointRangesPartitionInstances) {

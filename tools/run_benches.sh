@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Builds and runs every bench binary on a small preset dataset so the perf
+# trajectory (BENCH_*.json records) can accumulate across PRs.
+#
+# Usage: tools/run_benches.sh [build_dir] [scale] [out_dir]
+#   build_dir  CMake build directory            (default: build)
+#   scale      --scale multiplier per bench     (default: 0.05)
+#   out_dir    where BENCH_*.json + CSVs land   (default: <build_dir>/bench_out)
+#
+# Every paper-artefact bench accepts --scale/--seed/--out (see
+# bench/bench_util.h) and writes one BENCH_<name>.json timing record.
+# bench_perf_counting is a Google Benchmark binary and is driven through
+# --benchmark_* flags instead; it is skipped when it was not built (the
+# system Google Benchmark package is optional).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-0.05}"
+OUT_DIR="${3:-${BUILD_DIR}/bench_out}"
+SEED="${BENCH_SEED:-42}"
+
+if [ ! -d "${BUILD_DIR}" ]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" --target bench -j "$(nproc)"
+
+mkdir -p "${OUT_DIR}"
+failures=0
+ran=0
+
+for bin in "${BUILD_DIR}"/bench_*; do
+  # Regular executables only: the default OUT_DIR (<build>/bench_out) and
+  # stray bench_*.log/csv files match the glob too.
+  [ -f "${bin}" ] && [ -x "${bin}" ] || continue
+  name="$(basename "${bin}")"
+  case "${name}" in
+    *.json | *.csv) continue ;;
+    bench_perf_counting)
+      echo "== ${name} (google-benchmark, min_time 0.01s)"
+      if "${bin}" --benchmark_min_time=0.01 \
+          --benchmark_out="${OUT_DIR}/BENCH_perf_counting.json" \
+          --benchmark_out_format=json > "${OUT_DIR}/${name}.log" 2>&1; then
+        ran=$((ran + 1))
+      else
+        echo "   FAILED (see ${OUT_DIR}/${name}.log)"
+        failures=$((failures + 1))
+      fi
+      ;;
+    *)
+      echo "== ${name} (scale ${SCALE}, seed ${SEED})"
+      if "${bin}" "--scale=${SCALE}" "--seed=${SEED}" "--out=${OUT_DIR}" \
+          > "${OUT_DIR}/${name}.log" 2>&1; then
+        ran=$((ran + 1))
+      else
+        echo "   FAILED (see ${OUT_DIR}/${name}.log)"
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+done
+
+echo
+echo "Ran ${ran} benches, ${failures} failures. Timing records:"
+for record in "${OUT_DIR}"/BENCH_*.json; do
+  [ -e "${record}" ] || continue
+  echo "  ${record}"
+done
+exit "$((failures > 0 ? 1 : 0))"

@@ -42,9 +42,9 @@ struct CliArgs {
   bool compact_ids = true;
 };
 
-void Usage(const char* argv0) {
+void Usage(const char* argv0, std::FILE* out = stderr) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s --input=FILE [options]\n"
       "  --model=NAME     kovanen|song|hulovatyy|paranjape|custom "
       "(default custom)\n"
@@ -82,6 +82,10 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value("--threads=")) args->threads = std::atoi(v);
     else if (const char* v = value("--csv=")) args->csv_out = v;
     else if (std::strcmp(a, "--raw-ids") == 0) args->compact_ids = false;
+    else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      Usage(argv[0], stdout);
+      std::exit(0);
+    }
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return false;
