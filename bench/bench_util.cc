@@ -55,6 +55,12 @@ void PrintBenchHeader(const std::string& title, const std::string& paper_ref,
 
 void WriteBenchResult(const BenchArgs& args, const std::string& name,
                       double seconds) {
+  WriteBenchResult(args, name, seconds, {});
+}
+
+void WriteBenchResult(
+    const BenchArgs& args, const std::string& name, double seconds,
+    const std::vector<std::pair<std::string, double>>& extra) {
   const std::string path =
       BenchOutputPath(args.out_dir, "BENCH_" + name + ".json");
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -64,9 +70,13 @@ void WriteBenchResult(const BenchArgs& args, const std::string& name,
   }
   std::fprintf(file,
                "{\"bench\": \"%s\", \"scale\": %.4f, \"seed\": %llu, "
-               "\"seconds\": %.6f}\n",
+               "\"seconds\": %.6f",
                name.c_str(), args.scale_multiplier,
                static_cast<unsigned long long>(args.seed), seconds);
+  for (const auto& [key, value] : extra) {
+    std::fprintf(file, ", \"%s\": %.6f", key.c_str(), value);
+  }
+  std::fprintf(file, "}\n");
   std::fclose(file);
 }
 

@@ -1,0 +1,49 @@
+# Golden-output test driver, invoked by CTest as
+#   cmake -DBINARY=<exe> [-DARGS="<flag>;<flag>;..."] -DEXPECTED=<file>
+#         -DOUTPUT=<file> -P GoldenTest.cmake
+# Runs BINARY with ARGS, captures stdout to OUTPUT, and fails unless it is
+# byte-identical to EXPECTED. stderr is passed through (tools print
+# wall-clock throughput there, which must not break determinism).
+#
+# To refresh a golden after an intentional output change, copy OUTPUT over
+# EXPECTED (the failure message prints both paths).
+
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECTED OR NOT DEFINED OUTPUT)
+  message(FATAL_ERROR "GoldenTest.cmake needs -DBINARY, -DEXPECTED, -DOUTPUT")
+endif()
+
+get_filename_component(_out_dir "${OUTPUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${_out_dir}")
+
+if(DEFINED ARGS)
+  separate_arguments(_args UNIX_COMMAND "${ARGS}")
+else()
+  set(_args "")
+endif()
+
+execute_process(
+  COMMAND "${BINARY}" ${_args}
+  OUTPUT_FILE "${OUTPUT}"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUTPUT}" "${EXPECTED}"
+  RESULT_VARIABLE _diff)
+if(NOT _diff EQUAL 0)
+  find_program(_diff_tool diff)
+  if(_diff_tool)
+    execute_process(COMMAND "${_diff_tool}" -u "${EXPECTED}" "${OUTPUT}"
+                    OUTPUT_VARIABLE _diff_text ERROR_VARIABLE _diff_text
+                    RESULT_VARIABLE _ignored)
+    message(STATUS "diff -u ${EXPECTED} ${OUTPUT}:\n${_diff_text}")
+  endif()
+  message(FATAL_ERROR
+    "stdout diverged from the pinned golden output.\n"
+    "  expected: ${EXPECTED}\n"
+    "  actual:   ${OUTPUT}\n"
+    "If the change is intentional, refresh the golden by copying the "
+    "actual file over the expected one.")
+endif()

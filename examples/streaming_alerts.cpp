@@ -1,0 +1,117 @@
+// Live motif monitoring on a sliding window (the ROADMAP's online-analysis
+// workload): a payment-processor stream is watched for laundering bursts
+// with StreamingMotifCounter instead of periodic full recounts.
+//
+// We generate a day of background transactions, plant ring-transfer bursts
+// (A -> B -> C chains compressed into minutes) at known points, and replay
+// the stream through a one-hour time-based window. Whenever the convey
+// chain's share of the window jumps past a threshold, the monitor raises an
+// alert — and the planted bursts are exactly what it flags, while the
+// counts stay exact at every step (the incremental-equals-batch invariant
+// of docs/STREAMING.md).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/models/model_info.h"
+#include "gen/generator.h"
+#include "stream/streaming_counter.h"
+
+using namespace tmotif;
+
+namespace {
+
+// Background commerce plus `num_bursts` planted chains: within ~10 minutes,
+// money hops origin -> mule -> destination, twice (four correlated events).
+TemporalGraph BuildPaymentStream(int num_bursts, Rng* rng) {
+  GeneratorConfig background;
+  background.name = "payments";
+  background.num_nodes = 300;
+  background.num_events = 6000;
+  background.median_gap_seconds = 14.0;
+  background.prob_new_partner = 0.5;
+  background.prob_reply = 0.05;
+  background.seed = rng->NextU64();
+  const TemporalGraph base = GenerateTemporalNetwork(background);
+
+  TemporalGraphBuilder builder;
+  for (const Event& e : base.events()) builder.AddEvent(e);
+  const Timestamp horizon = base.max_time();
+  for (int b = 0; b < num_bursts; ++b) {
+    const NodeId origin = static_cast<NodeId>(rng->UniformU64(300));
+    const NodeId mule = static_cast<NodeId>((origin + 1 +
+                                             rng->UniformU64(299)) % 300);
+    const NodeId dest = static_cast<NodeId>((mule + 1 +
+                                             rng->UniformU64(299)) % 300);
+    Timestamp t = rng->UniformInt(horizon / 8, horizon - 3600);
+    for (int round = 0; round < 2; ++round) {
+      builder.AddEvent(origin, mule, t);
+      t += rng->UniformInt(60, 300);
+      builder.AddEvent(mule, dest, t);
+      t += rng->UniformInt(60, 300);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(4242);
+  const TemporalGraph stream = BuildPaymentStream(/*num_bursts=*/6, &rng);
+  std::printf("Payment stream: %d nodes, %d events over %llds\n\n",
+              stream.num_nodes(), stream.num_events(),
+              static_cast<long long>(stream.max_time() - stream.min_time()));
+
+  // Watch the convey pair x->y->z (code 0112) under Song's model: two
+  // chained events within a 15-minute span, no inducedness so camouflage
+  // traffic cannot hide it (the paper's Section 4.1 fraud argument).
+  const MotifCode convey = "0112";
+  StreamConfig config;
+  config.options = OptionsForModel(ModelId::kSong, /*num_events=*/2,
+                                   /*max_nodes=*/3, /*delta_c=*/0,
+                                   /*delta_w=*/900);
+  config.window = WindowPolicy::TimeBased(3600);  // One-hour lookback.
+
+  StreamingMotifCounter counter(config);
+  const std::vector<Event>& events = stream.events();
+  const std::size_t batch_size = 64;
+  const double alert_threshold = 0.05;
+  int alerts = 0;
+  bool above = false;  // Alert on upward crossings, not on every batch.
+  for (std::size_t begin = 0; begin < events.size(); begin += batch_size) {
+    const std::size_t end = std::min(events.size(), begin + batch_size);
+    counter.Ingest(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(begin),
+        events.begin() + static_cast<std::ptrdiff_t>(end)));
+    const double share = counter.counts().Proportion(convey);
+    if (share >= alert_threshold && counter.total() >= 50) {
+      if (!above) {
+        ++alerts;
+        std::printf("ALERT at t=%lld: convey share %.1f%% of %llu motifs "
+                    "in the last hour\n",
+                    static_cast<long long>(counter.window_max_time()),
+                    100.0 * share,
+                    static_cast<unsigned long long>(counter.total()));
+      }
+      above = true;
+    } else {
+      above = false;
+    }
+  }
+
+  const IngestStats& stats = counter.stats();
+  std::printf("\n%d alerts over %llu batches; window churn: %llu instances "
+              "added, %llu retracted, %llu full recounts\n",
+              alerts, static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.instances_added),
+              static_cast<unsigned long long>(stats.instances_retracted),
+              static_cast<unsigned long long>(stats.full_recounts));
+  std::printf("Top motifs in the final window:\n");
+  for (const auto& [code, count] : counter.TopMotifs(5)) {
+    std::printf("  %-8s %llu\n", code.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -7,28 +7,28 @@
 #include "common/check.h"
 
 namespace tmotif {
-namespace {
 
-/// Splits [0, num_events) into one contiguous range per worker. Chunks are
-/// equal-sized by event count; bursty regions may still imbalance shards,
-/// which is acceptable for a counting workload dominated by dense windows.
-///
-/// Guarantees (relied on by the spawning code and the parallel property
-/// tests): every shard is non-empty, shards partition [0, num_events)
-/// exactly, and there are at most min(num_threads, num_events) shards — so
-/// when the graph has fewer events than workers, excess threads are simply
-/// never spawned.
-std::vector<std::pair<EventIndex, EventIndex>> MakeShards(
-    EventIndex num_events, int num_threads) {
-  TMOTIF_CHECK(num_events > 0 && num_threads > 0);
+// Chunks are equal-sized by event count; bursty regions may still imbalance
+// shards, which is acceptable for a counting workload dominated by dense
+// windows.
+std::vector<std::pair<EventIndex, EventIndex>> MakeEventShards(
+    EventIndex begin, EventIndex end, int num_threads) {
+  TMOTIF_CHECK(begin < end && num_threads > 0);
+  const EventIndex num_events = end - begin;
   std::vector<std::pair<EventIndex, EventIndex>> shards;
   const EventIndex per_shard =
       (num_events + num_threads - 1) / num_threads;
-  for (EventIndex begin = 0; begin < num_events; begin += per_shard) {
-    shards.emplace_back(begin,
-                        std::min<EventIndex>(begin + per_shard, num_events));
+  for (EventIndex lo = begin; lo < end; lo += per_shard) {
+    shards.emplace_back(lo, std::min<EventIndex>(lo + per_shard, end));
   }
   return shards;
+}
+
+namespace {
+
+std::vector<std::pair<EventIndex, EventIndex>> MakeShards(
+    EventIndex num_events, int num_threads) {
+  return MakeEventShards(0, num_events, num_threads);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #ifndef TMOTIF_ALGORITHMS_PARALLEL_H_
 #define TMOTIF_ALGORITHMS_PARALLEL_H_
 
+#include <utility>
+#include <vector>
+
 #include "core/counter.h"
 #include "core/enumerator.h"
 
@@ -22,6 +25,15 @@ MotifCounts CountMotifsParallel(const TemporalGraph& graph,
 std::uint64_t CountInstancesParallel(const TemporalGraph& graph,
                                      const EnumerationOptions& options,
                                      int num_threads);
+
+/// Splits [begin, end) into one contiguous range per worker. Guarantees:
+/// every shard is non-empty, shards partition [begin, end) exactly, and
+/// there are at most min(num_threads, end - begin) shards — when the range
+/// has fewer events than workers, excess threads are simply never spawned.
+/// Shared by the batch counters above and the streaming counter's
+/// delta-ingestion path (stream/streaming_counter.h).
+std::vector<std::pair<EventIndex, EventIndex>> MakeEventShards(
+    EventIndex begin, EventIndex end, int num_threads);
 
 }  // namespace tmotif
 

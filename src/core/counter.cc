@@ -2,11 +2,23 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace tmotif {
 
 void MotifCounts::Add(std::string_view code, std::uint64_t count) {
   counts_[std::string(code)] += count;
   total_ += count;
+}
+
+void MotifCounts::Sub(std::string_view code, std::uint64_t count) {
+  if (count == 0) return;
+  const auto it = counts_.find(std::string(code));
+  TMOTIF_CHECK_MSG(it != counts_.end() && it->second >= count,
+                   "motif count retraction exceeds recorded count");
+  it->second -= count;
+  total_ -= count;
+  if (it->second == 0) counts_.erase(it);
 }
 
 std::uint64_t MotifCounts::count(const MotifCode& code) const {

@@ -16,6 +16,12 @@ class MotifCounts {
  public:
   void Add(std::string_view code, std::uint64_t count = 1);
 
+  /// Removes `count` occurrences of `code`. Aborts when fewer than `count`
+  /// are present (a retraction must never exceed what was added); codes
+  /// whose count reaches zero are erased so num_codes() stays honest.
+  /// Used by the streaming counter (stream/) to retract expired instances.
+  void Sub(std::string_view code, std::uint64_t count = 1);
+
   /// Count for one code (0 when absent).
   std::uint64_t count(const MotifCode& code) const;
 

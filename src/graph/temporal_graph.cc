@@ -60,6 +60,20 @@ int TemporalGraph::CountEdgeEventsInIndexRange(NodeId src, NodeId dst,
   return static_cast<int>(last - first);
 }
 
+EventIndex TemporalGraph::LowerBoundTime(Timestamp t) const {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const Event& e, Timestamp value) { return e.time < value; });
+  return static_cast<EventIndex>(it - events_.begin());
+}
+
+EventIndex TemporalGraph::UpperBoundTime(Timestamp t) const {
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](Timestamp value, const Event& e) { return value < e.time; });
+  return static_cast<EventIndex>(it - events_.begin());
+}
+
 Label TemporalGraph::node_label(NodeId node) const {
   TMOTIF_CHECK(node >= 0 && node < num_nodes_);
   if (node_labels_.empty()) return kNoLabel;

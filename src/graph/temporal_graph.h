@@ -58,6 +58,13 @@ class TemporalGraph {
   Timestamp min_time() const { return events_.empty() ? 0 : events_.front().time; }
   Timestamp max_time() const { return events_.empty() ? 0 : events_.back().time; }
 
+  /// First event index with time >= t (num_events() when none). Events are
+  /// time-ordered, so [LowerBoundTime(a), UpperBoundTime(b)) is the index
+  /// range of events with time in [a, b].
+  EventIndex LowerBoundTime(Timestamp t) const;
+  /// First event index with time > t (num_events() when none).
+  EventIndex UpperBoundTime(Timestamp t) const;
+
   /// Optional node labels; empty when the graph is unlabeled.
   const std::vector<Label>& node_labels() const { return node_labels_; }
   Label node_label(NodeId node) const;

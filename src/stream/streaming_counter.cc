@@ -1,0 +1,307 @@
+#include "stream/streaming_counter.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "algorithms/parallel.h"
+#include "common/check.h"
+
+namespace tmotif {
+
+namespace {
+
+std::uint64_t PairKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+}  // namespace
+
+StreamingMotifCounter::StreamingMotifCounter(const StreamConfig& config)
+    : config_(config), window_(config.window) {
+  TMOTIF_CHECK_MSG(config_.options.max_instances == 0,
+                   "max_instances is not supported in streaming counting");
+  TMOTIF_CHECK(config_.num_threads >= 1);
+  has_nonlocal_ = config_.options.consecutive_events_restriction ||
+                  config_.options.cdg_restriction ||
+                  config_.options.inducedness != Inducedness::kNone;
+  uses_static_inducedness_ =
+      config_.options.inducedness == Inducedness::kStatic;
+  RebuildGraph();
+}
+
+std::vector<std::pair<MotifCode, std::uint64_t>>
+StreamingMotifCounter::TopMotifs(std::size_t limit) const {
+  auto sorted = counts_.SortedByCount();
+  if (limit > 0 && sorted.size() > limit) sorted.resize(limit);
+  return sorted;
+}
+
+TimespanProfile StreamingMotifCounter::WindowTimespans(
+    const MotifCode& code, int num_bins, Timestamp unbounded_hi) const {
+  return CollectTimespans(graph_, config_.options, code, num_bins,
+                          unbounded_hi);
+}
+
+std::optional<Timestamp> StreamingMotifCounter::SpanBound() const {
+  std::optional<Timestamp> bound;
+  if (options().timing.delta_w.has_value()) bound = *options().timing.delta_w;
+  if (options().timing.delta_c.has_value() && options().num_events > 1) {
+    Timestamp per_gap = *options().timing.delta_c;
+    if (options().duration_aware_gaps) {
+      // Gaps are measured from event end times, so each may stretch by the
+      // longest duration ever seen (conservative but safe).
+      if (per_gap >
+          std::numeric_limits<Timestamp>::max() - max_duration_seen_) {
+        return bound;
+      }
+      per_gap += max_duration_seen_;
+    }
+    const Timestamp gaps = options().num_events - 1;
+    if (per_gap > std::numeric_limits<Timestamp>::max() / gaps) return bound;
+    const Timestamp loose = per_gap * gaps;
+    bound = bound.has_value() ? std::min(*bound, loose) : loose;
+  }
+  return bound;
+}
+
+EventIndex StreamingMotifCounter::FirstPossibleStart(
+    const TemporalGraph& graph, Timestamp last_time) const {
+  const std::optional<Timestamp> span = SpanBound();
+  if (!span.has_value()) return 0;
+  return graph.LowerBoundTime(SaturatingSubtract(last_time, *span));
+}
+
+bool StreamingMotifCounter::StaticEdgeSetChanges(
+    const IngestPlan& plan, const std::vector<Event>& batch) const {
+  struct EdgeDelta {
+    NodeId src;
+    NodeId dst;
+    int delta = 0;
+  };
+  std::unordered_map<std::uint64_t, EdgeDelta> deltas;
+  for (std::size_t i = 0; i < plan.num_evict; ++i) {
+    const Event& e = window_.event(i);
+    auto& d = deltas[PairKey(e.src, e.dst)];
+    d.src = e.src;
+    d.dst = e.dst;
+    --d.delta;
+  }
+  for (std::size_t i = plan.batch_begin; i < batch.size(); ++i) {
+    const Event& e = batch[i];
+    auto& d = deltas[PairKey(e.src, e.dst)];
+    d.src = e.src;
+    d.dst = e.dst;
+    ++d.delta;
+  }
+  for (const auto& [key, d] : deltas) {
+    (void)key;
+    // edge_events is a plain map lookup, safe for node ids the window has
+    // never seen (they simply have no occurrences yet).
+    const std::int64_t before =
+        static_cast<std::int64_t>(graph_.edge_events(d.src, d.dst).size());
+    const std::int64_t after = before + d.delta;
+    if ((before > 0) != (after > 0)) return true;
+  }
+  return false;
+}
+
+void StreamingMotifCounter::RebuildGraph() {
+  TemporalGraphBuilder builder;
+  for (const Event& e : window_.events()) builder.AddEvent(e);
+  // The window is canonically sorted, so builder.Build()'s stable sort is
+  // the identity and graph indices equal window positions.
+  graph_ = builder.Build();
+}
+
+void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
+                                            const std::vector<Event>& batch,
+                                            bool is_static_fallback) {
+  window_.Apply(plan, batch);
+  RebuildGraph();
+  counts_ = CountMotifsParallel(graph_, config_.options, config_.num_threads);
+  ++stats_.full_recounts;
+  if (is_static_fallback) ++stats_.static_fallbacks;
+}
+
+void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
+  const EventIndex end = graph_.num_events();
+  if (begin >= end) return;
+  const auto add_range = [this](EventIndex lo, EventIndex hi,
+                                MotifCounts* into, std::uint64_t* added) {
+    EnumerateInstancesInRange(
+        graph_, config_.options, lo, hi, [&](const MotifInstance& instance) {
+          const EventIndex last =
+              instance.event_indices[instance.num_events - 1];
+          if (!is_new_[static_cast<std::size_t>(last)]) return;
+          into->Add(instance.code);
+          ++*added;
+        });
+  };
+  // Sharding by first event keeps shards disjoint exactly as in
+  // algorithms/parallel.h; small ranges are not worth the thread spawns.
+  if (config_.num_threads <= 1 || end - begin < 64) {
+    std::uint64_t added = 0;
+    add_range(begin, end, &counts_, &added);
+    stats_.instances_added += added;
+    return;
+  }
+  const auto shards = MakeEventShards(begin, end, config_.num_threads);
+  std::vector<MotifCounts> partials(shards.size());
+  std::vector<std::uint64_t> added(shards.size(), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    workers.emplace_back([&, s] {
+      add_range(shards[s].first, shards[s].second, &partials[s], &added[s]);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (const auto& [code, count] : partials[s].raw()) {
+      counts_.Add(code, count);
+    }
+    stats_.instances_added += added[s];
+  }
+}
+
+void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
+  std::stable_sort(batch.begin(), batch.end(), EventTimeLess);
+  for (const Event& e : batch) {
+    TMOTIF_CHECK_MSG(e.src != e.dst,
+                     "self-loop events must be filtered before ingestion");
+  }
+  const IngestPlan plan = window_.PlanIngest(batch);
+  const std::size_t old_size = window_.size();
+  const std::size_t num_new = batch.size() - plan.batch_begin;
+  ++stats_.batches;
+  stats_.events_ingested += batch.size();
+  stats_.events_dropped += plan.batch_begin;
+  stats_.events_evicted += plan.num_evict;
+  for (std::size_t i = plan.batch_begin; i < batch.size(); ++i) {
+    max_duration_seen_ = std::max(max_duration_seen_, batch[i].duration);
+  }
+
+  if (num_new == 0 && plan.num_evict == 0) {
+    window_.Apply(plan, batch);  // Still advances the stream clock.
+    return;
+  }
+
+  // Full window turnover (including startup) recounts from scratch — there
+  // is nothing incremental to preserve. Static inducedness additionally
+  // recounts whenever the window's static edge set changes: an appearing or
+  // disappearing edge can flip instances anywhere in the window, with no
+  // locality for a targeted correction (docs/STREAMING.md discusses the
+  // trade-off).
+  if (plan.num_evict >= old_size) {
+    ApplyAndRecount(plan, batch, /*is_static_fallback=*/false);
+    return;
+  }
+  if (uses_static_inducedness_ && StaticEdgeSetChanges(plan, batch)) {
+    ApplyAndRecount(plan, batch, /*is_static_fallback=*/true);
+    return;
+  }
+
+  const TemporalGraph& g0 = graph_;
+  const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
+
+  // Phase 1 — retract instances anchored at evicted events. The evicted
+  // events form a canonical prefix, so an instance loses an event exactly
+  // when its first event is evicted.
+  if (n_evict > 0) {
+    EnumerateInstancesInRange(g0, config_.options, 0, n_evict,
+                              [&](const MotifInstance& instance) {
+                                counts_.Sub(instance.code);
+                                ++stats_.instances_retracted;
+                              });
+  }
+
+  // Survivors can only flip validity at shared boundary timestamps (or via
+  // static-edge flips, already routed to the fallback above): an evicted or
+  // arriving event lies inside a surviving instance's scope only when it
+  // ties the instance's first or last timestamp. See docs/STREAMING.md for
+  // the case analysis.
+  const bool evict_tie =
+      n_evict > 0 && g0.event(n_evict - 1).time == g0.event(n_evict).time;
+  const Timestamp old_surviving_max =
+      g0.event(static_cast<EventIndex>(old_size) - 1).time;
+  const bool append_tie =
+      num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
+
+  // Phase 2 — evict-side boundary correction: survivors whose first event
+  // shares the eviction boundary timestamp are re-evaluated without the
+  // evicted tie events.
+  TemporalGraph mid;  // Survivor-only graph, built only when needed.
+  const TemporalGraph* pre_append = &g0;
+  EventIndex pre_append_begin = n_evict;
+  if (has_nonlocal_ && evict_tie) {
+    const Timestamp t_ev = g0.event(n_evict - 1).time;
+    const EventIndex tie_end = g0.UpperBoundTime(t_ev);
+    EnumerateInstancesInRange(
+        g0, config_.options, n_evict, tie_end,
+        [&](const MotifInstance& instance) { counts_.Sub(instance.code); });
+    TemporalGraphBuilder builder;
+    for (std::size_t i = plan.num_evict; i < old_size; ++i) {
+      builder.AddEvent(window_.event(i));
+    }
+    mid = builder.Build();
+    EnumerateInstancesInRange(
+        mid, config_.options, 0, tie_end - n_evict,
+        [&](const MotifInstance& instance) { counts_.Add(instance.code); });
+    pre_append = &mid;
+    pre_append_begin = 0;
+    ++stats_.tie_corrections;
+  }
+
+  // Phase 3 — append-side boundary correction, subtract half: survivors
+  // whose last event ties the arriving batch's earliest timestamp are
+  // removed at their pre-append validity (re-added at post-append validity
+  // in phase 5). Timing bounds the first-event range.
+  if (has_nonlocal_ && append_tie) {
+    const Timestamp t_b = old_surviving_max;
+    const EventIndex lo = std::max(pre_append_begin,
+                                   FirstPossibleStart(*pre_append, t_b));
+    EnumerateInstancesInRange(
+        *pre_append, config_.options, lo, pre_append->num_events(),
+        [&](const MotifInstance& instance) {
+          const EventIndex last = instance.event_indices[instance.num_events - 1];
+          if (pre_append->event(last).time == t_b) counts_.Sub(instance.code);
+        });
+    ++stats_.tie_corrections;
+  }
+
+  // Phase 4 — slide the window and rebuild the graph and arrival flags.
+  window_.Apply(plan, batch, &new_positions_);
+  RebuildGraph();
+  is_new_.assign(static_cast<std::size_t>(graph_.num_events()), 0);
+  for (const std::size_t p : new_positions_) is_new_[p] = 1;
+
+  // Phase 5 — append-side boundary correction, add-back half, evaluated on
+  // the post-append graph. An instance whose last event is old contains no
+  // new event at all (no old event can follow a new one in time), so these
+  // are exactly the survivors the subtract half removed.
+  if (has_nonlocal_ && append_tie) {
+    const Timestamp t_b = old_surviving_max;
+    const EventIndex lo = FirstPossibleStart(graph_, t_b);
+    const EventIndex hi = graph_.UpperBoundTime(t_b);
+    EnumerateInstancesInRange(
+        graph_, config_.options, lo, hi, [&](const MotifInstance& instance) {
+          const EventIndex last = instance.event_indices[instance.num_events - 1];
+          if (is_new_[static_cast<std::size_t>(last)]) return;
+          if (graph_.event(last).time == t_b) counts_.Add(instance.code);
+        });
+  }
+
+  // Phase 6 — count arriving instances: every instance that includes a new
+  // event ends in one (the stream is time-ordered), so instances whose last
+  // event is new are exactly the additions; timing bounds how far back
+  // their first events can reach.
+  if (num_new > 0) {
+    const Timestamp min_new_time = batch[plan.batch_begin].time;
+    AddNewInstances(FirstPossibleStart(graph_, min_new_time));
+  }
+}
+
+}  // namespace tmotif

@@ -1,0 +1,139 @@
+#ifndef TMOTIF_STREAM_STREAMING_COUNTER_H_
+#define TMOTIF_STREAM_STREAMING_COUNTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/timespan_analysis.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+#include "graph/temporal_graph.h"
+#include "stream/stream_window.h"
+
+namespace tmotif {
+
+/// Configuration of a streaming motif counter.
+struct StreamConfig {
+  /// Motif model of the maintained counts. Any option set the batch stack
+  /// supports is allowed except `max_instances` (truncated enumerations
+  /// cannot be maintained incrementally).
+  EnumerationOptions options;
+  WindowPolicy window = WindowPolicy::CountBased(4096);
+  /// Worker threads for the delta-ingestion enumeration and the full
+  /// recount fallbacks (sharded exactly like algorithms/parallel.h).
+  int num_threads = 1;
+};
+
+/// Per-stream ingestion counters, exposed for tools and benchmarks.
+struct IngestStats {
+  std::uint64_t batches = 0;
+  std::uint64_t events_ingested = 0;
+  /// Batch events the window policy expired before they ever entered.
+  std::uint64_t events_dropped = 0;
+  std::uint64_t events_evicted = 0;
+  /// Instance-level churn of the delta path.
+  std::uint64_t instances_added = 0;
+  std::uint64_t instances_retracted = 0;
+  /// Boundary-timestamp re-evaluation passes (see docs/STREAMING.md).
+  std::uint64_t tie_corrections = 0;
+  /// Window recounted from scratch (window turnover or a static-edge flip
+  /// under static inducedness).
+  std::uint64_t full_recounts = 0;
+  std::uint64_t static_fallbacks = 0;
+};
+
+/// Maintains exact per-motif counts over a sliding window of a time-ordered
+/// event stream. On arrival, only instances that include an arriving event
+/// are enumerated (every such instance ends in one, so a bounded
+/// first-event range suffices); on expiry, only instances anchored at an
+/// evicted event are retracted. Models whose instance predicate reads graph
+/// state outside the instance (consecutive-events, CDG, inducedness) get
+/// targeted boundary corrections, and static inducedness falls back to a
+/// windowed recount on the rare batches where the window's static edge set
+/// changes. The invariant — asserted by tests/stream_test.cc across the
+/// oracle grid — is that after every batch, `counts()` equals
+/// `CountMotifs(GraphFromEvents(window events), options)` exactly.
+///
+/// Streams must be time-ordered: each batch's earliest timestamp must be
+/// >= the largest timestamp already ingested (equal is fine; simultaneous
+/// events never share an instance but may interleave arbitrarily across
+/// batches). Self-loop events must be filtered by the caller (graph_io's
+/// loader does this).
+class StreamingMotifCounter {
+ public:
+  explicit StreamingMotifCounter(const StreamConfig& config);
+
+  /// Ingests one batch (any internal order; it is sorted canonically).
+  void Ingest(std::vector<Event> batch);
+
+  /// Current per-motif counts of the window; exact at every point.
+  const MotifCounts& counts() const { return counts_; }
+  std::uint64_t total() const { return counts_.total(); }
+
+  /// The `limit` most frequent motifs (ties by code, deterministic);
+  /// limit 0 = all.
+  std::vector<std::pair<MotifCode, std::uint64_t>> TopMotifs(
+      std::size_t limit) const;
+
+  /// Timespan distribution of one motif code over the current window
+  /// (snapshot-time enumeration via analysis/timespan_analysis.h).
+  TimespanProfile WindowTimespans(const MotifCode& code, int num_bins = 30,
+                                  Timestamp unbounded_hi = 3600) const;
+
+  /// The window as a graph (canonical event order, identical to a
+  /// from-scratch build of the same events).
+  const TemporalGraph& window_graph() const { return graph_; }
+  std::size_t window_size() const { return window_.size(); }
+  Timestamp window_min_time() const { return graph_.min_time(); }
+  Timestamp window_max_time() const { return graph_.max_time(); }
+  Timestamp max_time_seen() const { return window_.max_time_seen(); }
+
+  const StreamConfig& config() const { return config_; }
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  /// First-event index from which an instance whose last event is at or
+  /// after `last_time` can start in `graph` (0 when timing imposes no
+  /// timespan bound).
+  EventIndex FirstPossibleStart(const TemporalGraph& graph,
+                                Timestamp last_time) const;
+  /// Upper bound on instance timespans implied by the timing constraints
+  /// (nullopt when unbounded).
+  std::optional<Timestamp> SpanBound() const;
+
+  /// True when applying `plan` + `batch` adds or removes a directed static
+  /// edge of the window (only consulted under static inducedness).
+  bool StaticEdgeSetChanges(const IngestPlan& plan,
+                            const std::vector<Event>& batch) const;
+
+  void RebuildGraph();
+  /// Applies the plan and recounts the whole window (startup, full window
+  /// turnover, or a static-edge flip).
+  void ApplyAndRecount(const IngestPlan& plan, const std::vector<Event>& batch,
+                       bool is_static_fallback);
+  /// Adds instances of `graph_` whose first event lies in [begin, end) and
+  /// whose last event is flagged in `is_new_`, sharded over num_threads.
+  void AddNewInstances(EventIndex begin);
+
+  const EnumerationOptions& options() const { return config_.options; }
+
+  StreamConfig config_;
+  bool has_nonlocal_ = false;
+  bool uses_static_inducedness_ = false;
+
+  StreamWindow window_;
+  TemporalGraph graph_;
+  MotifCounts counts_;
+  IngestStats stats_;
+  /// Largest event duration ever ingested; feeds the duration-aware span
+  /// bound (conservative: never shrinks as events expire).
+  Duration max_duration_seen_ = 0;
+  /// Scratch: window position -> entered with the current batch.
+  std::vector<char> is_new_;
+  std::vector<std::size_t> new_positions_;
+};
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_STREAM_STREAMING_COUNTER_H_

@@ -147,6 +147,21 @@ INSTANTIATE_TEST_SUITE_P(
                    Opts(3, 3, TimingConstraints::OnlyDeltaW(14), false, false,
                         Inducedness::kTemporalWindow),
                    SmallSpec()},
+        // Temporal-window inducedness x duration-aware gaps (the ROADMAP's
+        // uncovered combination): durations shift the dC gap base while the
+        // inducedness check spans [t_first, t_last] — the two must compose.
+        OracleCase{"k3_induced_temporal_duration_aware",
+                   Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false, false,
+                        Inducedness::kTemporalWindow, true),
+                   DurationSpec()},
+        OracleCase{"k3_induced_temporal_dc_dw_duration_aware",
+                   Opts(3, 4, TimingConstraints::Both(8, 14), false, false,
+                        Inducedness::kTemporalWindow, true),
+                   DurationSpec()},
+        OracleCase{"k4_induced_temporal_duration_aware",
+                   Opts(4, 4, TimingConstraints::OnlyDeltaC(9), false, false,
+                        Inducedness::kTemporalWindow, true),
+                   DurationSpec(), 8},
         // Everything at once, and one four-event sanity case.
         OracleCase{"k3_kitchen_sink",
                    Opts(3, 3, TimingConstraints::Both(9, 14), true, true,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gen/generator.h"
 
 namespace tmotif {
@@ -97,6 +99,42 @@ TEST(Sampling, EmptyGraphEstimatesZero) {
   const SampledCounts estimate =
       EstimateMotifCounts(g, ThreeEventDw(50), sampling, &rng);
   EXPECT_DOUBLE_EQ(estimate.estimated_total, 0.0);
+}
+
+// Oracle-style differential bound (ROADMAP open item): before the estimator
+// can serve as a fast path, its error must be tied to the exact count, not
+// just eyeballed. For each fixture graph, repeated independent estimates
+// must put the exact count inside a 5-standard-error confidence interval of
+// their mean (plus a 2% slack for the tiny-residual case), across seeds.
+// Deterministic: every rep uses a fixed rng seed.
+TEST(Sampling, EstimateWithinConfidenceIntervalOfExact) {
+  for (const std::uint64_t graph_seed : {3u, 5u, 9u}) {
+    const TemporalGraph g = TestGraph(graph_seed, 2500);
+    const EnumerationOptions o = ThreeEventDw(100);
+    const std::uint64_t exact = CountInstances(g, o);
+    ASSERT_GT(exact, 100u) << "graph_seed=" << graph_seed;
+
+    constexpr int kReps = 16;
+    SamplingConfig sampling;
+    sampling.window_length = 400;
+    sampling.num_windows = 120;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Rng rng(1000 * graph_seed + static_cast<std::uint64_t>(rep));
+      const SampledCounts estimate = EstimateMotifCounts(g, o, sampling, &rng);
+      sum += estimate.estimated_total;
+      sum_sq += estimate.estimated_total * estimate.estimated_total;
+    }
+    const double mean = sum / kReps;
+    const double variance =
+        std::max(0.0, (sum_sq - sum * sum / kReps) / (kReps - 1));
+    const double standard_error = std::sqrt(variance / kReps);
+    EXPECT_NEAR(mean, static_cast<double>(exact),
+                5.0 * standard_error + 0.02 * static_cast<double>(exact))
+        << "graph_seed=" << graph_seed << " exact=" << exact
+        << " mean=" << mean << " se=" << standard_error;
+  }
 }
 
 TEST(SamplingDeathTest, RejectsUnboundedConfigurations) {

@@ -1,0 +1,489 @@
+// Differential tests for the streaming subsystem: events of seeded oracle
+// graphs are replayed through StreamingMotifCounter in batches, and after
+// EVERY batch the incrementally maintained counts must exactly equal a
+// from-scratch CountMotifs / CountInstances of the window's event set. The
+// expected window is computed by an independent reimplementation of the
+// policy semantics, so the window bookkeeping is cross-checked too.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/models/model_info.h"
+#include "stream/streaming_counter.h"
+#include "testing/random_graphs.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+
+RandomGraphSpec SmallSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_events = 16;
+  spec.max_time = 48;
+  spec.prob_duplicate_time = 0.25;
+  return spec;
+}
+
+RandomGraphSpec DenseSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 4;
+  spec.num_events = 14;
+  spec.max_time = 20;
+  spec.prob_duplicate_time = 0.4;
+  return spec;
+}
+
+RandomGraphSpec DurationSpec() {
+  RandomGraphSpec spec = SmallSpec();
+  spec.max_duration = 12;
+  return spec;
+}
+
+/// Independent reimplementation of the window semantics: the policy-kept
+/// subset of the first `prefix` canonical events.
+std::vector<Event> ExpectedWindow(const std::vector<Event>& all,
+                                  std::size_t prefix,
+                                  const WindowPolicy& policy) {
+  std::vector<Event> seen(all.begin(),
+                          all.begin() + static_cast<std::ptrdiff_t>(prefix));
+  if (policy.kind == WindowPolicyKind::kCountBased) {
+    const std::size_t cap = static_cast<std::size_t>(policy.max_events);
+    if (seen.size() > cap) seen.erase(seen.begin(), seen.end() - cap);
+    return seen;
+  }
+  // `all` is canonically ordered, so the clock is the last seen timestamp
+  // (do NOT fold in a zero start: streams may live in negative time).
+  const Timestamp latest = seen.empty() ? 0 : seen.back().time;
+  std::vector<Event> kept;
+  for (const Event& e : seen) {
+    if (e.time > latest - policy.horizon) kept.push_back(e);
+  }
+  return kept;
+}
+
+std::string DescribeCounts(const MotifCounts& counts) {
+  std::string out;
+  for (const auto& [code, count] : counts.SortedByCode()) {
+    out += code + ":" + std::to_string(count) + " ";
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+/// Aggregated ingest stats across every differential replay, so the suite
+/// can assert at the end that the grid really exercised each maintenance
+/// path (tie corrections, static fallbacks, retractions) instead of only
+/// agreeing on easy cases.
+IngestStats g_grid_stats;
+
+void AccumulateGridStats(const IngestStats& stats) {
+  g_grid_stats.instances_added += stats.instances_added;
+  g_grid_stats.instances_retracted += stats.instances_retracted;
+  g_grid_stats.tie_corrections += stats.tie_corrections;
+  g_grid_stats.full_recounts += stats.full_recounts;
+  g_grid_stats.static_fallbacks += stats.static_fallbacks;
+}
+
+/// Replays `graph`'s events through a streaming counter and checks every
+/// snapshot against from-scratch counting. `nonzero_snapshots` (optional)
+/// accumulates snapshots with nonzero counts so callers can assert the case
+/// actually exercised something.
+void ReplayAndCheck(const TemporalGraph& graph,
+                    const EnumerationOptions& options,
+                    const WindowPolicy& policy, std::size_t batch_size,
+                    const std::string& label, int num_threads = 1,
+                    int* nonzero_snapshots = nullptr) {
+  StreamConfig config;
+  config.options = options;
+  config.window = policy;
+  config.num_threads = num_threads;
+  StreamingMotifCounter counter(config);
+
+  const std::vector<Event>& all = graph.events();
+  for (std::size_t begin = 0; begin < all.size(); begin += batch_size) {
+    const std::size_t end = std::min(all.size(), begin + batch_size);
+    counter.Ingest(std::vector<Event>(
+        all.begin() + static_cast<std::ptrdiff_t>(begin),
+        all.begin() + static_cast<std::ptrdiff_t>(end)));
+
+    const std::vector<Event> window = ExpectedWindow(all, end, policy);
+    const TemporalGraph expect_graph = GraphFromEvents(window);
+    const MotifCounts expected = CountMotifs(expect_graph, options);
+
+    ASSERT_EQ(counter.window_size(), window.size())
+        << label << " after " << end << " events";
+    ASSERT_EQ(counter.total(), expected.total())
+        << label << " after " << end << " events: streaming="
+        << DescribeCounts(counter.counts())
+        << " batch=" << DescribeCounts(expected);
+    ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+        << label << " after " << end << " events: streaming="
+        << DescribeCounts(counter.counts())
+        << " batch=" << DescribeCounts(expected);
+    ASSERT_EQ(counter.total(), CountInstances(expect_graph, options))
+        << label << " after " << end << " events";
+    if (counter.total() > 0 && nonzero_snapshots != nullptr) {
+      ++*nonzero_snapshots;
+    }
+  }
+  AccumulateGridStats(counter.stats());
+}
+
+struct StreamCase {
+  const char* name;
+  EnumerationOptions options;
+  RandomGraphSpec spec;
+  int num_graphs = 8;
+};
+
+std::ostream& operator<<(std::ostream& os, const StreamCase& c) {
+  return os << c.name;
+}
+
+EnumerationOptions Opts(int k, int max_nodes, TimingConstraints timing = {},
+                        bool consecutive = false, bool cdg = false,
+                        Inducedness inducedness = Inducedness::kNone,
+                        bool duration_aware = false) {
+  EnumerationOptions o;
+  o.num_events = k;
+  o.max_nodes = max_nodes;
+  o.timing = timing;
+  o.consecutive_events_restriction = consecutive;
+  o.cdg_restriction = cdg;
+  o.inducedness = inducedness;
+  o.duration_aware_gaps = duration_aware;
+  return o;
+}
+
+class StreamDifferentialTest : public ::testing::TestWithParam<StreamCase> {};
+
+// Every option set is replayed under both window policies and two batch
+// sizes; batch size 1 exercises per-event maintenance, batch size 3 the
+// merge and multi-event deltas.
+TEST_P(StreamDifferentialTest, StreamingMatchesBatchOnEverySnapshot) {
+  const StreamCase& c = GetParam();
+  const std::vector<WindowPolicy> policies = {
+      WindowPolicy::CountBased(8), WindowPolicy::CountBased(12),
+      WindowPolicy::TimeBased(16), WindowPolicy::TimeBased(30)};
+  std::uint64_t base_seed = 0x57ea4;
+  for (const char* p = c.name; *p != '\0'; ++p) {
+    base_seed = base_seed * 131 + static_cast<std::uint64_t>(*p);
+  }
+  int nonzero = 0;
+  ForEachRandomGraph(
+      base_seed, c.num_graphs, c.spec,
+      [&](std::uint64_t seed, const TemporalGraph& g) {
+        for (const WindowPolicy& policy : policies) {
+          for (const std::size_t batch_size : {std::size_t{1}, std::size_t{3}}) {
+            ReplayAndCheck(
+                g, c.options, policy, batch_size,
+                std::string(c.name) + " seed=" + std::to_string(seed) +
+                    " window=" + policy.ToString() +
+                    " batch=" + std::to_string(batch_size),
+                /*num_threads=*/1, &nonzero);
+            if (::testing::Test::HasFatalFailure()) return;
+          }
+        }
+      });
+  // The grid must actually count something, not just agree on zero.
+  EXPECT_GT(nonzero, 0) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamDifferentialTest,
+    ::testing::Values(
+        // The four published model presets at two dC/dW settings each.
+        StreamCase{"kovanen_tight",
+                   OptionsForModel(ModelId::kKovanen, 3, 3, 6, 0), DenseSpec()},
+        StreamCase{"kovanen_loose",
+                   OptionsForModel(ModelId::kKovanen, 3, 3, 14, 0),
+                   SmallSpec()},
+        StreamCase{"song_tight", OptionsForModel(ModelId::kSong, 3, 3, 0, 8),
+                   DenseSpec()},
+        StreamCase{"song_loose", OptionsForModel(ModelId::kSong, 3, 3, 0, 20),
+                   SmallSpec()},
+        StreamCase{"hulovatyy_tight",
+                   OptionsForModel(ModelId::kHulovatyy, 3, 3, 6, 0),
+                   DenseSpec()},
+        StreamCase{"hulovatyy_loose",
+                   OptionsForModel(ModelId::kHulovatyy, 3, 3, 14, 0),
+                   SmallSpec()},
+        StreamCase{"paranjape_tight",
+                   OptionsForModel(ModelId::kParanjape, 3, 3, 0, 8),
+                   DenseSpec()},
+        StreamCase{"paranjape_loose",
+                   OptionsForModel(ModelId::kParanjape, 3, 3, 0, 20),
+                   SmallSpec()},
+        // Custom configurations covering each non-local predicate and the
+        // unbounded-timing path (no first-event range pruning).
+        StreamCase{"vanilla_unbounded", Opts(2, 3), SmallSpec()},
+        StreamCase{"vanilla_dc_dw", Opts(3, 3, TimingConstraints::Both(8, 12)),
+                   SmallSpec()},
+        StreamCase{"consecutive_unbounded", Opts(3, 3, {}, true), DenseSpec()},
+        StreamCase{"cdg_dc",
+                   Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false, true),
+                   DenseSpec()},
+        StreamCase{"induced_temporal_dw",
+                   Opts(3, 3, TimingConstraints::OnlyDeltaW(14), false, false,
+                        Inducedness::kTemporalWindow),
+                   DenseSpec()},
+        StreamCase{"induced_static_unbounded",
+                   Opts(3, 3, {}, false, false, Inducedness::kStatic),
+                   DenseSpec()},
+        StreamCase{"duration_aware_dc",
+                   Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false, false,
+                        Inducedness::kNone, true),
+                   DurationSpec()},
+        StreamCase{"kitchen_sink",
+                   Opts(3, 3, TimingConstraints::Both(9, 14), true, true,
+                        Inducedness::kStatic),
+                   DenseSpec(), 6},
+        StreamCase{"k4_dw", Opts(4, 4, TimingConstraints::OnlyDeltaW(16)),
+                   SmallSpec(), 4},
+        StreamCase{"k1", Opts(1, 2), DenseSpec(), 4}),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Sharded delta ingestion must agree with the serial path bit for bit.
+TEST(StreamingMotifCounter, ParallelIngestionMatchesSerial) {
+  const EnumerationOptions options =
+      Opts(3, 3, TimingConstraints::OnlyDeltaW(20));
+  ForEachRandomGraph(0x7d5eed, 6, SmallSpec(),
+                     [&](std::uint64_t seed, const TemporalGraph& g) {
+                       ReplayAndCheck(g, options, WindowPolicy::CountBased(10),
+                                      4, "threads=3 seed=" + std::to_string(seed),
+                                      /*num_threads=*/3);
+                     });
+}
+
+// A batch larger than a count-based window forces the full-turnover path:
+// only the batch's most recent events enter.
+TEST(StreamingMotifCounter, OversizedBatchResetsWindow) {
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::CountBased(3);
+  StreamingMotifCounter counter(config);
+  counter.Ingest({{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {0, 2, 5}});
+  EXPECT_EQ(counter.window_size(), 3u);
+  EXPECT_EQ(counter.window_min_time(), 3);
+  EXPECT_EQ(counter.window_max_time(), 5);
+  const TemporalGraph expect =
+      GraphFromEvents({{2, 3, 3}, {3, 0, 4}, {0, 2, 5}});
+  EXPECT_EQ(counter.total(), CountInstances(expect, config.options));
+  EXPECT_GE(counter.stats().full_recounts, 1u);
+  EXPECT_EQ(counter.stats().events_dropped, 2u);
+}
+
+// A time jump beyond the horizon empties the window entirely.
+TEST(StreamingMotifCounter, TimeJumpEvictsEverything) {
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::TimeBased(10);
+  StreamingMotifCounter counter(config);
+  counter.Ingest({{0, 1, 1}, {1, 2, 3}});
+  EXPECT_EQ(counter.window_size(), 2u);
+  EXPECT_GT(counter.total(), 0u);
+  counter.Ingest({{2, 3, 100}});
+  EXPECT_EQ(counter.window_size(), 1u);
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.stats().events_evicted, 2u);
+}
+
+TEST(StreamingMotifCounter, EmptyBatchIsANoOp) {
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::CountBased(8);
+  StreamingMotifCounter counter(config);
+  counter.Ingest({{0, 1, 1}, {1, 2, 2}});
+  const std::uint64_t before = counter.total();
+  counter.Ingest({});
+  EXPECT_EQ(counter.total(), before);
+  EXPECT_EQ(counter.window_size(), 2u);
+}
+
+TEST(StreamingMotifCounter, TopMotifsAndTimespansSnapshot) {
+  StreamConfig config;
+  config.options = Opts(3, 3, TimingConstraints::OnlyDeltaW(10));
+  config.window = WindowPolicy::CountBased(8);
+  StreamingMotifCounter counter(config);
+  // A temporal triangle: exactly one 3-event instance with code 011202.
+  counter.Ingest({{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  const auto top = counter.TopMotifs(5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, "011202");
+  EXPECT_EQ(top[0].second, 1u);
+  const TimespanProfile profile = counter.WindowTimespans("011202");
+  EXPECT_EQ(profile.num_instances, 1u);
+  EXPECT_DOUBLE_EQ(profile.mean_span, 2.0);
+}
+
+TEST(StreamingMotifCounter, StatsAccumulate) {
+  StreamConfig config;
+  config.options = Opts(2, 3, TimingConstraints::OnlyDeltaW(10));
+  config.window = WindowPolicy::CountBased(4);
+  StreamingMotifCounter counter(config);
+  for (Timestamp t = 0; t < 12; ++t) {
+    counter.Ingest({{static_cast<NodeId>(t % 3),
+                     static_cast<NodeId>((t + 1) % 3), t}});
+  }
+  const IngestStats& stats = counter.stats();
+  EXPECT_EQ(stats.batches, 12u);
+  EXPECT_EQ(stats.events_ingested, 12u);
+  EXPECT_EQ(stats.events_evicted, 8u);
+  EXPECT_GT(stats.instances_added, 0u);
+  EXPECT_GT(stats.instances_retracted, 0u);
+}
+
+TEST(StreamWindow, CountPlanAndMerge) {
+  StreamWindow window(WindowPolicy::CountBased(4));
+  std::vector<Event> first = {{0, 1, 5}, {1, 2, 5}};
+  window.Apply(window.PlanIngest(first), first);
+  ASSERT_EQ(window.size(), 2u);
+
+  // A tied arrival that canonically sorts between the existing time-5
+  // events must merge into position, not append.
+  std::vector<Event> second = {{0, 2, 5}};
+  std::vector<std::size_t> positions;
+  const IngestPlan plan = window.PlanIngest(second);
+  EXPECT_EQ(plan.num_evict, 0u);
+  window.Apply(plan, second, &positions);
+  ASSERT_EQ(window.size(), 3u);
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(positions[0], 1u);  // After (0,1,5), before (1,2,5).
+  EXPECT_EQ(window.event(1).dst, 2);
+
+  // Capacity overflow evicts the canonical front. (StreamWindow takes
+  // batches already in canonical order; the counter sorts before planning.)
+  std::vector<Event> third = {{0, 1, 9}, {3, 0, 9}};
+  const IngestPlan plan3 = window.PlanIngest(third);
+  EXPECT_EQ(plan3.num_evict, 1u);
+  window.Apply(plan3, third);
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.event(0).time, 5);
+  EXPECT_EQ(window.event(0).dst, 2);  // (0,2,5) survived, (0,1,5) evicted.
+  EXPECT_EQ(window.event(2).src, 0);  // (0,1,9) sorts before (3,0,9).
+  EXPECT_EQ(window.max_time_seen(), 9);
+}
+
+// Timestamps are signed: a stream living entirely in negative time must
+// behave exactly like its shifted-positive twin (regression: the stream
+// clock used to start at 0 and eat the first batches under both policies).
+TEST(StreamingMotifCounter, NegativeTimestampsWork) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, -100}, {1, 2, -90}, {0, 2, -80}, {2, 3, -75}, {3, 0, -60}});
+  const EnumerationOptions options =
+      Opts(3, 3, TimingConstraints::OnlyDeltaW(25));
+  for (const WindowPolicy& policy :
+       {WindowPolicy::CountBased(3), WindowPolicy::TimeBased(20)}) {
+    for (const std::size_t batch_size : {std::size_t{1}, std::size_t{2}}) {
+      ReplayAndCheck(g, options, policy, batch_size,
+                     "negative times window=" + policy.ToString());
+    }
+  }
+  // Explicit time-based spot check: nothing before the first batch may be
+  // treated as expired.
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::TimeBased(15);
+  StreamingMotifCounter counter(config);
+  counter.Ingest({{0, 1, -100}, {1, 2, -90}});
+  EXPECT_EQ(counter.window_size(), 2u);
+  EXPECT_GT(counter.total(), 0u);
+  EXPECT_EQ(counter.max_time_seen(), -90);
+}
+
+// A tied event that arrives in a later batch but canonically precedes
+// resident events must lose the capacity fight: the window is the suffix
+// of the canonically sorted history, not of the arrival order.
+TEST(StreamWindow, CountEvictionKeepsCanonicalSuffixUnderTies) {
+  StreamWindow window(WindowPolicy::CountBased(2));
+  std::vector<Event> first = {{1, 2, 5}, {2, 3, 5}};
+  window.Apply(window.PlanIngest(first), first);
+
+  std::vector<Event> second = {{0, 1, 5}};  // Sorts before both residents.
+  const IngestPlan plan = window.PlanIngest(second);
+  EXPECT_EQ(plan.num_evict, 0u);
+  EXPECT_EQ(plan.batch_begin, 1u);  // The arrival itself is the overflow.
+  window.Apply(plan, second);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.event(0).src, 1);
+  EXPECT_EQ(window.event(1).src, 2);
+
+  // Mixed case: one tie loses to a resident, one later event survives.
+  std::vector<Event> third = {{0, 2, 5}, {3, 0, 6}};
+  const IngestPlan plan3 = window.PlanIngest(third);
+  EXPECT_EQ(plan3.num_evict, 1u);   // (1,2,5) is the merged prefix...
+  EXPECT_EQ(plan3.batch_begin, 1u);  // ...after (0,2,5) is dropped first.
+  window.Apply(plan3, third);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.event(0).src, 2);
+  EXPECT_EQ(window.event(1).time, 6);
+}
+
+TEST(StreamWindow, TimePlanDropsStaleBatchEvents) {
+  StreamWindow window(WindowPolicy::TimeBased(5));
+  std::vector<Event> first = {{0, 1, 10}, {1, 2, 12}};
+  window.Apply(window.PlanIngest(first), first);
+  // Batch spans more than the horizon: its own oldest event is already
+  // outside (20-5, 20] and must never enter.
+  std::vector<Event> second = {{2, 3, 14}, {3, 0, 20}};
+  const IngestPlan plan = window.PlanIngest(second);
+  EXPECT_EQ(plan.num_evict, 2u);
+  EXPECT_EQ(plan.batch_begin, 1u);
+  window.Apply(plan, second);
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.event(0).time, 20);
+  EXPECT_EQ(window.max_time_seen(), 20);
+}
+
+// Checked after the whole binary has run (parameterized suites execute
+// last, so a plain TEST cannot see the grid's totals): the differential
+// agreement above is only meaningful if the hard maintenance paths —
+// boundary-tie corrections, static-edge fallbacks, retractions — actually
+// fired during the replays.
+class GridCoverageEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    // A filtered or sharded run may skip part (or all) of the grid; only a
+    // full run is expected to hit every maintenance path.
+    if (::testing::GTEST_FLAG(filter) != "*" ||
+        std::getenv("GTEST_TOTAL_SHARDS") != nullptr) {
+      return;
+    }
+    EXPECT_GT(g_grid_stats.instances_added, 0u);
+    EXPECT_GT(g_grid_stats.instances_retracted, 0u);
+    EXPECT_GT(g_grid_stats.tie_corrections, 0u);
+    EXPECT_GT(g_grid_stats.full_recounts, 0u);
+    EXPECT_GT(g_grid_stats.static_fallbacks, 0u);
+  }
+};
+
+const ::testing::Environment* const g_coverage_env =
+    ::testing::AddGlobalTestEnvironment(new GridCoverageEnvironment);
+
+TEST(StreamingMotifCounterDeathTest, RejectsOutOfOrderBatches) {
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::CountBased(8);
+  StreamingMotifCounter counter(config);
+  counter.Ingest({{0, 1, 10}});
+  EXPECT_DEATH(counter.Ingest({{1, 2, 9}}), "time-ordered");
+}
+
+TEST(StreamingMotifCounterDeathTest, RejectsSelfLoops) {
+  StreamConfig config;
+  config.options = Opts(2, 3);
+  config.window = WindowPolicy::CountBased(8);
+  StreamingMotifCounter counter(config);
+  EXPECT_DEATH(counter.Ingest({{1, 1, 5}}), "self-loop");
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,194 @@
+// bench_diff: compares two directories of BENCH_*.json timing records (as
+// written by bench_util's WriteBenchResult) and prints a trend table, so
+// the perf trajectory accumulated across PRs is actually checked instead of
+// just uploaded. Exits nonzero when any bench slowed down beyond the
+// threshold.
+//
+//   bench_diff --old=baseline_dir --new=build/bench_out
+//   bench_diff --old=... --new=... --threshold=0.5 --min-seconds=0.05
+//
+// Records without a top-level "seconds" field (e.g. Google Benchmark's own
+// JSON from bench_perf_counting) are skipped. Benches present on only one
+// side are reported but never fail the run (benches come and go across
+// PRs).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/text_table.h"
+
+namespace tmotif {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliArgs {
+  std::string old_dir;
+  std::string new_dir;
+  /// Allowed relative slowdown: fail when new > old * (1 + threshold).
+  double threshold = 0.25;
+  /// Records faster than this on either side are too noisy to gate on.
+  double min_seconds = 0.01;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --old=DIR --new=DIR [--threshold=F] "
+               "[--min-seconds=F]\n",
+               argv0);
+}
+
+bool Parse(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = value("--old=")) args->old_dir = v;
+    else if (const char* v = value("--new=")) args->new_dir = v;
+    else if (const char* v = value("--threshold=")) args->threshold = std::atof(v);
+    else if (const char* v = value("--min-seconds=")) args->min_seconds = std::atof(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return false;
+    }
+  }
+  if (args->old_dir.empty() || args->new_dir.empty()) {
+    std::fprintf(stderr, "--old and --new are required\n");
+    return false;
+  }
+  if (args->threshold < 0) {
+    std::fprintf(stderr, "--threshold must be >= 0\n");
+    return false;
+  }
+  return true;
+}
+
+/// Extracts the number following `"key":` from a flat JSON record; nullopt
+/// when the key is absent. Good enough for the records we write ourselves.
+std::optional<double> ExtractNumber(const std::string& json,
+                                    const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return std::nullopt;
+  ++pos;
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos]))) {
+    ++pos;
+  }
+  char* parse_end = nullptr;
+  const double parsed = std::strtod(json.c_str() + pos, &parse_end);
+  if (parse_end == json.c_str() + pos) return std::nullopt;
+  return parsed;
+}
+
+/// BENCH_<name>.json -> seconds, for every parsable record in `dir`.
+std::map<std::string, double> LoadRecords(const std::string& dir) {
+  std::map<std::string, double> records;
+  if (!fs::is_directory(dir)) return records;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json" || !entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream file(entry.path());
+    std::stringstream content;
+    content << file.rdbuf();
+    const std::optional<double> seconds =
+        ExtractNumber(content.str(), "seconds");
+    if (!seconds.has_value()) continue;  // Foreign format (Google Benchmark).
+    const std::string bench =
+        name.substr(6, name.size() - 6 - std::strlen(".json"));
+    records[bench] = *seconds;
+  }
+  return records;
+}
+
+int Main(int argc, char** argv) {
+  CliArgs args;
+  if (!Parse(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::map<std::string, double> old_records = LoadRecords(args.old_dir);
+  const std::map<std::string, double> new_records = LoadRecords(args.new_dir);
+  if (old_records.empty()) {
+    std::fprintf(stderr, "no usable BENCH_*.json records under %s\n",
+                 args.old_dir.c_str());
+    return 2;
+  }
+  if (new_records.empty()) {
+    std::fprintf(stderr, "no usable BENCH_*.json records under %s\n",
+                 args.new_dir.c_str());
+    return 2;
+  }
+
+  TextTable table({"Bench", "Old", "New", "Delta", "Status"});
+  int regressions = 0;
+  std::map<std::string, double> all;
+  for (const auto& [bench, seconds] : old_records) all[bench] = seconds;
+  for (const auto& [bench, seconds] : new_records) all[bench] = seconds;
+  for (const auto& [bench, unused] : all) {
+    (void)unused;
+    const auto old_it = old_records.find(bench);
+    const auto new_it = new_records.find(bench);
+    char old_cell[32] = "-";
+    char new_cell[32] = "-";
+    char delta_cell[32] = "-";
+    const char* status = "ok";
+    if (old_it == old_records.end()) {
+      std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_it->second);
+      status = "new";
+    } else if (new_it == new_records.end()) {
+      std::snprintf(old_cell, sizeof(old_cell), "%.3fs", old_it->second);
+      status = "removed";
+    } else {
+      const double old_s = old_it->second;
+      const double new_s = new_it->second;
+      std::snprintf(old_cell, sizeof(old_cell), "%.3fs", old_s);
+      std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_s);
+      if (old_s > 0) {
+        std::snprintf(delta_cell, sizeof(delta_cell), "%+.1f%%",
+                      100.0 * (new_s - old_s) / old_s);
+      }
+      const bool measurable =
+          old_s >= args.min_seconds || new_s >= args.min_seconds;
+      if (measurable && new_s > old_s * (1.0 + args.threshold)) {
+        status = "REGRESSED";
+        ++regressions;
+      } else if (measurable && old_s > new_s * (1.0 + args.threshold)) {
+        status = "faster";
+      } else if (!measurable) {
+        status = "noise";
+      }
+    }
+    table.AddRow()
+        .AddCell(bench)
+        .AddCell(old_cell)
+        .AddCell(new_cell)
+        .AddCell(delta_cell)
+        .AddCell(status);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\n%zu benches compared (threshold +%.0f%%, min %.3fs): %d "
+              "regression%s\n",
+              all.size(), 100.0 * args.threshold, args.min_seconds,
+              regressions, regressions == 1 ? "" : "s");
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Main(argc, argv); }

@@ -36,6 +36,7 @@ for bin in "${BUILD_DIR}"/bench_*; do
   name="$(basename "${bin}")"
   case "${name}" in
     *.json | *.csv) continue ;;
+    bench_diff) continue ;;  # The record-comparison tool, not a bench.
     bench_perf_counting)
       echo "== ${name} (google-benchmark, min_time 0.01s)"
       if "${bin}" --benchmark_min_time=0.01 \

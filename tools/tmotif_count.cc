@@ -99,6 +99,11 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     std::fprintf(stderr, "--k must be in [1, 8]\n");
     return false;
   }
+  if (args->max_nodes != 0 &&
+      (args->max_nodes < 2 || args->max_nodes > args->k + 1)) {
+    std::fprintf(stderr, "--max-nodes must be in [2, k+1]\n");
+    return false;
+  }
   return true;
 }
 
