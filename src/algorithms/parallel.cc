@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/enumerate_core.h"
+#include "core/packed_table.h"
 
 namespace tmotif {
 
@@ -41,26 +43,15 @@ MotifCounts CountMotifsParallel(const TemporalGraph& graph,
   if (num_threads <= 1 || graph.num_events() == 0) {
     return CountMotifs(graph, options);
   }
-  const auto shards = MakeShards(graph.num_events(), num_threads);
-  std::vector<MotifCounts> partials(shards.size());
-  std::vector<std::thread> workers;
-  workers.reserve(shards.size());
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    workers.emplace_back([&, s] {
-      MotifCounts& local = partials[s];
-      EnumerateInstancesInRange(
-          graph, options, shards[s].first, shards[s].second,
-          [&](const MotifInstance& instance) { local.Add(instance.code); });
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
+  internal::ValidateEnumerationOptions(options);
+  // Shards accumulate packed-code tables (core/packed_table.h); the
+  // string-keyed MotifCounts is materialized once, after the merge.
+  const internal::PackedMotifTable table = internal::CountPackedSharded(
+      graph, options, 0, graph.num_events(), num_threads);
   MotifCounts merged;
-  for (const MotifCounts& partial : partials) {
-    for (const auto& [code, count] : partial.raw()) {
-      merged.Add(code, count);
-    }
-  }
+  table.ForEach([&](std::uint64_t packed, std::uint64_t count) {
+    merged.Add(internal::PackedCodeToString(packed), count);
+  });
   return merged;
 }
 
@@ -78,9 +69,8 @@ std::uint64_t CountInstancesParallel(const TemporalGraph& graph,
   workers.reserve(shards.size());
   for (std::size_t s = 0; s < shards.size(); ++s) {
     workers.emplace_back([&, s] {
-      partials[s] = EnumerateInstancesInRange(
-          graph, options, shards[s].first, shards[s].second,
-          [](const MotifInstance&) {});
+      partials[s] = CountInstancesInRange(graph, options, shards[s].first,
+                                          shards[s].second);
     });
   }
   for (std::thread& worker : workers) worker.join();

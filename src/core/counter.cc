@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/enumerate_core.h"
+#include "core/packed_table.h"
 
 namespace tmotif {
 
@@ -53,9 +55,22 @@ std::vector<std::pair<MotifCode, std::uint64_t>> MotifCounts::SortedByCode()
 
 MotifCounts CountMotifs(const TemporalGraph& graph,
                         const EnumerationOptions& options) {
+  return CountMotifsInRange(graph, options, 0, graph.num_events());
+}
+
+MotifCounts CountMotifsInRange(const TemporalGraph& graph,
+                               const EnumerationOptions& options,
+                               EventIndex first_begin, EventIndex first_end) {
+  internal::ValidateEnumerationOptions(options);
+  first_begin = std::max<EventIndex>(first_begin, 0);
+  first_end = std::min<EventIndex>(first_end, graph.num_events());
   MotifCounts counts;
-  EnumerateInstances(graph, options, [&](const MotifInstance& instance) {
-    counts.Add(instance.code);
+  if (first_begin >= first_end) return counts;
+  internal::PackedMotifTable table;
+  internal::PackedTableSink sink{&table};
+  internal::EnumerateCore(graph, options, first_begin, first_end, sink);
+  table.ForEach([&](std::uint64_t packed, std::uint64_t count) {
+    counts.Add(internal::PackedCodeToString(packed), count);
   });
   return counts;
 }

@@ -51,8 +51,21 @@ class MotifCounts {
 };
 
 /// Enumerates instances under `options` and tallies them by canonical code.
+/// Runs on the devirtualized packed-code fast path: instances are
+/// accumulated into a flat table keyed by packed codes and converted to the
+/// string-keyed MotifCounts once at the end.
 MotifCounts CountMotifs(const TemporalGraph& graph,
                         const EnumerationOptions& options);
+
+/// Per-code tally restricted to instances whose *first* event index lies in
+/// [first_begin, first_end), on the same packed fast path — the
+/// range-restricted sibling of CountMotifs for callers doing their own
+/// partitioning. (CountMotifsParallel itself shards via
+/// internal::CountPackedSharded in algorithms/parallel.h, merging packed
+/// tables before the one string conversion.)
+MotifCounts CountMotifsInRange(const TemporalGraph& graph,
+                               const EnumerationOptions& options,
+                               EventIndex first_begin, EventIndex first_end);
 
 }  // namespace tmotif
 

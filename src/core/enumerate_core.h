@@ -1,0 +1,410 @@
+#ifndef TMOTIF_CORE_ENUMERATE_CORE_H_
+#define TMOTIF_CORE_ENUMERATE_CORE_H_
+
+// Internal devirtualized enumeration core shared by the batch counters
+// (core/counter.cc, core/enumerator.cc, algorithms/parallel.cc) and the
+// streaming delta path (stream/streaming_counter.cc).
+//
+// The DFS is templated on both the graph type and the emission sink, so
+//   * pure counting compiles to a loop with zero indirect calls
+//     (no std::function, no virtual dispatch),
+//   * the sliding-window counter can run the identical algorithm over its
+//     incrementally maintained WindowGraph indices, and
+//   * motif codes are carried as a packed std::uint64_t (one byte per
+//     event: src digit in the high nibble, dst digit in the low nibble)
+//     instead of a heap string, converted to the paper's digit-string
+//     notation only at the table boundary.
+//
+// The reference semantics live in IsValidInstance (core/enumerator.cc) and
+// the brute-force oracle (src/testing/), both deliberately untouched by
+// this fast path; the differential test grids keep the two in agreement.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+namespace internal {
+
+/// Packed codes hold one byte per event, so 8 events is the hard cap (the
+/// documented library limit; max_nodes <= num_events + 1 <= 9 keeps every
+/// digit within one nibble).
+constexpr int kMaxCoreEvents = 8;
+constexpr int kMaxCoreNodes = kMaxCoreEvents + 1;
+
+inline void ValidateEnumerationOptions(const EnumerationOptions& options) {
+  TMOTIF_CHECK(options.num_events >= 1);
+  TMOTIF_CHECK_MSG(options.num_events <= kMaxCoreEvents,
+                   "the enumerator supports at most 8-event motifs");
+  TMOTIF_CHECK(options.max_nodes >= 2 &&
+               options.max_nodes <= options.num_events + 1);
+}
+
+/// Byte of event `depth` inside a packed code.
+inline std::uint64_t PackPair(int src_digit, int dst_digit, int depth) {
+  return static_cast<std::uint64_t>((src_digit << 4) | dst_digit)
+         << (8 * depth);
+}
+
+inline int PackedSrcDigit(std::uint64_t packed, int depth) {
+  return static_cast<int>((packed >> (8 * depth + 4)) & 0xF);
+}
+
+inline int PackedDstDigit(std::uint64_t packed, int depth) {
+  return static_cast<int>((packed >> (8 * depth)) & 0xF);
+}
+
+/// Number of events of a packed code. Every event byte is non-zero (the
+/// first is always 0x01, later pairs have two distinct digits), so the
+/// event count is the index of the highest non-zero byte plus one.
+inline int PackedNumEvents(std::uint64_t packed) {
+  int k = 0;
+  while (packed != 0) {
+    ++k;
+    packed >>= 8;
+  }
+  return k;
+}
+
+/// Writes the digit-string spelling of `packed` into `buf` (no terminator);
+/// returns the length (2 * num_events). `buf` must hold 2 * kMaxCoreEvents.
+inline int PackedCodeToChars(std::uint64_t packed, int num_events, char* buf) {
+  for (int i = 0; i < num_events; ++i) {
+    buf[2 * i] = static_cast<char>('0' + PackedSrcDigit(packed, i));
+    buf[2 * i + 1] = static_cast<char>('0' + PackedDstDigit(packed, i));
+  }
+  return 2 * num_events;
+}
+
+/// The devirtualized DFS. `Graph` must provide the read-only accessor
+/// subset of TemporalGraph the engine actually uses:
+///   num_events(), event(i) (only .duration is read, and only under
+///   duration-aware gaps), event_time(i), event_src(i), event_dst(i),
+///   incident(node) (a random-access range of ascending event indices),
+///   UpperBoundTime(t) (first index with time > t),
+///   HasIncidentInIndexRange(node, lo, hi),
+///   CountEdgeEventsInTimeRange(src, dst, t_lo, t_hi), and
+///   HasStaticEdge(src, dst).
+/// `Sink` must provide `void Emit(const EventIndex* chosen, int num_events,
+/// std::uint64_t packed_code)`. Instances arrive in the same deterministic
+/// order as the seed implementation (lexicographic by chosen event
+/// indices).
+template <typename Graph, typename Sink>
+class DfsEngine {
+ public:
+  DfsEngine(const Graph& graph, const EnumerationOptions& opt, Sink& sink)
+      : graph_(graph),
+        opt_(opt),
+        sink_(sink),
+        use_dc_(opt.timing.delta_c.has_value()),
+        use_dw_(opt.timing.delta_w.has_value()),
+        dc_(use_dc_ ? *opt.timing.delta_c : 0),
+        dw_(use_dw_ ? *opt.timing.delta_w : 0) {}
+
+  std::uint64_t Run(EventIndex first_begin, EventIndex first_end) {
+    const int k = opt_.num_events;
+    for (EventIndex i = first_begin; i < first_end && !stopped_; ++i) {
+      chosen_[0] = i;
+      nodes_[0] = graph_.event_src(i);
+      nodes_[1] = graph_.event_dst(i);
+      last_[0] = i;
+      last_[1] = i;
+      num_nodes_ = 2;
+      packed_ = PackPair(0, 1, 0);
+      if (k == 1) {
+        Emit(packed_, num_nodes_);
+      } else {
+        Extend(1, /*inherited=*/0);
+      }
+    }
+    return count_;
+  }
+
+ private:
+  using IncidentRange =
+      decltype(std::declval<const Graph&>().incident(NodeId{0}));
+  using IncidentIter = decltype(std::declval<IncidentRange>().begin());
+
+  int DigitOf(NodeId node) const {
+    for (int d = 0; d < num_nodes_; ++d) {
+      if (nodes_[static_cast<std::size_t>(d)] == node) return d;
+    }
+    return -1;
+  }
+
+  bool PassesFinalChecks(std::uint64_t packed, int num_nodes) const {
+    if (opt_.inducedness == Inducedness::kNone) return true;
+    const int k = opt_.num_events;
+    // Static edges used by the instance, addressed by digit pair.
+    bool used[kMaxCoreNodes][kMaxCoreNodes] = {};
+    for (int i = 0; i < k; ++i) {
+      used[PackedSrcDigit(packed, i)][PackedDstDigit(packed, i)] = true;
+    }
+    if (opt_.inducedness == Inducedness::kStatic) {
+      for (int a = 0; a < num_nodes; ++a) {
+        for (int b = 0; b < num_nodes; ++b) {
+          if (a == b || used[a][b]) continue;
+          if (graph_.HasStaticEdge(nodes_[static_cast<std::size_t>(a)],
+                                   nodes_[static_cast<std::size_t>(b)])) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    // Temporal-window inducedness: the events among the instance's node set
+    // within [t_first, t_last] must be exactly the instance's k events.
+    const Timestamp t_first = graph_.event_time(chosen_[0]);
+    const Timestamp t_last =
+        graph_.event_time(chosen_[static_cast<std::size_t>(k - 1)]);
+    int total = 0;
+    for (int a = 0; a < num_nodes; ++a) {
+      for (int b = 0; b < num_nodes; ++b) {
+        if (a == b) continue;
+        total += graph_.CountEdgeEventsInTimeRange(
+            nodes_[static_cast<std::size_t>(a)],
+            nodes_[static_cast<std::size_t>(b)], t_first, t_last);
+        if (total > k) return false;
+      }
+    }
+    return total == k;
+  }
+
+  void Emit(std::uint64_t packed, int num_nodes) {
+    if (!PassesFinalChecks(packed, num_nodes)) return;
+    ++count_;
+    sink_.Emit(chosen_.data(), opt_.num_events, packed);
+    if (opt_.max_instances != 0 && count_ >= opt_.max_instances) {
+      stopped_ = true;
+    }
+  }
+
+  /// Extends the partial instance at `depth`. The first `inherited`
+  /// frontier digits reuse the caller's merge cursors: when the parent
+  /// recursed on candidate c, its min-merge had consumed every incident
+  /// entry <= c, so each inherited cursor already fronts the first entry
+  /// > c — exactly this depth's lower bound. Only freshly introduced
+  /// digits (at most one per extension) need a binary search.
+  void Extend(int depth, int inherited) {
+    if (stopped_) return;
+    const bool final_depth = (depth + 1 == opt_.num_events);
+    const EventIndex prev_idx = chosen_[static_cast<std::size_t>(depth - 1)];
+    const NodeId prev_src = graph_.event_src(prev_idx);
+    const NodeId prev_dst = graph_.event_dst(prev_idx);
+    const Timestamp t_prev = graph_.event_time(prev_idx);
+    const Timestamp gap_base =
+        opt_.duration_aware_gaps ? t_prev + graph_.event(prev_idx).duration
+                                 : t_prev;
+    constexpr Timestamp kMaxTime = std::numeric_limits<Timestamp>::max();
+    Timestamp upper = kMaxTime;
+    if (use_dc_) {
+      upper = gap_base <= upper - dc_ ? gap_base + dc_ : upper;
+    }
+    if (use_dw_) {
+      const Timestamp t0 = graph_.event_time(chosen_[0]);
+      upper = std::min(upper, t0 + dw_);
+    }
+    if (upper <= t_prev) return;
+
+    // Candidate extensions are events strictly later than the previous
+    // event and incident to the current node set. Each per-node incident
+    // run is already sorted, so instead of gathering + sort + unique, the
+    // runs are merged k-way in place from just past the previous event's
+    // index (duplicates collapse by advancing every run that fronts the
+    // same index). Merged candidates arrive in ascending index — hence
+    // ascending time — order, so the time window needs no binary searches:
+    // leading prev-time ties are skipped and the merge stops at the first
+    // candidate past `upper`.
+    const int frontier = num_nodes_;
+    auto& cur = cursors_[static_cast<std::size_t>(depth)];
+    auto& end = cursor_ends_[static_cast<std::size_t>(depth)];
+    for (int d = 0; d < frontier; ++d) {
+      const std::size_t s = static_cast<std::size_t>(d);
+      if (d < inherited) {
+        cur[s] = cursors_[static_cast<std::size_t>(depth - 1)][s];
+        end[s] = cursor_ends_[static_cast<std::size_t>(depth - 1)][s];
+      } else {
+        const auto inc = graph_.incident(nodes_[s]);
+        cur[s] = std::upper_bound(inc.begin(), inc.end(), prev_idx);
+        end[s] = inc.end();
+      }
+    }
+
+    constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+    for (;;) {
+      EventIndex c = kDone;
+      unsigned match = 0;
+      for (int d = 0; d < frontier; ++d) {
+        const std::size_t s = static_cast<std::size_t>(d);
+        if (cur[s] == end[s]) continue;
+        const EventIndex v = *cur[s];
+        if (v < c) {
+          c = v;
+          match = 1u << d;
+        } else if (v == c) {
+          match |= 1u << d;
+        }
+      }
+      if (c == kDone) break;
+      for (int d = 0; match != 0; ++d, match >>= 1) {
+        if (match & 1u) ++cur[static_cast<std::size_t>(d)];
+      }
+      if (stopped_) return;
+
+      const Timestamp tc = graph_.event_time(c);
+      if (tc <= t_prev) {
+        // c sits in the previous event's timestamp-tie group (index order
+        // implies tc == t_prev here). The whole group is inadmissible and
+        // contiguous in index, so jump every cursor past it with one
+        // bounded binary search instead of draining it one merge round at
+        // a time — tie-free data never reaches this branch.
+        const EventIndex lo = graph_.UpperBoundTime(t_prev);
+        for (int d = 0; d < frontier; ++d) {
+          const std::size_t s = static_cast<std::size_t>(d);
+          cur[s] = std::lower_bound(cur[s], end[s], lo);
+        }
+        continue;
+      }
+      if (tc > upper) break;  // Sorted by time: no more candidates.
+      const NodeId c_src = graph_.event_src(c);
+      const NodeId c_dst = graph_.event_dst(c);
+      int src_digit = DigitOf(c_src);
+      int dst_digit = DigitOf(c_dst);
+      const int new_nodes = (src_digit < 0 ? 1 : 0) + (dst_digit < 0 ? 1 : 0);
+      // Candidates are incident to the node set, so at most one endpoint is
+      // new; the node cap is the only remaining node constraint.
+      if (num_nodes_ + new_nodes > opt_.max_nodes) continue;
+
+      if (opt_.cdg_restriction &&
+          (prev_src != c_src || prev_dst != c_dst) &&
+          graph_.CountEdgeEventsInTimeRange(c_src, c_dst, t_prev, tc) > 1) {
+        continue;  // Another event on (c_src, c_dst) inside [t1, t2].
+      }
+
+      if (opt_.consecutive_events_restriction) {
+        bool violated = false;
+        for (const int digit : {src_digit, dst_digit}) {
+          if (digit < 0) continue;
+          const EventIndex prev_touch = last_[static_cast<std::size_t>(digit)];
+          if (graph_.HasIncidentInIndexRange(
+                  nodes_[static_cast<std::size_t>(digit)], prev_touch, c)) {
+            violated = true;
+            break;
+          }
+        }
+        if (violated) continue;
+      }
+
+      if (final_depth) {
+        // The instance is complete: emit without touching the undo
+        // bookkeeping (nodes_ scratch slots past num_nodes_ are dead).
+        int effective_nodes = num_nodes_;
+        if (src_digit < 0) {
+          src_digit = effective_nodes;
+          nodes_[static_cast<std::size_t>(effective_nodes++)] = c_src;
+        }
+        if (dst_digit < 0) {
+          dst_digit = effective_nodes;
+          nodes_[static_cast<std::size_t>(effective_nodes++)] = c_dst;
+        }
+        chosen_[static_cast<std::size_t>(depth)] = c;
+        Emit(packed_ | PackPair(src_digit, dst_digit, depth),
+             effective_nodes);
+        continue;
+      }
+
+      // Apply the extension.
+      const int saved_num_nodes = num_nodes_;
+      if (src_digit < 0) {
+        src_digit = num_nodes_;
+        nodes_[static_cast<std::size_t>(num_nodes_)] = c_src;
+        last_[static_cast<std::size_t>(num_nodes_)] = c;
+        ++num_nodes_;
+      }
+      if (dst_digit < 0) {
+        dst_digit = num_nodes_;
+        nodes_[static_cast<std::size_t>(num_nodes_)] = c_dst;
+        last_[static_cast<std::size_t>(num_nodes_)] = c;
+        ++num_nodes_;
+      }
+      const EventIndex saved_src_last =
+          last_[static_cast<std::size_t>(src_digit)];
+      const EventIndex saved_dst_last =
+          last_[static_cast<std::size_t>(dst_digit)];
+      last_[static_cast<std::size_t>(src_digit)] = c;
+      last_[static_cast<std::size_t>(dst_digit)] = c;
+      chosen_[static_cast<std::size_t>(depth)] = c;
+      packed_ |= PackPair(src_digit, dst_digit, depth);
+
+      Extend(depth + 1, /*inherited=*/frontier);
+
+      // Undo.
+      packed_ &= ~(std::uint64_t{0xFF} << (8 * depth));
+      last_[static_cast<std::size_t>(src_digit)] = saved_src_last;
+      last_[static_cast<std::size_t>(dst_digit)] = saved_dst_last;
+      num_nodes_ = saved_num_nodes;
+    }
+  }
+
+  const Graph& graph_;
+  const EnumerationOptions& opt_;
+  Sink& sink_;
+  // Timing knobs hoisted out of the candidate loop.
+  const bool use_dc_;
+  const bool use_dw_;
+  const Timestamp dc_;
+  const Timestamp dw_;
+  std::uint64_t count_ = 0;
+  bool stopped_ = false;
+
+  std::array<EventIndex, kMaxCoreEvents> chosen_{};
+  std::array<NodeId, kMaxCoreNodes> nodes_{};     // Digit -> node id.
+  std::array<EventIndex, kMaxCoreNodes> last_{};  // Digit -> last motif idx.
+  int num_nodes_ = 0;
+  std::uint64_t packed_ = 0;
+  // Per-depth k-way-merge cursors over the frontier's incident runs.
+  std::array<std::array<IncidentIter, kMaxCoreNodes>, kMaxCoreEvents>
+      cursors_{};
+  std::array<std::array<IncidentIter, kMaxCoreNodes>, kMaxCoreEvents>
+      cursor_ends_{};
+};
+
+/// Runs the DFS over instances whose first event lies in
+/// [first_begin, first_end); returns the number of instances emitted.
+/// Callers must validate options and clamp the range.
+template <typename Graph, typename Sink>
+std::uint64_t EnumerateCore(const Graph& graph,
+                            const EnumerationOptions& options,
+                            EventIndex first_begin, EventIndex first_end,
+                            Sink& sink) {
+  DfsEngine<Graph, Sink> engine(graph, options, sink);
+  return engine.Run(first_begin, first_end);
+}
+
+/// Sink that only counts (CountInstances / CountInstancesParallel).
+struct CountOnlySink {
+  void Emit(const EventIndex*, int, std::uint64_t) {}
+};
+
+/// Sink adapting a lambda `fn(chosen, num_events, packed)`.
+template <typename Fn>
+struct FnSink {
+  Fn fn;
+  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed) {
+    fn(chosen, num_events, packed);
+  }
+};
+
+template <typename Fn>
+FnSink<Fn> MakeFnSink(Fn fn) {
+  return FnSink<Fn>{std::move(fn)};
+}
+
+}  // namespace internal
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_ENUMERATE_CORE_H_

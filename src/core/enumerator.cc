@@ -1,233 +1,12 @@
 #include "core/enumerator.h"
 
 #include <algorithm>
-#include <array>
 #include <limits>
 
 #include "common/check.h"
-#include "core/motif_code.h"
+#include "core/enumerate_core.h"
 
 namespace tmotif {
-
-namespace {
-
-// Motifs never exceed num_events + 1 nodes; the library supports up to
-// 8-event motifs, so 10 digit slots are plenty.
-constexpr int kMaxMotifNodes = 10;
-
-struct Dfs {
-  const TemporalGraph& graph;
-  const EnumerationOptions& opt;
-  const InstanceVisitor* visit;  // May be null (pure counting).
-  std::uint64_t count = 0;
-  bool stopped = false;
-
-  std::vector<EventIndex> chosen;                  // Size num_events.
-  std::array<NodeId, kMaxMotifNodes> nodes{};      // Digit -> node id.
-  std::array<EventIndex, kMaxMotifNodes> last{};   // Digit -> last motif idx.
-  int num_nodes = 0;
-  std::string code;
-  std::vector<std::vector<EventIndex>> cand_buf;   // Per-depth scratch.
-
-  explicit Dfs(const TemporalGraph& g, const EnumerationOptions& o,
-               const InstanceVisitor* v)
-      : graph(g), opt(o), visit(v) {
-    chosen.resize(static_cast<std::size_t>(o.num_events));
-    code.reserve(static_cast<std::size_t>(2 * o.num_events));
-    cand_buf.resize(static_cast<std::size_t>(o.num_events));
-  }
-
-  int DigitOf(NodeId node) const {
-    for (int d = 0; d < num_nodes; ++d) {
-      if (nodes[static_cast<std::size_t>(d)] == node) return d;
-    }
-    return -1;
-  }
-
-  /// First event index with time strictly greater than `t` (global).
-  EventIndex FirstIndexAfter(Timestamp t) const {
-    const auto& events = graph.events();
-    const auto it = std::upper_bound(
-        events.begin(), events.end(), t,
-        [](Timestamp value, const Event& e) { return value < e.time; });
-    return static_cast<EventIndex>(it - events.begin());
-  }
-
-  bool PassesFinalChecks() const {
-    if (opt.inducedness == Inducedness::kNone) return true;
-    const int k = opt.num_events;
-    // Static edges used by the instance, addressed by digit pair.
-    bool used[kMaxMotifNodes][kMaxMotifNodes] = {};
-    for (int i = 0; i < k; ++i) {
-      used[code[static_cast<std::size_t>(2 * i)] - '0']
-          [code[static_cast<std::size_t>(2 * i + 1)] - '0'] = true;
-    }
-    if (opt.inducedness == Inducedness::kStatic) {
-      for (int a = 0; a < num_nodes; ++a) {
-        for (int b = 0; b < num_nodes; ++b) {
-          if (a == b || used[a][b]) continue;
-          if (graph.HasStaticEdge(nodes[static_cast<std::size_t>(a)],
-                                  nodes[static_cast<std::size_t>(b)])) {
-            return false;
-          }
-        }
-      }
-      return true;
-    }
-    // Temporal-window inducedness: the events among the instance's node set
-    // within [t_first, t_last] must be exactly the instance's k events.
-    const Timestamp t_first = graph.event(chosen.front()).time;
-    const Timestamp t_last = graph.event(chosen.back()).time;
-    int total = 0;
-    for (int a = 0; a < num_nodes; ++a) {
-      for (int b = 0; b < num_nodes; ++b) {
-        if (a == b) continue;
-        total += graph.CountEdgeEventsInTimeRange(
-            nodes[static_cast<std::size_t>(a)],
-            nodes[static_cast<std::size_t>(b)], t_first, t_last);
-        if (total > k) return false;
-      }
-    }
-    return total == k;
-  }
-
-  void Emit() {
-    if (!PassesFinalChecks()) return;
-    ++count;
-    if (visit != nullptr) {
-      MotifInstance instance;
-      instance.event_indices = chosen.data();
-      instance.num_events = opt.num_events;
-      instance.code = code;
-      (*visit)(instance);
-    }
-    if (opt.max_instances != 0 && count >= opt.max_instances) stopped = true;
-  }
-
-  void Extend(int depth) {
-    if (stopped) return;
-    if (depth == opt.num_events) {
-      Emit();
-      return;
-    }
-    const Event& prev = graph.event(chosen[static_cast<std::size_t>(depth - 1)]);
-    const Timestamp t_prev = prev.time;
-    const Timestamp gap_base =
-        opt.duration_aware_gaps ? prev.time + prev.duration : prev.time;
-    Timestamp upper = std::numeric_limits<Timestamp>::max();
-    if (opt.timing.delta_c.has_value()) {
-      upper = gap_base <= upper - *opt.timing.delta_c
-                  ? gap_base + *opt.timing.delta_c
-                  : upper;
-    }
-    if (opt.timing.delta_w.has_value()) {
-      const Timestamp t0 = graph.event(chosen.front()).time;
-      upper = std::min(upper, t0 + *opt.timing.delta_w);
-    }
-    if (upper <= t_prev) return;
-
-    // Gather candidate extensions: events strictly later than the previous
-    // event and incident to the current node set.
-    std::vector<EventIndex>& cands = cand_buf[static_cast<std::size_t>(depth)];
-    cands.clear();
-    const EventIndex lo = FirstIndexAfter(t_prev);
-    for (int d = 0; d < num_nodes; ++d) {
-      const std::vector<EventIndex>& inc =
-          graph.incident(nodes[static_cast<std::size_t>(d)]);
-      auto it = std::lower_bound(inc.begin(), inc.end(), lo);
-      for (; it != inc.end(); ++it) {
-        if (graph.event(*it).time > upper) break;
-        cands.push_back(*it);
-      }
-    }
-    std::sort(cands.begin(), cands.end());
-    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
-
-    for (const EventIndex c : cands) {
-      if (stopped) return;
-      const Event& e = graph.event(c);
-      int src_digit = DigitOf(e.src);
-      int dst_digit = DigitOf(e.dst);
-      const int new_nodes = (src_digit < 0 ? 1 : 0) + (dst_digit < 0 ? 1 : 0);
-      // Candidates are incident to the node set, so at most one endpoint is
-      // new; the node cap is the only remaining node constraint.
-      if (num_nodes + new_nodes > opt.max_nodes) continue;
-
-      if (opt.cdg_restriction &&
-          (prev.src != e.src || prev.dst != e.dst) &&
-          graph.CountEdgeEventsInTimeRange(e.src, e.dst, prev.time, e.time) >
-              1) {
-        continue;  // Another event on (e.src, e.dst) inside [t1, t2].
-      }
-
-      if (opt.consecutive_events_restriction) {
-        bool violated = false;
-        for (const int digit : {src_digit, dst_digit}) {
-          if (digit < 0) continue;
-          const EventIndex prev_touch = last[static_cast<std::size_t>(digit)];
-          if (graph.CountIncidentInIndexRange(
-                  nodes[static_cast<std::size_t>(digit)], prev_touch, c) > 0) {
-            violated = true;
-            break;
-          }
-        }
-        if (violated) continue;
-      }
-
-      // Apply the extension.
-      const int saved_num_nodes = num_nodes;
-      if (src_digit < 0) {
-        src_digit = num_nodes;
-        nodes[static_cast<std::size_t>(num_nodes)] = e.src;
-        last[static_cast<std::size_t>(num_nodes)] = c;
-        ++num_nodes;
-      }
-      if (dst_digit < 0) {
-        dst_digit = num_nodes;
-        nodes[static_cast<std::size_t>(num_nodes)] = e.dst;
-        last[static_cast<std::size_t>(num_nodes)] = c;
-        ++num_nodes;
-      }
-      const EventIndex saved_src_last = last[static_cast<std::size_t>(src_digit)];
-      const EventIndex saved_dst_last = last[static_cast<std::size_t>(dst_digit)];
-      last[static_cast<std::size_t>(src_digit)] = c;
-      last[static_cast<std::size_t>(dst_digit)] = c;
-      chosen[static_cast<std::size_t>(depth)] = c;
-      code.push_back(static_cast<char>('0' + src_digit));
-      code.push_back(static_cast<char>('0' + dst_digit));
-
-      Extend(depth + 1);
-
-      // Undo.
-      code.resize(code.size() - 2);
-      last[static_cast<std::size_t>(src_digit)] = saved_src_last;
-      last[static_cast<std::size_t>(dst_digit)] = saved_dst_last;
-      num_nodes = saved_num_nodes;
-    }
-  }
-
-  std::uint64_t Run(EventIndex first_begin, EventIndex first_end) {
-    const int k = opt.num_events;
-    for (EventIndex i = first_begin; i < first_end && !stopped; ++i) {
-      const Event& e = graph.event(i);
-      chosen[0] = i;
-      nodes[0] = e.src;
-      nodes[1] = e.dst;
-      last[0] = i;
-      last[1] = i;
-      num_nodes = 2;
-      code.assign("01");
-      if (k == 1) {
-        Emit();
-      } else {
-        Extend(1);
-      }
-    }
-    return count;
-  }
-};
-
-}  // namespace
 
 const char* InducednessName(Inducedness inducedness) {
   switch (inducedness) {
@@ -240,27 +19,42 @@ const char* InducednessName(Inducedness inducedness) {
 
 namespace {
 
-void ValidateOptions(const EnumerationOptions& options) {
-  TMOTIF_CHECK(options.num_events >= 1);
-  TMOTIF_CHECK(options.max_nodes >= 2 &&
-               options.max_nodes <= options.num_events + 1);
-}
+/// Sink bridging the devirtualized core to the public std::function-based
+/// visitor API: the packed code is spelled out into a stack buffer once per
+/// *emitted* instance (the inner DFS never touches strings).
+class VisitorSink {
+ public:
+  explicit VisitorSink(const InstanceVisitor& visit) : visit_(visit) {}
+
+  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed) {
+    const int len = internal::PackedCodeToChars(packed, num_events, buf_);
+    MotifInstance instance;
+    instance.event_indices = chosen;
+    instance.num_events = num_events;
+    instance.code = std::string_view(buf_, static_cast<std::size_t>(len));
+    visit_(instance);
+  }
+
+ private:
+  const InstanceVisitor& visit_;
+  char buf_[2 * internal::kMaxCoreEvents];
+};
 
 }  // namespace
 
 std::uint64_t EnumerateInstances(const TemporalGraph& graph,
                                  const EnumerationOptions& options,
                                  const InstanceVisitor& visit) {
-  ValidateOptions(options);
-  Dfs dfs(graph, options, &visit);
-  return dfs.Run(0, graph.num_events());
+  internal::ValidateEnumerationOptions(options);
+  VisitorSink sink(visit);
+  return internal::EnumerateCore(graph, options, 0, graph.num_events(), sink);
 }
 
 std::uint64_t CountInstances(const TemporalGraph& graph,
                              const EnumerationOptions& options) {
-  ValidateOptions(options);
-  Dfs dfs(graph, options, nullptr);
-  return dfs.Run(0, graph.num_events());
+  internal::ValidateEnumerationOptions(options);
+  internal::CountOnlySink sink;
+  return internal::EnumerateCore(graph, options, 0, graph.num_events(), sink);
 }
 
 std::uint64_t EnumerateInstancesInRange(const TemporalGraph& graph,
@@ -268,12 +62,24 @@ std::uint64_t EnumerateInstancesInRange(const TemporalGraph& graph,
                                         EventIndex first_begin,
                                         EventIndex first_end,
                                         const InstanceVisitor& visit) {
-  ValidateOptions(options);
+  internal::ValidateEnumerationOptions(options);
   first_begin = std::max<EventIndex>(first_begin, 0);
   first_end = std::min<EventIndex>(first_end, graph.num_events());
   if (first_begin >= first_end) return 0;
-  Dfs dfs(graph, options, &visit);
-  return dfs.Run(first_begin, first_end);
+  VisitorSink sink(visit);
+  return internal::EnumerateCore(graph, options, first_begin, first_end, sink);
+}
+
+std::uint64_t CountInstancesInRange(const TemporalGraph& graph,
+                                    const EnumerationOptions& options,
+                                    EventIndex first_begin,
+                                    EventIndex first_end) {
+  internal::ValidateEnumerationOptions(options);
+  first_begin = std::max<EventIndex>(first_begin, 0);
+  first_end = std::min<EventIndex>(first_end, graph.num_events());
+  if (first_begin >= first_end) return 0;
+  internal::CountOnlySink sink;
+  return internal::EnumerateCore(graph, options, first_begin, first_end, sink);
 }
 
 bool IsValidInstance(const TemporalGraph& graph,

@@ -30,7 +30,9 @@ const char* InducednessName(Inducedness inducedness);
 /// Configuration of the unified motif-instance enumerator. The four
 /// published models are presets over these knobs (see core/models/).
 struct EnumerationOptions {
-  /// Number of events per instance (the paper uses 3 and 4).
+  /// Number of events per instance (the paper uses 3 and 4; the library
+  /// supports up to 8 — motif codes are carried as one packed byte per
+  /// event on the hot path).
   int num_events = 3;
   /// Maximum distinct nodes per instance (the paper's spectra: 3 for
   /// three-event motifs, 4 for four-event motifs).
@@ -89,6 +91,13 @@ std::uint64_t EnumerateInstancesInRange(const TemporalGraph& graph,
                                         EventIndex first_begin,
                                         EventIndex first_end,
                                         const InstanceVisitor& visit);
+
+/// Total instance count over a first-event range, on the zero-callback fast
+/// path (the per-shard primitive of CountInstancesParallel).
+std::uint64_t CountInstancesInRange(const TemporalGraph& graph,
+                                    const EnumerationOptions& options,
+                                    EventIndex first_begin,
+                                    EventIndex first_end);
 
 /// Validates one explicit candidate instance (event indices in ascending
 /// order) against `options`. This is an independent, straightforward

@@ -1,0 +1,128 @@
+#ifndef TMOTIF_CORE_PACKED_TABLE_H_
+#define TMOTIF_CORE_PACKED_TABLE_H_
+
+// Flat open-addressed accumulation table keyed by packed motif codes
+// (core/enumerate_core.h). The motif spectra are tiny (36 three-event
+// codes, 696 four-event codes), so the whole table stays cache-resident
+// while the enumerator hammers Add() once per instance; conversion to the
+// string-keyed MotifCounts happens once, at the end of a count.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "core/enumerate_core.h"
+#include "core/motif_code.h"
+
+namespace tmotif {
+namespace internal {
+
+/// Spelling of a packed code in the paper's digit-string notation.
+inline MotifCode PackedCodeToString(std::uint64_t packed) {
+  char buf[2 * kMaxCoreEvents];
+  const int len = PackedCodeToChars(packed, PackedNumEvents(packed), buf);
+  return MotifCode(buf, static_cast<std::size_t>(len));
+}
+
+class PackedMotifTable {
+ public:
+  PackedMotifTable() { Reset(); }
+
+  /// Accumulates `n` occurrences of `packed`. Packed codes are never zero
+  /// (the first event byte is always 0x01), so zero marks empty slots.
+  void Add(std::uint64_t packed, std::uint64_t n = 1) {
+    TMOTIF_CHECK(packed != 0);
+    std::size_t i = Hash(packed) & mask_;
+    for (;;) {
+      if (keys_[i] == packed) {
+        values_[i] += n;
+        total_ += n;
+        return;
+      }
+      if (keys_[i] == 0) {
+        keys_[i] = packed;
+        values_[i] = n;
+        total_ += n;
+        ++size_;
+        if (4 * size_ > 3 * keys_.size()) Grow();
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void MergeFrom(const PackedMotifTable& other) {
+    other.ForEach([this](std::uint64_t packed, std::uint64_t n) {
+      Add(packed, n);
+    });
+  }
+
+  /// Invokes `fn(packed, count)` for every occupied slot (table order,
+  /// which is unspecified — callers needing determinism should sort or
+  /// funnel into MotifCounts).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::size_t num_codes() const { return size_; }
+
+  void Reset() {
+    keys_.assign(kInitialCapacity, 0);
+    values_.assign(kInitialCapacity, 0);
+    mask_ = kInitialCapacity - 1;
+    size_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;  // Power of two.
+
+  static std::size_t Hash(std::uint64_t x) {
+    // SplitMix64 finalizer: cheap and well-mixed for packed digit codes.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void Grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, 0);
+    values_.assign(old_values.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t j = Hash(old_keys[i]) & mask_;
+      while (keys_[j] != 0) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Sink accumulating every emitted instance into a PackedMotifTable.
+struct PackedTableSink {
+  PackedMotifTable* table;
+  void Emit(const EventIndex*, int, std::uint64_t packed) {
+    table->Add(packed);
+  }
+};
+
+}  // namespace internal
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_PACKED_TABLE_H_

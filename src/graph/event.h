@@ -1,11 +1,20 @@
 #ifndef TMOTIF_GRAPH_EVENT_H_
 #define TMOTIF_GRAPH_EVENT_H_
 
+#include <cstdint>
 #include <tuple>
 
 #include "common/types.h"
 
 namespace tmotif {
+
+/// Packs a directed node pair into one 64-bit key — the shared edge
+/// identity of the graph's CSR edge index, the stream window's per-edge
+/// bookkeeping, and the SoA endpoint mirrors.
+inline std::uint64_t NodePairKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
 
 /// A temporal edge ("event"): a directed interaction from `src` to `dst`
 /// starting at `time`. Matches the paper's 4-tuple (u_i, v_i, t_i, dt_i);

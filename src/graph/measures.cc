@@ -29,7 +29,7 @@ double BurstinessCoefficient(const TemporalGraph& graph) {
 }
 
 double NodeBurstiness(const TemporalGraph& graph, NodeId node) {
-  const std::vector<EventIndex>& incident = graph.incident(node);
+  const EventIndexSpan incident = graph.incident(node);
   std::vector<double> gaps;
   gaps.reserve(incident.size());
   for (std::size_t i = 1; i < incident.size(); ++i) {
@@ -99,8 +99,7 @@ double MedianSameEdgeGap(const TemporalGraph& graph) {
   std::vector<std::int64_t> gaps;
   for (EventIndex i = 0; i < graph.num_events(); ++i) {
     const Event& e = graph.event(i);
-    const std::vector<EventIndex>& occurrences =
-        graph.edge_events(e.src, e.dst);
+    const EventIndexSpan occurrences = graph.edge_events(e.src, e.dst);
     if (occurrences.front() != i) continue;  // Process each edge once.
     for (std::size_t j = 1; j < occurrences.size(); ++j) {
       gaps.push_back(graph.event(occurrences[j]).time -

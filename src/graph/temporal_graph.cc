@@ -6,40 +6,55 @@
 
 namespace tmotif {
 
-namespace {
-const std::vector<EventIndex> kEmptyIndexList;
-}  // namespace
-
-const std::vector<EventIndex>& TemporalGraph::incident(NodeId node) const {
+EventIndexSpan TemporalGraph::incident(NodeId node) const {
   TMOTIF_CHECK(node >= 0 && node < num_nodes_);
-  return incident_[static_cast<std::size_t>(node)];
+  const std::size_t n = static_cast<std::size_t>(node);
+  const EventIndex* base = incident_events_.data();
+  return EventIndexSpan(base + incident_offsets_[n],
+                        base + incident_offsets_[n + 1]);
 }
 
-const std::vector<EventIndex>& TemporalGraph::edge_events(NodeId src,
-                                                          NodeId dst) const {
-  const auto it = edge_events_.find(EdgeKey(src, dst));
-  if (it == edge_events_.end()) return kEmptyIndexList;
-  return it->second;
+std::size_t TemporalGraph::EdgeSlot(NodeId src, NodeId dst) const {
+  const std::uint64_t key = NodePairKey(src, dst);
+  const auto it = std::lower_bound(edge_keys_.begin(), edge_keys_.end(), key);
+  if (it == edge_keys_.end() || *it != key) return edge_keys_.size();
+  return static_cast<std::size_t>(it - edge_keys_.begin());
+}
+
+EventIndexSpan TemporalGraph::edge_events(NodeId src, NodeId dst) const {
+  const std::size_t slot = EdgeSlot(src, dst);
+  if (slot == edge_keys_.size()) return EventIndexSpan();
+  const EventIndex* base = edge_occurrences_.data();
+  return EventIndexSpan(base + edge_offsets_[slot],
+                        base + edge_offsets_[slot + 1]);
 }
 
 bool TemporalGraph::HasStaticEdge(NodeId src, NodeId dst) const {
-  return edge_events_.find(EdgeKey(src, dst)) != edge_events_.end();
+  return EdgeSlot(src, dst) != edge_keys_.size();
 }
 
 int TemporalGraph::CountIncidentInIndexRange(NodeId node, EventIndex lo,
                                              EventIndex hi) const {
   if (hi <= lo) return 0;
-  const std::vector<EventIndex>& list = incident(node);
+  const EventIndexSpan list = incident(node);
   const auto first = std::upper_bound(list.begin(), list.end(), lo);
   const auto last = std::lower_bound(list.begin(), list.end(), hi);
   return static_cast<int>(last - first);
+}
+
+bool TemporalGraph::HasIncidentInIndexRange(NodeId node, EventIndex lo,
+                                            EventIndex hi) const {
+  if (hi <= lo) return false;
+  const EventIndexSpan list = incident(node);
+  const auto first = std::upper_bound(list.begin(), list.end(), lo);
+  return first != list.end() && *first < hi;
 }
 
 int TemporalGraph::CountEdgeEventsInTimeRange(NodeId src, NodeId dst,
                                               Timestamp t_lo,
                                               Timestamp t_hi) const {
   if (t_hi < t_lo) return 0;
-  const std::vector<EventIndex>& list = edge_events(src, dst);
+  const EventIndexSpan list = edge_events(src, dst);
   const auto time_of = [this](EventIndex i) { return event(i).time; };
   const auto first = std::lower_bound(
       list.begin(), list.end(), t_lo,
@@ -54,7 +69,7 @@ int TemporalGraph::CountEdgeEventsInIndexRange(NodeId src, NodeId dst,
                                                EventIndex lo,
                                                EventIndex hi) const {
   if (hi <= lo) return 0;
-  const std::vector<EventIndex>& list = edge_events(src, dst);
+  const EventIndexSpan list = edge_events(src, dst);
   const auto first = std::upper_bound(list.begin(), list.end(), lo);
   const auto last = std::lower_bound(list.begin(), list.end(), hi);
   return static_cast<int>(last - first);
@@ -130,17 +145,61 @@ TemporalGraph TemporalGraphBuilder::Build() {
   }
   graph.num_nodes_ = max_node + 1;
 
-  graph.incident_.assign(static_cast<std::size_t>(graph.num_nodes_), {});
-  for (EventIndex i = 0; i < graph.num_events(); ++i) {
-    const Event& e = graph.event(i);
-    graph.incident_[static_cast<std::size_t>(e.src)].push_back(i);
-    graph.incident_[static_cast<std::size_t>(e.dst)].push_back(i);
-    graph.edge_events_[TemporalGraph::EdgeKey(e.src, e.dst)].push_back(i);
+  const std::size_t num_nodes = static_cast<std::size_t>(graph.num_nodes_);
+  const std::size_t num_events = graph.events_.size();
+
+  graph.event_times_.reserve(num_events);
+  graph.event_pairs_.reserve(num_events);
+  for (const Event& e : graph.events_) {
+    graph.event_times_.push_back(e.time);
+    graph.event_pairs_.push_back(NodePairKey(e.src, e.dst));
+  }
+
+  // Incident index: count per node, prefix-sum, then fill in event order so
+  // every per-node run stays ascending.
+  graph.incident_offsets_.assign(num_nodes + 1, 0);
+  for (const Event& e : graph.events_) {
+    ++graph.incident_offsets_[static_cast<std::size_t>(e.src) + 1];
+    ++graph.incident_offsets_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    graph.incident_offsets_[n + 1] += graph.incident_offsets_[n];
+  }
+  graph.incident_events_.resize(2 * num_events);
+  {
+    std::vector<std::size_t> cursor(graph.incident_offsets_.begin(),
+                                    graph.incident_offsets_.end() - 1);
+    for (EventIndex i = 0; i < graph.num_events(); ++i) {
+      const Event& e = graph.event(i);
+      graph.incident_events_[cursor[static_cast<std::size_t>(e.src)]++] = i;
+      graph.incident_events_[cursor[static_cast<std::size_t>(e.dst)]++] = i;
+    }
+  }
+
+  // Edge-occurrence index: one sort of (key, event index) pairs yields the
+  // sorted distinct keys, the offsets, and the per-edge occurrence runs in
+  // a single pass — pair comparison keeps indices ascending within a key.
+  {
+    std::vector<std::pair<std::uint64_t, EventIndex>> keyed;
+    keyed.reserve(num_events);
+    for (EventIndex i = 0; i < graph.num_events(); ++i) {
+      const Event& e = graph.event(i);
+      keyed.emplace_back(NodePairKey(e.src, e.dst), i);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    graph.edge_occurrences_.resize(num_events);
+    for (std::size_t i = 0; i < keyed.size(); ++i) {
+      if (i == 0 || keyed[i].first != keyed[i - 1].first) {
+        graph.edge_keys_.push_back(keyed[i].first);
+        graph.edge_offsets_.push_back(i);
+      }
+      graph.edge_occurrences_[i] = keyed[i].second;
+    }
+    graph.edge_offsets_.push_back(num_events);
   }
 
   if (!labels_.empty()) {
-    graph.node_labels_.assign(static_cast<std::size_t>(graph.num_nodes_),
-                              kNoLabel);
+    graph.node_labels_.assign(num_nodes, kNoLabel);
     for (const auto& [node, label] : labels_) {
       graph.node_labels_[static_cast<std::size_t>(node)] = label;
     }

@@ -2,34 +2,80 @@
 
 #include <algorithm>
 #include <limits>
-#include <thread>
 #include <unordered_map>
 
 #include "algorithms/parallel.h"
 #include "common/check.h"
+#include "core/enumerate_core.h"
+#include "core/packed_table.h"
 
 namespace tmotif {
 
 namespace {
 
-std::uint64_t PairKey(NodeId src, NodeId dst) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(dst);
+/// First event position from which an instance whose last event is at or
+/// after `last_time` can start (0 when timing imposes no timespan bound).
+template <typename Graph>
+EventIndex FirstPossibleStart(const Graph& graph, Timestamp last_time,
+                              const std::optional<Timestamp>& span) {
+  if (!span.has_value()) return 0;
+  return graph.LowerBoundTime(SaturatingSubtract(last_time, *span));
 }
+
+/// Applies a packed table of retracted instances to `counts`.
+void SubtractTable(const internal::PackedMotifTable& table,
+                   MotifCounts* counts) {
+  table.ForEach([&](std::uint64_t packed, std::uint64_t n) {
+    counts->Sub(internal::PackedCodeToString(packed), n);
+  });
+}
+
+void AddTable(const internal::PackedMotifTable& table, MotifCounts* counts) {
+  table.ForEach([&](std::uint64_t packed, std::uint64_t n) {
+    counts->Add(internal::PackedCodeToString(packed), n);
+  });
+}
+
+/// Subtract-half of the append-side boundary correction: removes survivors
+/// whose last event timestamp equals `t_b`, evaluated on the pre-append
+/// graph (either the live WindowGraph or the survivor-only TemporalGraph of
+/// the evict-tie correction, hence the template).
+template <typename Graph>
+void SubtractAppendTies(const Graph& graph, const EnumerationOptions& options,
+                        EventIndex lo, Timestamp t_b, MotifCounts* counts) {
+  internal::PackedMotifTable table;
+  auto sink = internal::MakeFnSink(
+      [&](const EventIndex* chosen, int k, std::uint64_t packed) {
+        if (graph.event_time(chosen[k - 1]) == t_b) table.Add(packed);
+      });
+  internal::EnumerateCore(graph, options, lo, graph.num_events(), sink);
+  SubtractTable(table, counts);
+}
+
+/// Sink of the arrival path: keeps instances whose last event entered with
+/// the current batch.
+struct NewInstanceSink {
+  const std::vector<char>* is_new;
+  internal::PackedMotifTable* table;
+  void Emit(const EventIndex* chosen, int k, std::uint64_t packed) {
+    if (!(*is_new)[static_cast<std::size_t>(chosen[k - 1])]) return;
+    table->Add(packed);
+  }
+};
 
 }  // namespace
 
 StreamingMotifCounter::StreamingMotifCounter(const StreamConfig& config)
-    : config_(config), window_(config.window) {
+    : config_(config), window_(config.window), live_(&window_) {
   TMOTIF_CHECK_MSG(config_.options.max_instances == 0,
                    "max_instances is not supported in streaming counting");
   TMOTIF_CHECK(config_.num_threads >= 1);
+  internal::ValidateEnumerationOptions(config_.options);
   has_nonlocal_ = config_.options.consecutive_events_restriction ||
                   config_.options.cdg_restriction ||
                   config_.options.inducedness != Inducedness::kNone;
   uses_static_inducedness_ =
       config_.options.inducedness == Inducedness::kStatic;
-  RebuildGraph();
 }
 
 std::vector<std::pair<MotifCode, std::uint64_t>>
@@ -41,8 +87,26 @@ StreamingMotifCounter::TopMotifs(std::size_t limit) const {
 
 TimespanProfile StreamingMotifCounter::WindowTimespans(
     const MotifCode& code, int num_bins, Timestamp unbounded_hi) const {
-  return CollectTimespans(graph_, config_.options, code, num_bins,
+  return CollectTimespans(window_graph(), config_.options, code, num_bins,
                           unbounded_hi);
+}
+
+void StreamingMotifCounter::InvalidateSnapshot() {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_valid_ = false;
+}
+
+const TemporalGraph& StreamingMotifCounter::window_graph() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (!snapshot_valid_) {
+    TemporalGraphBuilder builder;
+    for (const Event& e : window_.events()) builder.AddEvent(e);
+    // The window is canonically sorted, so builder.Build()'s stable sort is
+    // the identity and graph indices equal window positions.
+    snapshot_ = builder.Build();
+    snapshot_valid_ = true;
+  }
+  return snapshot_;
 }
 
 std::optional<Timestamp> StreamingMotifCounter::SpanBound() const {
@@ -67,13 +131,6 @@ std::optional<Timestamp> StreamingMotifCounter::SpanBound() const {
   return bound;
 }
 
-EventIndex StreamingMotifCounter::FirstPossibleStart(
-    const TemporalGraph& graph, Timestamp last_time) const {
-  const std::optional<Timestamp> span = SpanBound();
-  if (!span.has_value()) return 0;
-  return graph.LowerBoundTime(SaturatingSubtract(last_time, *span));
-}
-
 bool StreamingMotifCounter::StaticEdgeSetChanges(
     const IngestPlan& plan, const std::vector<Event>& batch) const {
   struct EdgeDelta {
@@ -84,87 +141,53 @@ bool StreamingMotifCounter::StaticEdgeSetChanges(
   std::unordered_map<std::uint64_t, EdgeDelta> deltas;
   for (std::size_t i = 0; i < plan.num_evict; ++i) {
     const Event& e = window_.event(i);
-    auto& d = deltas[PairKey(e.src, e.dst)];
+    auto& d = deltas[NodePairKey(e.src, e.dst)];
     d.src = e.src;
     d.dst = e.dst;
     --d.delta;
   }
   for (std::size_t i = plan.batch_begin; i < batch.size(); ++i) {
     const Event& e = batch[i];
-    auto& d = deltas[PairKey(e.src, e.dst)];
+    auto& d = deltas[NodePairKey(e.src, e.dst)];
     d.src = e.src;
     d.dst = e.dst;
     ++d.delta;
   }
   for (const auto& [key, d] : deltas) {
     (void)key;
-    // edge_events is a plain map lookup, safe for node ids the window has
-    // never seen (they simply have no occurrences yet).
     const std::int64_t before =
-        static_cast<std::int64_t>(graph_.edge_events(d.src, d.dst).size());
+        static_cast<std::int64_t>(live_.NumEdgeEvents(d.src, d.dst));
     const std::int64_t after = before + d.delta;
     if ((before > 0) != (after > 0)) return true;
   }
   return false;
 }
 
-void StreamingMotifCounter::RebuildGraph() {
-  TemporalGraphBuilder builder;
-  for (const Event& e : window_.events()) builder.AddEvent(e);
-  // The window is canonically sorted, so builder.Build()'s stable sort is
-  // the identity and graph indices equal window positions.
-  graph_ = builder.Build();
-}
-
 void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
                                             const std::vector<Event>& batch,
                                             bool is_static_fallback) {
   window_.Apply(plan, batch);
-  RebuildGraph();
-  counts_ = CountMotifsParallel(graph_, config_.options, config_.num_threads);
+  InvalidateSnapshot();
+  live_.Reset();
+  // Recount directly on the live indices, sharded by first event exactly
+  // like CountMotifsParallel.
+  counts_ = MotifCounts();
+  AddTable(internal::CountPackedSharded(live_, config_.options, 0,
+                                        live_.num_events(),
+                                        config_.num_threads),
+           &counts_);
   ++stats_.full_recounts;
   if (is_static_fallback) ++stats_.static_fallbacks;
 }
 
 void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
-  const EventIndex end = graph_.num_events();
-  if (begin >= end) return;
-  const auto add_range = [this](EventIndex lo, EventIndex hi,
-                                MotifCounts* into, std::uint64_t* added) {
-    EnumerateInstancesInRange(
-        graph_, config_.options, lo, hi, [&](const MotifInstance& instance) {
-          const EventIndex last =
-              instance.event_indices[instance.num_events - 1];
-          if (!is_new_[static_cast<std::size_t>(last)]) return;
-          into->Add(instance.code);
-          ++*added;
-        });
-  };
-  // Sharding by first event keeps shards disjoint exactly as in
-  // algorithms/parallel.h; small ranges are not worth the thread spawns.
-  if (config_.num_threads <= 1 || end - begin < 64) {
-    std::uint64_t added = 0;
-    add_range(begin, end, &counts_, &added);
-    stats_.instances_added += added;
-    return;
-  }
-  const auto shards = MakeEventShards(begin, end, config_.num_threads);
-  std::vector<MotifCounts> partials(shards.size());
-  std::vector<std::uint64_t> added(shards.size(), 0);
-  std::vector<std::thread> workers;
-  workers.reserve(shards.size());
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    workers.emplace_back([&, s] {
-      add_range(shards[s].first, shards[s].second, &partials[s], &added[s]);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    for (const auto& [code, count] : partials[s].raw()) {
-      counts_.Add(code, count);
-    }
-    stats_.instances_added += added[s];
-  }
+  const internal::PackedMotifTable added = internal::CountPackedShardedWith(
+      live_, config_.options, begin, live_.num_events(), config_.num_threads,
+      [this](internal::PackedMotifTable* table) {
+        return NewInstanceSink{&is_new_, table};
+      });
+  stats_.instances_added += added.total();
+  AddTable(added, &counts_);
 }
 
 void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
@@ -185,8 +208,8 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   }
 
   if (num_new == 0 && plan.num_evict == 0) {
-    window_.Apply(plan, batch);  // Still advances the stream clock.
-    return;
+    window_.Apply(plan, batch);  // Still advances the stream clock; the
+    return;                      // window content (and indices) is unchanged.
   }
 
   // Full window turnover (including startup) recounts from scratch — there
@@ -204,18 +227,18 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
     return;
   }
 
-  const TemporalGraph& g0 = graph_;
+  const std::optional<Timestamp> span = SpanBound();
   const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
 
   // Phase 1 — retract instances anchored at evicted events. The evicted
   // events form a canonical prefix, so an instance loses an event exactly
-  // when its first event is evicted.
+  // when its first event is evicted. Runs on the live pre-update indices.
   if (n_evict > 0) {
-    EnumerateInstancesInRange(g0, config_.options, 0, n_evict,
-                              [&](const MotifInstance& instance) {
-                                counts_.Sub(instance.code);
-                                ++stats_.instances_retracted;
-                              });
+    internal::PackedMotifTable retracted;
+    internal::PackedTableSink sink{&retracted};
+    internal::EnumerateCore(live_, config_.options, 0, n_evict, sink);
+    stats_.instances_retracted += retracted.total();
+    SubtractTable(retracted, &counts_);
   }
 
   // Survivors can only flip validity at shared boundary timestamps (or via
@@ -224,34 +247,39 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   // ties the instance's first or last timestamp. See docs/STREAMING.md for
   // the case analysis.
   const bool evict_tie =
-      n_evict > 0 && g0.event(n_evict - 1).time == g0.event(n_evict).time;
+      n_evict > 0 && live_.event_time(n_evict - 1) == live_.event_time(n_evict);
   const Timestamp old_surviving_max =
-      g0.event(static_cast<EventIndex>(old_size) - 1).time;
+      live_.event_time(static_cast<EventIndex>(old_size) - 1);
   const bool append_tie =
       num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
 
   // Phase 2 — evict-side boundary correction: survivors whose first event
   // shares the eviction boundary timestamp are re-evaluated without the
   // evicted tie events.
-  TemporalGraph mid;  // Survivor-only graph, built only when needed.
-  const TemporalGraph* pre_append = &g0;
-  EventIndex pre_append_begin = n_evict;
+  TemporalGraph mid;  // Survivor-only graph, built only when needed (rare).
+  bool use_mid = false;
   if (has_nonlocal_ && evict_tie) {
-    const Timestamp t_ev = g0.event(n_evict - 1).time;
-    const EventIndex tie_end = g0.UpperBoundTime(t_ev);
-    EnumerateInstancesInRange(
-        g0, config_.options, n_evict, tie_end,
-        [&](const MotifInstance& instance) { counts_.Sub(instance.code); });
+    const Timestamp t_ev = live_.event_time(n_evict - 1);
+    const EventIndex tie_end = live_.UpperBoundTime(t_ev);
+    {
+      internal::PackedMotifTable table;
+      internal::PackedTableSink sink{&table};
+      internal::EnumerateCore(live_, config_.options, n_evict, tie_end, sink);
+      SubtractTable(table, &counts_);
+    }
     TemporalGraphBuilder builder;
     for (std::size_t i = plan.num_evict; i < old_size; ++i) {
       builder.AddEvent(window_.event(i));
     }
     mid = builder.Build();
-    EnumerateInstancesInRange(
-        mid, config_.options, 0, tie_end - n_evict,
-        [&](const MotifInstance& instance) { counts_.Add(instance.code); });
-    pre_append = &mid;
-    pre_append_begin = 0;
+    use_mid = true;
+    {
+      internal::PackedMotifTable table;
+      internal::PackedTableSink sink{&table};
+      internal::EnumerateCore(mid, config_.options, 0, tie_end - n_evict,
+                              sink);
+      AddTable(table, &counts_);
+    }
     ++stats_.tie_corrections;
   }
 
@@ -261,37 +289,43 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   // in phase 5). Timing bounds the first-event range.
   if (has_nonlocal_ && append_tie) {
     const Timestamp t_b = old_surviving_max;
-    const EventIndex lo = std::max(pre_append_begin,
-                                   FirstPossibleStart(*pre_append, t_b));
-    EnumerateInstancesInRange(
-        *pre_append, config_.options, lo, pre_append->num_events(),
-        [&](const MotifInstance& instance) {
-          const EventIndex last = instance.event_indices[instance.num_events - 1];
-          if (pre_append->event(last).time == t_b) counts_.Sub(instance.code);
-        });
+    if (use_mid) {
+      const EventIndex lo = FirstPossibleStart(mid, t_b, span);
+      SubtractAppendTies(mid, config_.options, lo, t_b, &counts_);
+    } else {
+      const EventIndex lo =
+          std::max(n_evict, FirstPossibleStart(live_, t_b, span));
+      SubtractAppendTies(live_, config_.options, lo, t_b, &counts_);
+    }
     ++stats_.tie_corrections;
   }
 
-  // Phase 4 — slide the window and rebuild the graph and arrival flags.
+  // Phase 4 — slide the window and update the live indices incrementally
+  // (O(evicted + tie group + entered); no window-graph rebuild).
+  live_.BeginUpdate(plan, batch);
   window_.Apply(plan, batch, &new_positions_);
-  RebuildGraph();
-  is_new_.assign(static_cast<std::size_t>(graph_.num_events()), 0);
+  live_.FinishUpdate();
+  InvalidateSnapshot();
+  is_new_.assign(window_.size(), 0);
   for (const std::size_t p : new_positions_) is_new_[p] = 1;
 
   // Phase 5 — append-side boundary correction, add-back half, evaluated on
-  // the post-append graph. An instance whose last event is old contains no
+  // the post-append window. An instance whose last event is old contains no
   // new event at all (no old event can follow a new one in time), so these
   // are exactly the survivors the subtract half removed.
   if (has_nonlocal_ && append_tie) {
     const Timestamp t_b = old_surviving_max;
-    const EventIndex lo = FirstPossibleStart(graph_, t_b);
-    const EventIndex hi = graph_.UpperBoundTime(t_b);
-    EnumerateInstancesInRange(
-        graph_, config_.options, lo, hi, [&](const MotifInstance& instance) {
-          const EventIndex last = instance.event_indices[instance.num_events - 1];
+    const EventIndex lo = FirstPossibleStart(live_, t_b, span);
+    const EventIndex hi = live_.UpperBoundTime(t_b);
+    internal::PackedMotifTable table;
+    auto sink = internal::MakeFnSink(
+        [&](const EventIndex* chosen, int k, std::uint64_t packed) {
+          const EventIndex last = chosen[k - 1];
           if (is_new_[static_cast<std::size_t>(last)]) return;
-          if (graph_.event(last).time == t_b) counts_.Add(instance.code);
+          if (live_.event_time(last) == t_b) table.Add(packed);
         });
+    internal::EnumerateCore(live_, config_.options, lo, hi, sink);
+    AddTable(table, &counts_);
   }
 
   // Phase 6 — count arriving instances: every instance that includes a new
@@ -300,7 +334,7 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   // their first events can reach.
   if (num_new > 0) {
     const Timestamp min_new_time = batch[plan.batch_begin].time;
-    AddNewInstances(FirstPossibleStart(graph_, min_new_time));
+    AddNewInstances(FirstPossibleStart(live_, min_new_time, span));
   }
 }
 

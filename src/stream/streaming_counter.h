@@ -2,6 +2,7 @@
 #define TMOTIF_STREAM_STREAMING_COUNTER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/enumerator.h"
 #include "graph/temporal_graph.h"
 #include "stream/stream_window.h"
+#include "stream/window_graph.h"
 
 namespace tmotif {
 
@@ -55,6 +57,13 @@ struct IngestStats {
 /// oracle grid — is that after every batch, `counts()` equals
 /// `CountMotifs(GraphFromEvents(window events), options)` exactly.
 ///
+/// All delta-path enumeration runs on the devirtualized core
+/// (core/enumerate_core.h) directly over incrementally maintained
+/// per-node / per-edge window indices (stream/window_graph.h) — no
+/// per-batch window-graph rebuild. A TemporalGraph snapshot of the window
+/// is materialized lazily, only when `window_graph()` / `WindowTimespans()`
+/// are called.
+///
 /// Streams must be time-ordered: each batch's earliest timestamp must be
 /// >= the largest timestamp already ingested (equal is fine; simultaneous
 /// events never share an instance but may interleave arbitrarily across
@@ -82,22 +91,22 @@ class StreamingMotifCounter {
                                   Timestamp unbounded_hi = 3600) const;
 
   /// The window as a graph (canonical event order, identical to a
-  /// from-scratch build of the same events).
-  const TemporalGraph& window_graph() const { return graph_; }
+  /// from-scratch build of the same events). Materialized lazily: the hot
+  /// ingest path never builds it.
+  const TemporalGraph& window_graph() const;
   std::size_t window_size() const { return window_.size(); }
-  Timestamp window_min_time() const { return graph_.min_time(); }
-  Timestamp window_max_time() const { return graph_.max_time(); }
+  Timestamp window_min_time() const {
+    return window_.empty() ? 0 : window_.event(0).time;
+  }
+  Timestamp window_max_time() const {
+    return window_.empty() ? 0 : window_.event(window_.size() - 1).time;
+  }
   Timestamp max_time_seen() const { return window_.max_time_seen(); }
 
   const StreamConfig& config() const { return config_; }
   const IngestStats& stats() const { return stats_; }
 
  private:
-  /// First-event index from which an instance whose last event is at or
-  /// after `last_time` can start in `graph` (0 when timing imposes no
-  /// timespan bound).
-  EventIndex FirstPossibleStart(const TemporalGraph& graph,
-                                Timestamp last_time) const;
   /// Upper bound on instance timespans implied by the timing constraints
   /// (nullopt when unbounded).
   std::optional<Timestamp> SpanBound() const;
@@ -107,14 +116,17 @@ class StreamingMotifCounter {
   bool StaticEdgeSetChanges(const IngestPlan& plan,
                             const std::vector<Event>& batch) const;
 
-  void RebuildGraph();
-  /// Applies the plan and recounts the whole window (startup, full window
-  /// turnover, or a static-edge flip).
+  /// Applies the plan and recounts the whole window on the live indices
+  /// (startup, full window turnover, or a static-edge flip).
   void ApplyAndRecount(const IngestPlan& plan, const std::vector<Event>& batch,
                        bool is_static_fallback);
-  /// Adds instances of `graph_` whose first event lies in [begin, end) and
-  /// whose last event is flagged in `is_new_`, sharded over num_threads.
+  /// Adds instances of the live window whose first event lies in
+  /// [begin, num_events) and whose last event is flagged in `is_new_`,
+  /// sharded over num_threads.
   void AddNewInstances(EventIndex begin);
+
+  /// Marks the lazy TemporalGraph snapshot stale (under snapshot_mutex_).
+  void InvalidateSnapshot();
 
   const EnumerationOptions& options() const { return config_.options; }
 
@@ -123,9 +135,20 @@ class StreamingMotifCounter {
   bool uses_static_inducedness_ = false;
 
   StreamWindow window_;
-  TemporalGraph graph_;
+  /// Incremental per-node / per-edge indices over window_ (declared after
+  /// it: construction order matters).
+  WindowGraph live_;
   MotifCounts counts_;
   IngestStats stats_;
+  /// Lazily materialized TemporalGraph of the window for snapshot APIs.
+  /// The mutex makes concurrent const readers safe with each other and
+  /// covers the validity flag; it does NOT make readers safe against a
+  /// concurrent Ingest — like every other accessor of this class
+  /// (counts(), window_size(), ...), snapshot reads must not overlap a
+  /// write. Single-writer, read-between-batches is the supported model.
+  mutable std::mutex snapshot_mutex_;
+  mutable TemporalGraph snapshot_;
+  mutable bool snapshot_valid_ = false;
   /// Largest event duration ever ingested; feeds the duration-aware span
   /// bound (conservative: never shrinks as events expire).
   Duration max_duration_seen_ = 0;

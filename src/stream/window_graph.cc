@@ -1,0 +1,170 @@
+#include "stream/window_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+namespace {
+const WindowGraph::IdList kEmptyIdList;
+}  // namespace
+
+WindowGraph::WindowGraph(const StreamWindow* window) : window_(window) {
+  TMOTIF_CHECK(window_ != nullptr);
+  Reset();
+}
+
+WindowGraph::IndexRange WindowGraph::incident(NodeId node) const {
+  const IdList* list = &kEmptyIdList;
+  if (node >= 0 && static_cast<std::size_t>(node) < incident_.size()) {
+    list = &incident_[static_cast<std::size_t>(node)];
+  }
+  return IndexRange(IndexIterator(list->begin(), offset_),
+                    IndexIterator(list->end(), offset_));
+}
+
+bool WindowGraph::HasStaticEdge(NodeId src, NodeId dst) const {
+  return edges_.find(NodePairKey(src, dst)) != edges_.end();
+}
+
+std::size_t WindowGraph::NumEdgeEvents(NodeId src, NodeId dst) const {
+  const auto it = edges_.find(NodePairKey(src, dst));
+  return it == edges_.end() ? 0 : it->second.size();
+}
+
+bool WindowGraph::HasIncidentInIndexRange(NodeId node, EventIndex lo,
+                                          EventIndex hi) const {
+  if (hi <= lo) return false;
+  const IndexRange range = incident(node);
+  const auto first = std::upper_bound(range.begin(), range.end(), lo);
+  return first != range.end() && *first < hi;
+}
+
+int WindowGraph::CountEdgeEventsInTimeRange(NodeId src, NodeId dst,
+                                            Timestamp t_lo,
+                                            Timestamp t_hi) const {
+  if (t_hi < t_lo) return 0;
+  const auto it = edges_.find(NodePairKey(src, dst));
+  if (it == edges_.end()) return 0;
+  const IdList& list = it->second;
+  const auto time_of = [this](std::uint64_t id) {
+    return event_time(static_cast<EventIndex>(id - offset_));
+  };
+  const auto first = std::lower_bound(
+      list.begin(), list.end(), t_lo,
+      [&](std::uint64_t id, Timestamp t) { return time_of(id) < t; });
+  const auto last = std::upper_bound(
+      list.begin(), list.end(), t_hi,
+      [&](Timestamp t, std::uint64_t id) { return t < time_of(id); });
+  return static_cast<int>(last - first);
+}
+
+EventIndex WindowGraph::LowerBoundTime(Timestamp t) const {
+  const std::deque<Event>& events = window_->events();
+  const auto it = std::lower_bound(
+      events.begin(), events.end(), t,
+      [](const Event& e, Timestamp value) { return e.time < value; });
+  return static_cast<EventIndex>(it - events.begin());
+}
+
+EventIndex WindowGraph::UpperBoundTime(Timestamp t) const {
+  const std::deque<Event>& events = window_->events();
+  const auto it = std::upper_bound(
+      events.begin(), events.end(), t,
+      [](Timestamp value, const Event& e) { return value < e.time; });
+  return static_cast<EventIndex>(it - events.begin());
+}
+
+void WindowGraph::Reset() {
+  offset_ = 0;
+  edges_.clear();
+  for (IdList& list : incident_) list.clear();
+  pending_ = false;
+  const std::size_t size = window_->size();
+  for (std::size_t p = 0; p < size; ++p) {
+    AppendEntry(window_->event(p), static_cast<std::uint64_t>(p));
+  }
+}
+
+void WindowGraph::PopFrontEntry(IdList* list, std::uint64_t id) {
+  TMOTIF_CHECK(!list->empty() && list->front() == id);
+  list->pop_front();
+}
+
+void WindowGraph::PopBackEntry(IdList* list, std::uint64_t id) {
+  TMOTIF_CHECK(!list->empty() && list->back() == id);
+  list->pop_back();
+}
+
+void WindowGraph::PopEdgeFront(NodeId src, NodeId dst, std::uint64_t id) {
+  const auto it = edges_.find(NodePairKey(src, dst));
+  TMOTIF_CHECK(it != edges_.end());
+  PopFrontEntry(&it->second, id);
+  if (it->second.empty()) edges_.erase(it);
+}
+
+void WindowGraph::PopEdgeBack(NodeId src, NodeId dst, std::uint64_t id) {
+  const auto it = edges_.find(NodePairKey(src, dst));
+  TMOTIF_CHECK(it != edges_.end());
+  PopBackEntry(&it->second, id);
+  if (it->second.empty()) edges_.erase(it);
+}
+
+void WindowGraph::AppendEntry(const Event& e, std::uint64_t id) {
+  const std::size_t needed =
+      static_cast<std::size_t>(std::max(e.src, e.dst)) + 1;
+  if (incident_.size() < needed) incident_.resize(needed);
+  incident_[static_cast<std::size_t>(e.src)].push_back(id);
+  incident_[static_cast<std::size_t>(e.dst)].push_back(id);
+  edges_[NodePairKey(e.src, e.dst)].push_back(id);
+}
+
+void WindowGraph::BeginUpdate(const IngestPlan& plan,
+                              const std::vector<Event>& batch) {
+  TMOTIF_CHECK(!pending_);
+  const std::size_t old_size = window_->size();
+  TMOTIF_CHECK(plan.num_evict <= old_size);
+
+  // Evict the canonical prefix: every evicted id fronts each list it
+  // appears in (ids ascend within every list).
+  for (std::size_t p = 0; p < plan.num_evict; ++p) {
+    const Event& e = window_->event(p);
+    const std::uint64_t id = offset_ + p;
+    PopFrontEntry(&incident_[static_cast<std::size_t>(e.src)], id);
+    PopFrontEntry(&incident_[static_cast<std::size_t>(e.dst)], id);
+    PopEdgeFront(e.src, e.dst, id);
+  }
+
+  // Pop the trailing tie group the merge may interleave with (every event
+  // not strictly before the first entering batch event). Walking backwards
+  // keeps each popped id at the back of its lists.
+  std::size_t keep_end = old_size;
+  if (plan.batch_begin < batch.size()) {
+    const Event& first_new = batch[plan.batch_begin];
+    while (keep_end > plan.num_evict &&
+           !EventTimeLess(window_->event(keep_end - 1), first_new)) {
+      const Event& e = window_->event(keep_end - 1);
+      const std::uint64_t id = offset_ + (keep_end - 1);
+      PopBackEntry(&incident_[static_cast<std::size_t>(e.src)], id);
+      PopBackEntry(&incident_[static_cast<std::size_t>(e.dst)], id);
+      PopEdgeBack(e.src, e.dst, id);
+      --keep_end;
+    }
+  }
+
+  offset_ += plan.num_evict;
+  append_from_ = keep_end - plan.num_evict;
+  pending_ = true;
+}
+
+void WindowGraph::FinishUpdate() {
+  TMOTIF_CHECK(pending_);
+  const std::size_t size = window_->size();
+  for (std::size_t p = append_from_; p < size; ++p) {
+    AppendEntry(window_->event(p), offset_ + p);
+  }
+  pending_ = false;
+}
+
+}  // namespace tmotif

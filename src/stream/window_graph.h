@@ -1,0 +1,182 @@
+#ifndef TMOTIF_STREAM_WINDOW_GRAPH_H_
+#define TMOTIF_STREAM_WINDOW_GRAPH_H_
+
+#include <cstdint>
+#include <deque>
+#include <iterator>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/event.h"
+#include "stream/stream_window.h"
+
+namespace tmotif {
+
+/// Incrementally maintained per-node / per-edge indices over a
+/// `StreamWindow` — the streaming counterpart of `TemporalGraph`'s CSR
+/// indices, exposing the accessor subset the devirtualized enumeration core
+/// (core/enumerate_core.h) needs, so the delta path counts directly on the
+/// live window without rebuilding a graph per batch.
+///
+/// Index entries are monotone *ids*: the event at window position `p`
+/// always has id `offset_ + p`, where `offset_` advances by the number of
+/// evicted events. Evicting the canonical prefix therefore renumbers
+/// nothing (ids stay put, `offset_` moves), and appends assign fresh
+/// contiguous ids. The one wrinkle is the trailing tie group: a batch event
+/// can interleave *within* the window's final shared-timestamp run (the
+/// EventTimeLess tiebreak orders by endpoints), shifting those events'
+/// positions. `BeginUpdate` pops that tie group's entries (they are the
+/// tail of every list they appear in) and `FinishUpdate` re-appends the
+/// merged tail, so each batch costs O(evicted + tie group + entered) index
+/// operations — never O(window).
+class WindowGraph {
+ public:
+  using IdList = std::deque<std::uint64_t>;
+
+  /// Random-access iterator over an id list that yields current window
+  /// positions (id - offset). Satisfies what std::upper_bound and the
+  /// enumeration core's k-way merge need.
+  class IndexIterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = EventIndex;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const EventIndex*;
+    using reference = EventIndex;
+
+    IndexIterator() = default;
+    IndexIterator(IdList::const_iterator it, std::uint64_t offset)
+        : it_(it), offset_(offset) {}
+
+    EventIndex operator*() const {
+      return static_cast<EventIndex>(*it_ - offset_);
+    }
+    EventIndex operator[](difference_type n) const {
+      return static_cast<EventIndex>(it_[n] - offset_);
+    }
+    IndexIterator& operator++() { ++it_; return *this; }
+    IndexIterator operator++(int) { IndexIterator t = *this; ++it_; return t; }
+    IndexIterator& operator--() { --it_; return *this; }
+    IndexIterator& operator+=(difference_type n) { it_ += n; return *this; }
+    IndexIterator& operator-=(difference_type n) { it_ -= n; return *this; }
+    friend IndexIterator operator+(IndexIterator a, difference_type n) {
+      a += n;
+      return a;
+    }
+    friend IndexIterator operator+(difference_type n, IndexIterator a) {
+      a += n;
+      return a;
+    }
+    friend IndexIterator operator-(IndexIterator a, difference_type n) {
+      a -= n;
+      return a;
+    }
+    friend difference_type operator-(const IndexIterator& a,
+                                     const IndexIterator& b) {
+      return a.it_ - b.it_;
+    }
+    friend bool operator==(const IndexIterator& a, const IndexIterator& b) {
+      return a.it_ == b.it_;
+    }
+    friend bool operator!=(const IndexIterator& a, const IndexIterator& b) {
+      return a.it_ != b.it_;
+    }
+    friend bool operator<(const IndexIterator& a, const IndexIterator& b) {
+      return a.it_ < b.it_;
+    }
+
+   private:
+    IdList::const_iterator it_{};
+    std::uint64_t offset_ = 0;
+  };
+
+  class IndexRange {
+   public:
+    IndexRange(IndexIterator begin, IndexIterator end)
+        : begin_(begin), end_(end) {}
+    IndexIterator begin() const { return begin_; }
+    IndexIterator end() const { return end_; }
+    std::size_t size() const {
+      return static_cast<std::size_t>(end_ - begin_);
+    }
+    bool empty() const { return begin_ == end_; }
+
+   private:
+    IndexIterator begin_;
+    IndexIterator end_;
+  };
+
+  /// `window` must outlive this graph; the graph mirrors it via
+  /// Reset / BeginUpdate / FinishUpdate.
+  explicit WindowGraph(const StreamWindow* window);
+
+  // --- TemporalGraph-compatible accessor subset (enumeration core). ---
+  EventIndex num_events() const {
+    return static_cast<EventIndex>(window_->size());
+  }
+  const Event& event(EventIndex i) const {
+    return window_->event(static_cast<std::size_t>(i));
+  }
+  Timestamp event_time(EventIndex i) const { return event(i).time; }
+  NodeId event_src(EventIndex i) const { return event(i).src; }
+  NodeId event_dst(EventIndex i) const { return event(i).dst; }
+
+  /// Window positions of events incident to `node`, ascending. Nodes the
+  /// window has never seen yield an empty range.
+  IndexRange incident(NodeId node) const;
+
+  bool HasStaticEdge(NodeId src, NodeId dst) const;
+  /// Occurrence count of the directed static edge in the current window.
+  std::size_t NumEdgeEvents(NodeId src, NodeId dst) const;
+
+  bool HasIncidentInIndexRange(NodeId node, EventIndex lo,
+                               EventIndex hi) const;
+  int CountEdgeEventsInTimeRange(NodeId src, NodeId dst, Timestamp t_lo,
+                                 Timestamp t_hi) const;
+
+  /// First window position with time >= t / > t (num_events() when none).
+  EventIndex LowerBoundTime(Timestamp t) const;
+  EventIndex UpperBoundTime(Timestamp t) const;
+
+  // --- Incremental maintenance. ---
+
+  /// Rebuilds every index from the backing window in O(window). Used at
+  /// construction and by the full-recount fallbacks.
+  void Reset();
+
+  /// Pre-Apply half of a batch update: must be called with the same plan
+  /// and sorted batch that will be passed to StreamWindow::Apply, *before*
+  /// Apply mutates the window. Evicts the canonical prefix and pops the
+  /// trailing tie group the merge may interleave with.
+  void BeginUpdate(const IngestPlan& plan, const std::vector<Event>& batch);
+
+  /// Post-Apply half: re-appends the merged tail (renumbered tie group +
+  /// entered batch events) from the updated window.
+  void FinishUpdate();
+
+ private:
+  void PopFrontEntry(IdList* list, std::uint64_t id);
+  void PopBackEntry(IdList* list, std::uint64_t id);
+  void PopEdgeFront(NodeId src, NodeId dst, std::uint64_t id);
+  void PopEdgeBack(NodeId src, NodeId dst, std::uint64_t id);
+  void AppendEntry(const Event& e, std::uint64_t id);
+
+  const StreamWindow* window_;
+  /// Id of the event at window position 0 (total evictions so far).
+  std::uint64_t offset_ = 0;
+  /// Per-node incident id lists (grown on demand; nodes whose events all
+  /// expired keep an empty list).
+  std::vector<IdList> incident_;
+  /// Per-directed-static-edge occurrence id lists; entries are erased when
+  /// their list drains so HasStaticEdge stays exact.
+  std::unordered_map<std::uint64_t, IdList> edges_;
+  /// Between BeginUpdate and FinishUpdate: first post-Apply position whose
+  /// index entries must be (re-)appended.
+  std::size_t append_from_ = 0;
+  bool pending_ = false;
+};
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_STREAM_WINDOW_GRAPH_H_

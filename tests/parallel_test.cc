@@ -4,7 +4,9 @@
 
 #include <algorithm>
 
+#include "core/models/model_info.h"
 #include "gen/generator.h"
+#include "gen/presets.h"
 #include "testing/random_graphs.h"
 
 namespace tmotif {
@@ -145,6 +147,36 @@ TEST(ParallelCount, AnyThreadCountMatchesSerialProperty) {
             EXPECT_EQ(CountInstancesParallel(g, o, threads), serial.total());
           }
         });
+  }
+}
+
+// Guard of the devirtualized sharded path: on a larger generated preset
+// dataset, every published model preset must produce byte-identical count
+// tables under every thread count, including more threads than cores.
+TEST(ParallelCount, AllModelPresetsMatchSerialOnPresetGraph) {
+  const TemporalGraph g =
+      GenerateDataset(DatasetId::kCollegeMsg, /*scale=*/0.2, /*seed=*/1234);
+  ASSERT_GT(g.num_events(), 5000);
+  const ModelId kModels[] = {ModelId::kKovanen, ModelId::kSong,
+                             ModelId::kHulovatyy, ModelId::kParanjape};
+  const int kThreadCounts[] = {1, 4, 16};
+  for (const ModelId model : kModels) {
+    const EnumerationOptions o =
+        OptionsForModel(model, /*num_events=*/3, /*max_nodes=*/3,
+                        /*delta_c=*/900, /*delta_w=*/1800);
+    const MotifCounts serial = CountMotifs(g, o);
+    EXPECT_GT(serial.total(), 0u) << GetModelAspects(model).name;
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message() << GetModelAspects(model).name
+                                        << " threads=" << threads);
+      const MotifCounts parallel = CountMotifsParallel(g, o, threads);
+      EXPECT_EQ(parallel.total(), serial.total());
+      EXPECT_EQ(parallel.num_codes(), serial.num_codes());
+      for (const auto& [code, count] : serial.raw()) {
+        EXPECT_EQ(parallel.count(code), count) << code;
+      }
+      EXPECT_EQ(CountInstancesParallel(g, o, threads), serial.total());
+    }
   }
 }
 

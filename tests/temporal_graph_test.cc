@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace tmotif {
 namespace {
+
+std::vector<EventIndex> ToVector(EventIndexSpan span) {
+  return std::vector<EventIndex>(span.begin(), span.end());
+}
 
 TEST(TemporalGraphBuilder, SortsEventsChronologically) {
   TemporalGraphBuilder builder;
@@ -62,15 +68,15 @@ TEST(TemporalGraphBuilderDeathTest, RejectsNegativeIds) {
 TEST(TemporalGraph, IncidentListsAreAscendingAndComplete) {
   const TemporalGraph g = GraphFromEvents(
       {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}, {2, 1, 4}});
-  EXPECT_EQ(g.incident(0), (std::vector<EventIndex>{0, 2}));
-  EXPECT_EQ(g.incident(1), (std::vector<EventIndex>{0, 1, 3}));
-  EXPECT_EQ(g.incident(2), (std::vector<EventIndex>{1, 2, 3}));
+  EXPECT_EQ(ToVector(g.incident(0)), (std::vector<EventIndex>{0, 2}));
+  EXPECT_EQ(ToVector(g.incident(1)), (std::vector<EventIndex>{0, 1, 3}));
+  EXPECT_EQ(ToVector(g.incident(2)), (std::vector<EventIndex>{1, 2, 3}));
 }
 
 TEST(TemporalGraph, EdgeEventsAreDirected) {
   const TemporalGraph g = GraphFromEvents({{0, 1, 1}, {1, 0, 2}, {0, 1, 3}});
-  EXPECT_EQ(g.edge_events(0, 1), (std::vector<EventIndex>{0, 2}));
-  EXPECT_EQ(g.edge_events(1, 0), (std::vector<EventIndex>{1}));
+  EXPECT_EQ(ToVector(g.edge_events(0, 1)), (std::vector<EventIndex>{0, 2}));
+  EXPECT_EQ(ToVector(g.edge_events(1, 0)), (std::vector<EventIndex>{1}));
   EXPECT_TRUE(g.edge_events(1, 2).empty());
 }
 

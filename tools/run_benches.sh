@@ -38,10 +38,15 @@ for bin in "${BUILD_DIR}"/bench_*; do
     *.json | *.csv) continue ;;
     bench_diff) continue ;;  # The record-comparison tool, not a bench.
     bench_perf_counting)
+      # Runs the Google Benchmark suite AND writes the
+      # BENCH_counting_throughput.json trajectory record (the binary
+      # splits --scale/--seed/--out from the --benchmark_* flags itself).
       echo "== ${name} (google-benchmark, min_time 0.01s)"
       if "${bin}" --benchmark_min_time=0.01 \
           --benchmark_out="${OUT_DIR}/BENCH_perf_counting.json" \
-          --benchmark_out_format=json > "${OUT_DIR}/${name}.log" 2>&1; then
+          --benchmark_out_format=json \
+          "--scale=${SCALE}" "--seed=${SEED}" "--out=${OUT_DIR}" \
+          > "${OUT_DIR}/${name}.log" 2>&1; then
         ran=$((ran + 1))
       else
         echo "   FAILED (see ${OUT_DIR}/${name}.log)"
