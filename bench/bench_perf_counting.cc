@@ -5,10 +5,12 @@
 //
 // Besides the --benchmark_* suite, the binary understands the shared
 // --scale/--seed/--out flags (bench_util.h) and writes one
-// BENCH_counting_throughput.json record of the headline configuration —
-// wall seconds, events/s, instances/s, and speedup_vs_seed — so
-// tools/bench_diff can track the counting-throughput trajectory across
-// runs with the same machinery as every other bench.
+// BENCH_counting_throughput.json record — wall seconds, events/s,
+// instances/s, and speedup_vs_seed of the headline configuration, plus
+// per-preset predicate-path throughput (<preset>_instances_per_sec and
+// <preset>_speedup_vs_pr3 for all four model presets) — so tools/bench_diff
+// can track the counting-throughput trajectory across runs with the same
+// machinery as every other bench.
 
 #include <benchmark/benchmark.h>
 
@@ -143,6 +145,28 @@ constexpr int kHeadlineEvents = 8000;
 // reference hardware changes.
 constexpr double kSeedInstancesPerSec = 7.77e6;
 
+// Per-preset baselines frozen at the PR 3 tree (flattened DFS core, global
+// sorted-edge-key binary search) on the same reference machine, so the
+// record tracks what the O(1) predicate path (per-node neighbor CSR +
+// DfsEngine slot memo) buys on the predicate-dominated presets. Same
+// workload as BM_ModelCount: the 8000-event generated graph, k = 3,
+// max_nodes = 3, dC = 1500, dW = 3000.
+struct PresetBaseline {
+  ModelId model;
+  const char* key;
+  /// Instances/s at the PR 3 tree (instances / measured best CPU seconds).
+  double pr3_instances_per_sec;
+};
+constexpr PresetBaseline kPresetBaselines[] = {
+    // 5,371 instances / 6.78 ms; 543,668 / 32.9 ms; 26,808 / 29.5 ms;
+    // 41,152 / 55.9 ms (PR 3 tree, Release, median CPU time of interleaved
+    // A/B runs).
+    {ModelId::kKovanen, "kovanen", 7.92e5},
+    {ModelId::kSong, "song", 1.65e7},
+    {ModelId::kHulovatyy, "hulovatyy", 9.09e5},
+    {ModelId::kParanjape, "paranjape", 7.36e5},
+};
+
 void WriteThroughputRecord(const BenchArgs& args) {
   // The headline workload is fixed (8000-event graph, internal seed 7) so
   // records stay comparable run-to-run; stamp the record with the actual
@@ -176,12 +200,38 @@ void WriteThroughputRecord(const BenchArgs& args) {
       "%.2fx vs seed baseline\n",
       best_seconds, instances_per_sec,
       instances_per_sec / kSeedInstancesPerSec);
-  WriteBenchResult(record_args, "counting_throughput", best_seconds,
-                   {{"instances", static_cast<double>(instances)},
-                    {"instances_per_sec", instances_per_sec},
-                    {"events_per_sec", events_per_sec},
-                    {"speedup_vs_seed",
-                     instances_per_sec / kSeedInstancesPerSec}});
+
+  // Per-preset predicate-path throughput: the model presets differ mainly
+  // in how much per-instance graph querying (HasStaticEdge,
+  // CountEdgeEventsInTimeRange, incident scans) their predicates do, so
+  // these fields track the predicate path specifically.
+  std::vector<std::pair<std::string, double>> fields = {
+      {"instances", static_cast<double>(instances)},
+      {"instances_per_sec", instances_per_sec},
+      {"events_per_sec", events_per_sec},
+      {"speedup_vs_seed", instances_per_sec / kSeedInstancesPerSec}};
+  for (const PresetBaseline& preset : kPresetBaselines) {
+    const EnumerationOptions po =
+        OptionsForModel(preset.model, 3, 3, 1500, 3000);
+    double preset_best = 0.0;
+    std::uint64_t preset_instances = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      WallTimer timer;
+      preset_instances = CountInstances(graph, po);
+      const double seconds = timer.Seconds();
+      if (rep == 0 || seconds < preset_best) preset_best = seconds;
+    }
+    const double ips =
+        preset_best > 0 ? static_cast<double>(preset_instances) / preset_best
+                        : 0.0;
+    std::printf("%s preset: %.4fs, %.0f instances/s, %.2fx vs PR3\n",
+                preset.key, preset_best, ips,
+                ips / preset.pr3_instances_per_sec);
+    fields.emplace_back(std::string(preset.key) + "_instances_per_sec", ips);
+    fields.emplace_back(std::string(preset.key) + "_speedup_vs_pr3",
+                        ips / preset.pr3_instances_per_sec);
+  }
+  WriteBenchResult(record_args, "counting_throughput", best_seconds, fields);
 }
 
 }  // namespace

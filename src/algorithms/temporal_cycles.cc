@@ -36,7 +36,7 @@ struct CycleDfs {
     const Timestamp upper = t_root + config.delta_w;
     // Outgoing events of `current` strictly after t_prev and within the
     // window. The incident list mixes in/out events; filter by direction.
-    const EventIndexSpan inc = graph.incident(current);
+    const IncidentSpan inc = graph.incident(current);
     const auto it0 = std::upper_bound(
         inc.begin(), inc.end(), t_prev,
         [&](Timestamp t, EventIndex i) { return t < graph.event(i).time; });

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
 #include "core/enumerator.h"
@@ -84,11 +85,34 @@ inline int PackedCodeToChars(std::uint64_t packed, int num_events, char* buf) {
 /// subset of TemporalGraph the engine actually uses:
 ///   num_events(), event(i) (only .duration is read, and only under
 ///   duration-aware gaps), event_time(i), event_src(i), event_dst(i),
-///   incident(node) (a random-access range of ascending event indices),
+///   incident(node) (a random-access range of ascending event indices
+///     whose iterator also exposes the fronted event's hot fields via
+///     time() / src() / dst()),
+///   IncidentUpperBound(node, after) (iterator past the last incident
+///     index <= after),
 ///   UpperBoundTime(t) (first index with time > t),
 ///   HasIncidentInIndexRange(node, lo, hi),
-///   CountEdgeEventsInTimeRange(src, dst, t_lo, t_hi), and
-///   HasStaticEdge(src, dst).
+///   HasAdjacentEdgeEventInRange(c, t_lo, t_hi) (another event on c's
+///     directed edge inside the range),
+/// plus the O(1)-amortized static-edge predicate surface:
+///   EdgeHandle / kNoEdgeHandle (a cheap copyable edge-slot token),
+///   FindEdge(src, dst) -> EdgeHandle,
+///   EdgeLowerRank(handle, t) / EdgeUpperRank(handle, t) (occurrence
+///     counts with time < t / <= t; handle must be valid),
+///   CountEdgeEventsInTimeRange(handle, t_lo, t_hi), and
+///   edge_occurrences(handle) (the occurrence run with timestamps in
+///     lockstep, for the scope-saturated final depth).
+/// Handles must stay valid for the whole enumeration (the graph is
+/// quiescent while the engine runs).
+///
+/// The engine memoizes FindEdge per ordered digit pair: each digit carries
+/// a generation stamp bumped on (re)assignment, and a memo entry is fresh
+/// exactly when both digits' stamps match the entry. Within one instance
+/// subtree the CDG restriction and both inducedness scans therefore
+/// resolve each (src, dst) pair once and reuse the handle — plus, for the
+/// temporal-window scan, the cached lower rank at the root's first-event
+/// timestamp — making repeated per-instance predicate checks O(1).
+///
 /// `Sink` must provide `void Emit(const EventIndex* chosen, int num_events,
 /// std::uint64_t packed_code)`. Instances arrive in the same deterministic
 /// order as the seed implementation (lexicographic by chosen event
@@ -102,6 +126,7 @@ class DfsEngine {
         sink_(sink),
         use_dc_(opt.timing.delta_c.has_value()),
         use_dw_(opt.timing.delta_w.has_value()),
+        static_induced_(opt.inducedness == Inducedness::kStatic),
         dc_(use_dc_ ? *opt.timing.delta_c : 0),
         dw_(use_dw_ ? *opt.timing.delta_w : 0) {}
 
@@ -111,13 +136,26 @@ class DfsEngine {
       chosen_[0] = i;
       nodes_[0] = graph_.event_src(i);
       nodes_[1] = graph_.event_dst(i);
+      digit_gen_[0] = ++gen_counter_;
+      digit_gen_[1] = ++gen_counter_;
       last_[0] = i;
       last_[1] = i;
       num_nodes_ = 2;
+      if (static_induced_) {
+        // (src, dst) is a static edge by construction; only the reverse
+        // orientation needs a lookup.
+        scope_static_edges_ =
+            1 + (graph_.FindEdge(nodes_[1], nodes_[0]) != Graph::kNoEdgeHandle
+                     ? 1
+                     : 0);
+      }
       packed_ = PackPair(0, 1, 0);
       if (k == 1) {
         Emit(packed_, num_nodes_);
       } else {
+        // (The static-inducedness prefix prune lives in Extend: a root
+        // scope has at most 2 edges and k >= 2 here, so it can never be
+        // dead this early.)
         Extend(1, /*inherited=*/0);
       }
     }
@@ -128,6 +166,22 @@ class DfsEngine {
   using IncidentRange =
       decltype(std::declval<const Graph&>().incident(NodeId{0}));
   using IncidentIter = decltype(std::declval<IncidentRange>().begin());
+  using EdgeRunIter =
+      decltype(std::declval<const Graph&>()
+                   .edge_occurrences(std::declval<typename Graph::EdgeHandle>())
+                   .begin());
+  using EdgeHandle = typename Graph::EdgeHandle;
+
+  /// Memoized FindEdge result for one ordered digit pair, plus the cached
+  /// lower rank of the root's first-event timestamp (temporal-window
+  /// inducedness re-reads it on every emit under the same root).
+  struct PairMemo {
+    std::uint64_t gen_a = 0;
+    std::uint64_t gen_b = 0;
+    EdgeHandle handle{};
+    std::size_t lo_rank = 0;
+    bool lo_valid = false;
+  };
 
   int DigitOf(NodeId node) const {
     for (int d = 0; d < num_nodes_; ++d) {
@@ -136,28 +190,72 @@ class DfsEngine {
     return -1;
   }
 
-  bool PassesFinalChecks(std::uint64_t packed, int num_nodes) const {
-    if (opt_.inducedness == Inducedness::kNone) return true;
-    const int k = opt_.num_events;
-    // Static edges used by the instance, addressed by digit pair.
-    bool used[kMaxCoreNodes][kMaxCoreNodes] = {};
-    for (int i = 0; i < k; ++i) {
-      used[PackedSrcDigit(packed, i)][PackedDstDigit(packed, i)] = true;
+  /// Resolved edge slot of the directed digit pair (a, b); both digits must
+  /// be live (assigned on the current DFS path). Stale entries are detected
+  /// by generation mismatch — digit generations are globally unique, so an
+  /// entry can never alias an older assignment of the same digits.
+  PairMemo& MemoFor(int a, int b) {
+    PairMemo& m = pair_memo_[static_cast<std::size_t>(a)]
+                            [static_cast<std::size_t>(b)];
+    const std::uint64_t ga = digit_gen_[static_cast<std::size_t>(a)];
+    const std::uint64_t gb = digit_gen_[static_cast<std::size_t>(b)];
+    if (m.gen_a != ga || m.gen_b != gb) {
+      m.gen_a = ga;
+      m.gen_b = gb;
+      m.handle = graph_.FindEdge(nodes_[static_cast<std::size_t>(a)],
+                                 nodes_[static_cast<std::size_t>(b)]);
+      m.lo_valid = false;
     }
-    if (opt_.inducedness == Inducedness::kStatic) {
-      for (int a = 0; a < num_nodes; ++a) {
-        for (int b = 0; b < num_nodes; ++b) {
-          if (a == b || used[a][b]) continue;
-          if (graph_.HasStaticEdge(nodes_[static_cast<std::size_t>(a)],
-                                   nodes_[static_cast<std::size_t>(b)])) {
-            return false;
-          }
+    return m;
+  }
+
+  /// Number of static edges between `w` and the current first `num_existing`
+  /// scope nodes (both orientations). Charged once per node *addition* — the
+  /// whole subtree under that addition reuses the accumulated scope count.
+  int StaticEdgesToScope(NodeId w, int num_existing) const {
+    int count = 0;
+    for (int d = 0; d < num_existing; ++d) {
+      const NodeId x = nodes_[static_cast<std::size_t>(d)];
+      count += graph_.FindEdge(x, w) != Graph::kNoEdgeHandle ? 1 : 0;
+      count += graph_.FindEdge(w, x) != Graph::kNoEdgeHandle ? 1 : 0;
+    }
+    return count;
+  }
+
+  /// Number of distinct event bytes (digit pairs) among the first `k`
+  /// bytes of a packed code.
+  static int DistinctPairCount(std::uint64_t packed, int k) {
+    int distinct = 0;
+    for (int i = 0; i < k; ++i) {
+      const std::uint64_t byte = (packed >> (8 * i)) & 0xFF;
+      bool dup = false;
+      for (int j = 0; j < i; ++j) {
+        if (((packed >> (8 * j)) & 0xFF) == byte) {
+          dup = true;
+          break;
         }
       }
-      return true;
+      if (!dup) ++distinct;
+    }
+    return distinct;
+  }
+
+  bool PassesFinalChecks(std::uint64_t packed, int num_nodes) {
+    if (opt_.inducedness == Inducedness::kNone) return true;
+    const int k = opt_.num_events;
+    if (opt_.inducedness == Inducedness::kStatic) {
+      // Every event edge is a static edge of the scope, so the instance
+      // uses all scope edges exactly when its distinct (src, dst) digit
+      // pairs number scope_static_edges_ — a pure byte scan, no graph
+      // queries. (The final-depth loop inlines this check; this branch
+      // serves the k == 1 root path.)
+      return DistinctPairCount(packed, k) == scope_static_edges_;
     }
     // Temporal-window inducedness: the events among the instance's node set
     // within [t_first, t_last] must be exactly the instance's k events.
+    // t_first is fixed per root, so each pair's lower rank is resolved once
+    // and reused across every emit of the root's subtree.
+    (void)packed;
     const Timestamp t_first = graph_.event_time(chosen_[0]);
     const Timestamp t_last =
         graph_.event_time(chosen_[static_cast<std::size_t>(k - 1)]);
@@ -165,9 +263,14 @@ class DfsEngine {
     for (int a = 0; a < num_nodes; ++a) {
       for (int b = 0; b < num_nodes; ++b) {
         if (a == b) continue;
-        total += graph_.CountEdgeEventsInTimeRange(
-            nodes_[static_cast<std::size_t>(a)],
-            nodes_[static_cast<std::size_t>(b)], t_first, t_last);
+        PairMemo& m = MemoFor(a, b);
+        if (m.handle == Graph::kNoEdgeHandle) continue;
+        if (!m.lo_valid) {
+          m.lo_rank = graph_.EdgeLowerRank(m.handle, t_first);
+          m.lo_valid = true;
+        }
+        total += static_cast<int>(graph_.EdgeUpperRank(m.handle, t_last) -
+                                  m.lo_rank);
         if (total > k) return false;
       }
     }
@@ -176,6 +279,11 @@ class DfsEngine {
 
   void Emit(std::uint64_t packed, int num_nodes) {
     if (!PassesFinalChecks(packed, num_nodes)) return;
+    EmitUnchecked(packed);
+  }
+
+  /// Emit with every predicate already verified by the caller.
+  void EmitUnchecked(std::uint64_t packed) {
     ++count_;
     sink_.Emit(chosen_.data(), opt_.num_events, packed);
     if (opt_.max_instances != 0 && count_ >= opt_.max_instances) {
@@ -183,19 +291,16 @@ class DfsEngine {
     }
   }
 
-  /// Extends the partial instance at `depth`. The first `inherited`
-  /// frontier digits reuse the caller's merge cursors: when the parent
-  /// recursed on candidate c, its min-merge had consumed every incident
-  /// entry <= c, so each inherited cursor already fronts the first entry
-  /// > c — exactly this depth's lower bound. Only freshly introduced
-  /// digits (at most one per extension) need a binary search.
-  void Extend(int depth, int inherited) {
-    if (stopped_) return;
-    const bool final_depth = (depth + 1 == opt_.num_events);
-    const EventIndex prev_idx = chosen_[static_cast<std::size_t>(depth - 1)];
-    const NodeId prev_src = graph_.event_src(prev_idx);
-    const NodeId prev_dst = graph_.event_dst(prev_idx);
-    const Timestamp t_prev = graph_.event_time(prev_idx);
+  // Both extension loops share the cursor-inheritance contract: the first
+  // `inherited` frontier digits reuse the caller's merge cursors — when the
+  // parent recursed on candidate c, its min-merge had consumed every
+  // incident entry <= c, so each inherited cursor already fronts the first
+  // entry > c, exactly the child depth's lower bound. Only freshly
+  // introduced digits (at most one per extension) need a binary search.
+
+  /// Computes the admissible time upper bound for extensions after
+  /// `prev_idx` (kMaxTime when unbounded).
+  Timestamp ExtensionUpperBound(EventIndex prev_idx, Timestamp t_prev) const {
     const Timestamp gap_base =
         opt_.duration_aware_gaps ? t_prev + graph_.event(prev_idx).duration
                                  : t_prev;
@@ -208,6 +313,271 @@ class DfsEngine {
       const Timestamp t0 = graph_.event_time(chosen_[0]);
       upper = std::min(upper, t0 + dw_);
     }
+    return upper;
+  }
+
+  /// Final-depth loop for a saturated scope (num_nodes_ == max_nodes)
+  /// under static inducedness (the only caller — ExtendFinal — gates on
+  /// it): no new node may enter, so every admissible candidate lies on one
+  /// of the scope's <= n*(n-1) internal static edges. Iterating those
+  /// edges' occurrence runs — resolved through the digit-pair memo —
+  /// visits only viable candidates, skipping the (typically far more
+  /// numerous) incident events that lead outside the scope, and whole runs
+  /// are accepted or rejected up front: every candidate on the same edge
+  /// yields the same packed code, so the per-candidate inducedness check
+  /// vanishes. The runs are disjoint (each event lies on exactly one
+  /// edge), and the min-scan merges them in ascending index order, so
+  /// emission order is unchanged.
+  void SaturatedFinal(int depth, NodeId prev_src, NodeId prev_dst,
+                      Timestamp t_prev, Timestamp upper) {
+    struct ScopeRun {
+      EdgeRunIter cur;
+      EdgeRunIter end;
+      std::uint64_t code;
+      int src_digit;
+      int dst_digit;
+      bool same_edge_as_prev;
+    };
+    ScopeRun runs[kMaxCoreNodes * (kMaxCoreNodes - 1)];
+    int nruns = 0;
+    const int k = opt_.num_events;
+    for (int a = 0; a < num_nodes_; ++a) {
+      for (int b = 0; b < num_nodes_; ++b) {
+        if (a == b) continue;
+        PairMemo& m = MemoFor(a, b);
+        if (m.handle == Graph::kNoEdgeHandle) continue;
+        const std::uint64_t code = packed_ | PackPair(a, b, depth);
+        if (DistinctPairCount(code, k) != scope_static_edges_) {
+          continue;  // No candidate on this edge can ever pass.
+        }
+        const auto range = graph_.edge_occurrences(m.handle);
+        const std::size_t lo = graph_.EdgeUpperRank(m.handle, t_prev);
+        if (lo >= range.size()) continue;
+        EdgeRunIter cur = range.begin() + static_cast<std::ptrdiff_t>(lo);
+        if (cur.time() > upper) continue;  // Ascending: the run is spent.
+        runs[nruns++] = ScopeRun{
+            cur, range.end(), code, a, b,
+            nodes_[static_cast<std::size_t>(a)] == prev_src &&
+                nodes_[static_cast<std::size_t>(b)] == prev_dst};
+      }
+    }
+
+    constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+    for (;;) {
+      EventIndex c = kDone;
+      int win = -1;
+      for (int r = 0; r < nruns; ++r) {
+        if (runs[r].cur == runs[r].end) continue;
+        const EventIndex v = *runs[r].cur;
+        if (v < c) {
+          c = v;
+          win = r;
+        }
+      }
+      if (win < 0) break;
+      ScopeRun& run = runs[win];
+      const Timestamp tc = run.cur.time();
+      if (tc > upper) break;  // Ascending across runs: nothing else fits.
+      ++run.cur;
+
+      if (opt_.cdg_restriction && !run.same_edge_as_prev &&
+          graph_.HasAdjacentEdgeEventInRange(c, t_prev, tc)) {
+        continue;
+      }
+      if (opt_.consecutive_events_restriction) {
+        bool violated = false;
+        for (const int digit : {run.src_digit, run.dst_digit}) {
+          const EventIndex prev_touch = last_[static_cast<std::size_t>(digit)];
+          if (graph_.HasIncidentInIndexRange(
+                  nodes_[static_cast<std::size_t>(digit)], prev_touch, c)) {
+            violated = true;
+            break;
+          }
+        }
+        if (violated) continue;
+      }
+
+      chosen_[static_cast<std::size_t>(depth)] = c;
+      EmitUnchecked(run.code);  // The run-level pre-filter already passed.
+      if (stopped_) return;
+    }
+  }
+
+  /// Final-depth candidate loop: no recursion can follow, so the merge runs
+  /// on function-local cursors (nothing is stored back into the per-depth
+  /// cursor arrays — the compiler keeps the whole merge state in
+  /// registers). This is the hottest loop of the engine: with a 3-event
+  /// motif, most merge rounds happen here.
+  void ExtendFinal(int depth, int inherited) {
+    if (stopped_) return;
+    const EventIndex prev_idx = chosen_[static_cast<std::size_t>(depth - 1)];
+    const NodeId prev_src = graph_.event_src(prev_idx);
+    const NodeId prev_dst = graph_.event_dst(prev_idx);
+    const Timestamp t_prev = graph_.event_time(prev_idx);
+    const Timestamp upper = ExtensionUpperBound(prev_idx, t_prev);
+    if (upper <= t_prev) return;
+    // The edge-run path wins exactly when its run-level code pre-filter can
+    // reject whole runs — i.e. under static inducedness. For other option
+    // sets the incident merge below is cheaper (no per-pair setup).
+    if (static_induced_ && num_nodes_ == opt_.max_nodes) {
+      SaturatedFinal(depth, prev_src, prev_dst, t_prev, upper);
+      return;
+    }
+
+    const int frontier = num_nodes_;
+    IncidentIter cur[kMaxCoreNodes];
+    IncidentIter end[kMaxCoreNodes];
+    for (int d = 0; d < frontier; ++d) {
+      const std::size_t s = static_cast<std::size_t>(d);
+      if (d < inherited) {
+        cur[s] = cursors_[static_cast<std::size_t>(depth - 1)][s];
+        end[s] = cursor_ends_[static_cast<std::size_t>(depth - 1)][s];
+      } else {
+        cur[s] = graph_.IncidentUpperBound(nodes_[s], prev_idx);
+        end[s] = graph_.incident(nodes_[s]).end();
+      }
+    }
+
+    // Per-call cache of the last new node's static-edge count to the scope:
+    // bursty final runs repeat the same out-of-scope neighbor many times,
+    // and the scope is fixed for the whole call.
+    NodeId cached_new_node = kInvalidNode;
+    int cached_new_delta = 0;
+
+    constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+    for (;;) {
+      EventIndex c = kDone;
+      unsigned match = 0;
+      IncidentIter best{};
+      for (int d = 0; d < frontier; ++d) {
+        const std::size_t s = static_cast<std::size_t>(d);
+        if (cur[s] == end[s]) continue;
+        const EventIndex v = *cur[s];
+        if (v < c) {
+          c = v;
+          match = 1u << d;
+          best = cur[s];
+        } else if (v == c) {
+          match |= 1u << d;
+        }
+      }
+      if (c == kDone) break;
+      for (int d = 0; match != 0; ++d, match >>= 1) {
+        if (match & 1u) ++cur[static_cast<std::size_t>(d)];
+      }
+
+      // The winning cursor fronts the candidate's inlined hot fields — no
+      // event-array loads in this loop.
+      const Timestamp tc = best.time();
+      if (tc <= t_prev) {
+        // Timestamp-tie group of the previous event: jump past it (see the
+        // non-final loop for the rationale).
+        const EventIndex lo = graph_.UpperBoundTime(t_prev);
+        for (int d = 0; d < frontier; ++d) {
+          const std::size_t s = static_cast<std::size_t>(d);
+          cur[s] = std::lower_bound(cur[s], end[s], lo);
+        }
+        continue;
+      }
+      if (tc > upper) break;  // Sorted by time: no more candidates.
+      const NodeId c_src = best.src();
+      const NodeId c_dst = best.dst();
+      int src_digit = DigitOf(c_src);
+      int dst_digit = DigitOf(c_dst);
+      const int new_nodes = (src_digit < 0 ? 1 : 0) + (dst_digit < 0 ? 1 : 0);
+      if (num_nodes_ + new_nodes > opt_.max_nodes) continue;
+
+      if (opt_.cdg_restriction && (prev_src != c_src || prev_dst != c_dst) &&
+          graph_.HasAdjacentEdgeEventInRange(c, t_prev, tc)) {
+        continue;  // Another event on (c_src, c_dst) inside [t1, t2].
+      }
+
+      if (opt_.consecutive_events_restriction) {
+        // Each endpoint digit's run matched c this round (c is incident to
+        // it), so cur[digit] sits one past c and the node's largest
+        // incident index below c is the entry two back — an O(1) read
+        // replaces the binary-searched HasIncidentInIndexRange.
+        bool violated = false;
+        for (const int digit : {src_digit, dst_digit}) {
+          if (digit < 0) continue;
+          const std::size_t s = static_cast<std::size_t>(digit);
+          const auto begin = graph_.incident(nodes_[s]).begin();
+          if (cur[s] - begin >= 2) {
+            const EventIndex pred = *(cur[s] - 2);
+            if (pred > last_[s]) {
+              violated = true;
+              break;
+            }
+          }
+        }
+        if (violated) continue;
+      }
+
+      if (static_induced_) {
+        // Static-inducedness fast path: the instance passes iff its
+        // distinct digit pairs equal the scope's static edge count. The
+        // distinct count and scope bounds reject most candidates before
+        // any graph lookup; the one lookup left (a new node's edges into
+        // the scope) is cached across the call.
+        const int nd = src_digit < 0 ? num_nodes_
+                                     : (dst_digit < 0 ? num_nodes_ : -1);
+        const int sd = src_digit < 0 ? nd : src_digit;
+        const int dd = dst_digit < 0 ? nd : dst_digit;
+        const std::uint64_t code = packed_ | PackPair(sd, dd, depth);
+        const int distinct = DistinctPairCount(code, opt_.num_events);
+        if (new_nodes == 0) {
+          if (distinct != scope_static_edges_) continue;
+        } else {
+          // The new node contributes at least its own event edge and at
+          // most 2 * num_nodes_ scope edges.
+          const int needed = distinct - scope_static_edges_;
+          if (needed < 1 || needed > 2 * num_nodes_) continue;
+          const NodeId w = src_digit < 0 ? c_src : c_dst;
+          if (w != cached_new_node) {
+            cached_new_node = w;
+            cached_new_delta = StaticEdgesToScope(w, num_nodes_);
+          }
+          if (needed != cached_new_delta) continue;
+        }
+        chosen_[static_cast<std::size_t>(depth)] = c;
+        EmitUnchecked(code);
+        if (stopped_) return;
+        continue;
+      }
+
+      // The instance is complete: emit without touching the undo
+      // bookkeeping (nodes_ scratch slots past num_nodes_ are dead).
+      int effective_nodes = num_nodes_;
+      if (src_digit < 0) {
+        src_digit = effective_nodes;
+        nodes_[static_cast<std::size_t>(effective_nodes)] = c_src;
+        digit_gen_[static_cast<std::size_t>(effective_nodes++)] =
+            ++gen_counter_;
+      }
+      if (dst_digit < 0) {
+        dst_digit = effective_nodes;
+        nodes_[static_cast<std::size_t>(effective_nodes)] = c_dst;
+        digit_gen_[static_cast<std::size_t>(effective_nodes++)] =
+            ++gen_counter_;
+      }
+      chosen_[static_cast<std::size_t>(depth)] = c;
+      Emit(packed_ | PackPair(src_digit, dst_digit, depth), effective_nodes);
+      if (stopped_) return;
+    }
+  }
+
+  /// Extends the partial instance at a non-final depth.
+  void Extend(int depth, int inherited) {
+    if (depth + 1 == opt_.num_events) {
+      ExtendFinal(depth, inherited);
+      return;
+    }
+    if (stopped_) return;
+    const EventIndex prev_idx = chosen_[static_cast<std::size_t>(depth - 1)];
+    const NodeId prev_src = graph_.event_src(prev_idx);
+    const NodeId prev_dst = graph_.event_dst(prev_idx);
+    const Timestamp t_prev = graph_.event_time(prev_idx);
+    const Timestamp upper = ExtensionUpperBound(prev_idx, t_prev);
     if (upper <= t_prev) return;
 
     // Candidate extensions are events strictly later than the previous
@@ -228,9 +598,8 @@ class DfsEngine {
         cur[s] = cursors_[static_cast<std::size_t>(depth - 1)][s];
         end[s] = cursor_ends_[static_cast<std::size_t>(depth - 1)][s];
       } else {
-        const auto inc = graph_.incident(nodes_[s]);
-        cur[s] = std::upper_bound(inc.begin(), inc.end(), prev_idx);
-        end[s] = inc.end();
+        cur[s] = graph_.IncidentUpperBound(nodes_[s], prev_idx);
+        end[s] = graph_.incident(nodes_[s]).end();
       }
     }
 
@@ -238,6 +607,7 @@ class DfsEngine {
     for (;;) {
       EventIndex c = kDone;
       unsigned match = 0;
+      IncidentIter best{};
       for (int d = 0; d < frontier; ++d) {
         const std::size_t s = static_cast<std::size_t>(d);
         if (cur[s] == end[s]) continue;
@@ -245,6 +615,7 @@ class DfsEngine {
         if (v < c) {
           c = v;
           match = 1u << d;
+          best = cur[s];
         } else if (v == c) {
           match |= 1u << d;
         }
@@ -255,7 +626,7 @@ class DfsEngine {
       }
       if (stopped_) return;
 
-      const Timestamp tc = graph_.event_time(c);
+      const Timestamp tc = best.time();
       if (tc <= t_prev) {
         // c sits in the previous event's timestamp-tie group (index order
         // implies tc == t_prev here). The whole group is inadmissible and
@@ -270,8 +641,8 @@ class DfsEngine {
         continue;
       }
       if (tc > upper) break;  // Sorted by time: no more candidates.
-      const NodeId c_src = graph_.event_src(c);
-      const NodeId c_dst = graph_.event_dst(c);
+      const NodeId c_src = best.src();
+      const NodeId c_dst = best.dst();
       int src_digit = DigitOf(c_src);
       int dst_digit = DigitOf(c_dst);
       const int new_nodes = (src_digit < 0 ? 1 : 0) + (dst_digit < 0 ? 1 : 0);
@@ -279,56 +650,53 @@ class DfsEngine {
       // new; the node cap is the only remaining node constraint.
       if (num_nodes_ + new_nodes > opt_.max_nodes) continue;
 
-      if (opt_.cdg_restriction &&
-          (prev_src != c_src || prev_dst != c_dst) &&
-          graph_.CountEdgeEventsInTimeRange(c_src, c_dst, t_prev, tc) > 1) {
+      if (opt_.cdg_restriction && (prev_src != c_src || prev_dst != c_dst) &&
+          graph_.HasAdjacentEdgeEventInRange(c, t_prev, tc)) {
         continue;  // Another event on (c_src, c_dst) inside [t1, t2].
       }
 
       if (opt_.consecutive_events_restriction) {
+        // Each endpoint digit's run matched c this round (c is incident to
+        // it), so cur[digit] sits one past c and the node's largest
+        // incident index below c is the entry two back — an O(1) read
+        // replaces the binary-searched HasIncidentInIndexRange.
         bool violated = false;
         for (const int digit : {src_digit, dst_digit}) {
           if (digit < 0) continue;
-          const EventIndex prev_touch = last_[static_cast<std::size_t>(digit)];
-          if (graph_.HasIncidentInIndexRange(
-                  nodes_[static_cast<std::size_t>(digit)], prev_touch, c)) {
-            violated = true;
-            break;
+          const std::size_t s = static_cast<std::size_t>(digit);
+          const auto begin = graph_.incident(nodes_[s]).begin();
+          if (cur[s] - begin >= 2) {
+            const EventIndex pred = *(cur[s] - 2);
+            if (pred > last_[s]) {
+              violated = true;
+              break;
+            }
           }
         }
         if (violated) continue;
       }
 
-      if (final_depth) {
-        // The instance is complete: emit without touching the undo
-        // bookkeeping (nodes_ scratch slots past num_nodes_ are dead).
-        int effective_nodes = num_nodes_;
-        if (src_digit < 0) {
-          src_digit = effective_nodes;
-          nodes_[static_cast<std::size_t>(effective_nodes++)] = c_src;
-        }
-        if (dst_digit < 0) {
-          dst_digit = effective_nodes;
-          nodes_[static_cast<std::size_t>(effective_nodes++)] = c_dst;
-        }
-        chosen_[static_cast<std::size_t>(depth)] = c;
-        Emit(packed_ | PackPair(src_digit, dst_digit, depth),
-             effective_nodes);
-        continue;
-      }
-
       // Apply the extension.
       const int saved_num_nodes = num_nodes_;
+      const int saved_scope_edges = scope_static_edges_;
       if (src_digit < 0) {
+        if (static_induced_) {
+          scope_static_edges_ += StaticEdgesToScope(c_src, num_nodes_);
+        }
         src_digit = num_nodes_;
         nodes_[static_cast<std::size_t>(num_nodes_)] = c_src;
         last_[static_cast<std::size_t>(num_nodes_)] = c;
+        digit_gen_[static_cast<std::size_t>(num_nodes_)] = ++gen_counter_;
         ++num_nodes_;
       }
       if (dst_digit < 0) {
+        if (static_induced_) {
+          scope_static_edges_ += StaticEdgesToScope(c_dst, num_nodes_);
+        }
         dst_digit = num_nodes_;
         nodes_[static_cast<std::size_t>(num_nodes_)] = c_dst;
         last_[static_cast<std::size_t>(num_nodes_)] = c;
+        digit_gen_[static_cast<std::size_t>(num_nodes_)] = ++gen_counter_;
         ++num_nodes_;
       }
       const EventIndex saved_src_last =
@@ -340,13 +708,27 @@ class DfsEngine {
       chosen_[static_cast<std::size_t>(depth)] = c;
       packed_ |= PackPair(src_digit, dst_digit, depth);
 
-      Extend(depth + 1, /*inherited=*/frontier);
+      // Static-inducedness prefix prune: a passing instance must cover
+      // every scope static edge with a distinct event pair, each remaining
+      // event covers at most one, and introducing a node never shrinks the
+      // deficit (the node brings >= 1 scope edge but its event only one new
+      // pair). A prefix whose uncovered-edge deficit exceeds the remaining
+      // event budget therefore has no passing completion — skip the whole
+      // subtree before recursing.
+      const bool prefix_viable =
+          !static_induced_ ||
+          scope_static_edges_ - DistinctPairCount(packed_, depth + 1) <=
+              opt_.num_events - (depth + 1);
+      if (prefix_viable) {
+        Extend(depth + 1, /*inherited=*/frontier);
+      }
 
       // Undo.
       packed_ &= ~(std::uint64_t{0xFF} << (8 * depth));
       last_[static_cast<std::size_t>(src_digit)] = saved_src_last;
       last_[static_cast<std::size_t>(dst_digit)] = saved_dst_last;
       num_nodes_ = saved_num_nodes;
+      scope_static_edges_ = saved_scope_edges;
     }
   }
 
@@ -356,14 +738,25 @@ class DfsEngine {
   // Timing knobs hoisted out of the candidate loop.
   const bool use_dc_;
   const bool use_dw_;
+  const bool static_induced_;
   const Timestamp dc_;
   const Timestamp dw_;
   std::uint64_t count_ = 0;
   bool stopped_ = false;
+  /// Under static inducedness: number of static edges (both orientations)
+  /// among the current scope nodes — maintained incrementally as nodes join
+  /// and leave, so the per-emit check is a pure packed-code byte scan.
+  int scope_static_edges_ = 0;
 
   std::array<EventIndex, kMaxCoreEvents> chosen_{};
   std::array<NodeId, kMaxCoreNodes> nodes_{};     // Digit -> node id.
   std::array<EventIndex, kMaxCoreNodes> last_{};  // Digit -> last motif idx.
+  /// Digit -> generation of its current node assignment (globally unique,
+  /// monotone; 0 means never assigned). Keys the pair memo.
+  std::array<std::uint64_t, kMaxCoreNodes> digit_gen_{};
+  std::uint64_t gen_counter_ = 0;
+  /// Ordered-digit-pair FindEdge memo (see MemoFor).
+  std::array<std::array<PairMemo, kMaxCoreNodes>, kMaxCoreNodes> pair_memo_{};
   int num_nodes_ = 0;
   std::uint64_t packed_ = 0;
   // Per-depth k-way-merge cursors over the frontier's incident runs.
@@ -383,6 +776,23 @@ std::uint64_t EnumerateCore(const Graph& graph,
                             Sink& sink) {
   DfsEngine<Graph, Sink> engine(graph, options, sink);
   return engine.Run(first_begin, first_end);
+}
+
+/// Runs the DFS over instances whose first event is one of `roots`
+/// (ascending, deduplicated); one engine serves every root, so per-engine
+/// setup is paid once (the streaming scoped static-flip recount calls this
+/// with sparse root sets).
+template <typename Graph, typename Sink>
+std::uint64_t EnumerateCoreAtRoots(const Graph& graph,
+                                   const EnumerationOptions& options,
+                                   const std::vector<EventIndex>& roots,
+                                   Sink& sink) {
+  DfsEngine<Graph, Sink> engine(graph, options, sink);
+  std::uint64_t total = 0;
+  for (const EventIndex root : roots) {
+    total = engine.Run(root, root + 1);
+  }
+  return total;
 }
 
 /// Sink that only counts (CountInstances / CountInstancesParallel).

@@ -29,7 +29,7 @@ double BurstinessCoefficient(const TemporalGraph& graph) {
 }
 
 double NodeBurstiness(const TemporalGraph& graph, NodeId node) {
-  const EventIndexSpan incident = graph.incident(node);
+  const IncidentSpan incident = graph.incident(node);
   std::vector<double> gaps;
   gaps.reserve(incident.size());
   for (std::size_t i = 1; i < incident.size(); ++i) {
@@ -40,36 +40,33 @@ double NodeBurstiness(const TemporalGraph& graph, NodeId node) {
 }
 
 double EdgeReciprocity(const TemporalGraph& graph) {
-  std::size_t total = 0;
   std::size_t reciprocated = 0;
-  // Iterate distinct static edges via per-event first occurrence.
-  for (EventIndex i = 0; i < graph.num_events(); ++i) {
-    const Event& e = graph.event(i);
-    if (graph.edge_events(e.src, e.dst).front() != i) continue;  // Not first.
-    ++total;
-    if (graph.HasStaticEdge(e.dst, e.src)) ++reciprocated;
+  // Walk the static projection directly: each node's distinct out-edges are
+  // one contiguous neighbor-CSR run.
+  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
+    for (auto e = graph.edges_begin(src); e != graph.edges_end(src); ++e) {
+      if (graph.HasStaticEdge(graph.edge_dst(e), src)) ++reciprocated;
+    }
   }
-  if (total == 0) return 0.0;
-  return static_cast<double>(reciprocated) / static_cast<double>(total);
+  if (graph.num_static_edges() == 0) return 0.0;
+  return static_cast<double>(reciprocated) /
+         static_cast<double>(graph.num_static_edges());
 }
 
 std::vector<int> StaticOutDegrees(const TemporalGraph& graph) {
   std::vector<int> degrees(static_cast<std::size_t>(graph.num_nodes()), 0);
-  for (EventIndex i = 0; i < graph.num_events(); ++i) {
-    const Event& e = graph.event(i);
-    if (graph.edge_events(e.src, e.dst).front() == i) {
-      ++degrees[static_cast<std::size_t>(e.src)];
-    }
+  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
+    degrees[static_cast<std::size_t>(src)] =
+        static_cast<int>(graph.edges_end(src) - graph.edges_begin(src));
   }
   return degrees;
 }
 
 std::vector<int> StaticInDegrees(const TemporalGraph& graph) {
   std::vector<int> degrees(static_cast<std::size_t>(graph.num_nodes()), 0);
-  for (EventIndex i = 0; i < graph.num_events(); ++i) {
-    const Event& e = graph.event(i);
-    if (graph.edge_events(e.src, e.dst).front() == i) {
-      ++degrees[static_cast<std::size_t>(e.dst)];
+  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
+    for (auto e = graph.edges_begin(src); e != graph.edges_end(src); ++e) {
+      ++degrees[static_cast<std::size_t>(graph.edge_dst(e))];
     }
   }
   return degrees;
@@ -97,13 +94,11 @@ double ActivityGini(const TemporalGraph& graph) {
 
 double MedianSameEdgeGap(const TemporalGraph& graph) {
   std::vector<std::int64_t> gaps;
-  for (EventIndex i = 0; i < graph.num_events(); ++i) {
-    const Event& e = graph.event(i);
-    const EventIndexSpan occurrences = graph.edge_events(e.src, e.dst);
-    if (occurrences.front() != i) continue;  // Process each edge once.
-    for (std::size_t j = 1; j < occurrences.size(); ++j) {
-      gaps.push_back(graph.event(occurrences[j]).time -
-                     graph.event(occurrences[j - 1]).time);
+  // Per-edge occurrence timestamps live in one flat SoA run per slot.
+  for (TemporalGraph::EdgeHandle e = 0; e < graph.num_static_edges(); ++e) {
+    const TimestampSpan times = graph.edge_event_times(e);
+    for (std::size_t j = 1; j < times.size(); ++j) {
+      gaps.push_back(times[j] - times[j - 1]);
     }
   }
   return MedianInt(std::move(gaps));

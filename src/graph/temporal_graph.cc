@@ -6,63 +6,126 @@
 
 namespace tmotif {
 
-EventIndexSpan TemporalGraph::incident(NodeId node) const {
+IncidentSpan TemporalGraph::incident(NodeId node) const {
   TMOTIF_CHECK(node >= 0 && node < num_nodes_);
   const std::size_t n = static_cast<std::size_t>(node);
-  const EventIndex* base = incident_events_.data();
-  return EventIndexSpan(base + incident_offsets_[n],
-                        base + incident_offsets_[n + 1]);
+  const IncidentEntry* base = incident_entries_.data();
+  return IncidentSpan(base + incident_offsets_[n],
+                      base + incident_offsets_[n + 1]);
 }
 
-std::size_t TemporalGraph::EdgeSlot(NodeId src, NodeId dst) const {
-  const std::uint64_t key = NodePairKey(src, dst);
-  const auto it = std::lower_bound(edge_keys_.begin(), edge_keys_.end(), key);
-  if (it == edge_keys_.end() || *it != key) return edge_keys_.size();
-  return static_cast<std::size_t>(it - edge_keys_.begin());
+IncidentIterator TemporalGraph::IncidentUpperBound(NodeId node,
+                                                   EventIndex after) const {
+  TMOTIF_CHECK(node >= 0 && node < num_nodes_);
+  const std::size_t n = static_cast<std::size_t>(node);
+  const EventIndex* slim = incident_events_.data();
+  const EventIndex* pos = std::upper_bound(slim + incident_offsets_[n],
+                                           slim + incident_offsets_[n + 1],
+                                           after);
+  return IncidentIterator(incident_entries_.data() +
+                          (pos - incident_events_.data()));
+}
+
+TemporalGraph::EdgeHandle TemporalGraph::FindEdge(NodeId src,
+                                                  NodeId dst) const {
+  if (src < 0 || src >= num_nodes_) return kNoEdgeHandle;
+  const std::size_t s = static_cast<std::size_t>(src);
+  const NodeId* base = neighbor_dsts_.data();
+  const NodeId* begin = base + neighbor_offsets_[s];
+  const NodeId* end = base + neighbor_offsets_[s + 1];
+  const NodeId* it = std::lower_bound(begin, end, dst);
+  if (it == end || *it != dst) return kNoEdgeHandle;
+  return static_cast<EdgeHandle>(it - base);
+}
+
+TemporalGraph::EdgeHandle TemporalGraph::edges_begin(NodeId src) const {
+  TMOTIF_CHECK(src >= 0 && src < num_nodes_);
+  return static_cast<EdgeHandle>(
+      neighbor_offsets_[static_cast<std::size_t>(src)]);
+}
+
+TemporalGraph::EdgeHandle TemporalGraph::edges_end(NodeId src) const {
+  TMOTIF_CHECK(src >= 0 && src < num_nodes_);
+  return static_cast<EdgeHandle>(
+      neighbor_offsets_[static_cast<std::size_t>(src) + 1]);
+}
+
+EventIndexSpan TemporalGraph::edge_events(EdgeHandle edge) const {
+  const std::size_t s = static_cast<std::size_t>(edge);
+  const EventIndex* base = edge_occurrences_.data();
+  return EventIndexSpan(base + edge_offsets_[s], base + edge_offsets_[s + 1]);
+}
+
+EdgeOccurrenceRange TemporalGraph::edge_occurrences(EdgeHandle edge) const {
+  const std::size_t s = static_cast<std::size_t>(edge);
+  const EventIndex* idx = edge_occurrences_.data();
+  const Timestamp* t = edge_occurrence_times_.data();
+  return EdgeOccurrenceRange(
+      EdgeOccurrenceIterator(idx + edge_offsets_[s], t + edge_offsets_[s]),
+      EdgeOccurrenceIterator(idx + edge_offsets_[s + 1],
+                             t + edge_offsets_[s + 1]));
+}
+
+TimestampSpan TemporalGraph::edge_event_times(EdgeHandle edge) const {
+  const std::size_t s = static_cast<std::size_t>(edge);
+  const Timestamp* base = edge_occurrence_times_.data();
+  return TimestampSpan(base + edge_offsets_[s], base + edge_offsets_[s + 1]);
+}
+
+std::size_t TemporalGraph::EdgeLowerRank(EdgeHandle edge, Timestamp t) const {
+  const TimestampSpan times = edge_event_times(edge);
+  return static_cast<std::size_t>(
+      std::lower_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+std::size_t TemporalGraph::EdgeUpperRank(EdgeHandle edge, Timestamp t) const {
+  const TimestampSpan times = edge_event_times(edge);
+  return static_cast<std::size_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+int TemporalGraph::CountEdgeEventsInTimeRange(EdgeHandle edge, Timestamp t_lo,
+                                              Timestamp t_hi) const {
+  if (t_hi < t_lo) return 0;
+  return static_cast<int>(EdgeUpperRank(edge, t_hi) -
+                          EdgeLowerRank(edge, t_lo));
 }
 
 EventIndexSpan TemporalGraph::edge_events(NodeId src, NodeId dst) const {
-  const std::size_t slot = EdgeSlot(src, dst);
-  if (slot == edge_keys_.size()) return EventIndexSpan();
-  const EventIndex* base = edge_occurrences_.data();
-  return EventIndexSpan(base + edge_offsets_[slot],
-                        base + edge_offsets_[slot + 1]);
-}
-
-bool TemporalGraph::HasStaticEdge(NodeId src, NodeId dst) const {
-  return EdgeSlot(src, dst) != edge_keys_.size();
+  const EdgeHandle edge = FindEdge(src, dst);
+  if (edge == kNoEdgeHandle) return EventIndexSpan();
+  return edge_events(edge);
 }
 
 int TemporalGraph::CountIncidentInIndexRange(NodeId node, EventIndex lo,
                                              EventIndex hi) const {
   if (hi <= lo) return 0;
-  const EventIndexSpan list = incident(node);
-  const auto first = std::upper_bound(list.begin(), list.end(), lo);
-  const auto last = std::lower_bound(list.begin(), list.end(), hi);
+  TMOTIF_CHECK(node >= 0 && node < num_nodes_);
+  const std::size_t n = static_cast<std::size_t>(node);
+  const EventIndex* begin = incident_events_.data() + incident_offsets_[n];
+  const EventIndex* end = incident_events_.data() + incident_offsets_[n + 1];
+  const auto first = std::upper_bound(begin, end, lo);
+  const auto last = std::lower_bound(begin, end, hi);
   return static_cast<int>(last - first);
 }
 
 bool TemporalGraph::HasIncidentInIndexRange(NodeId node, EventIndex lo,
                                             EventIndex hi) const {
   if (hi <= lo) return false;
-  const EventIndexSpan list = incident(node);
-  const auto first = std::upper_bound(list.begin(), list.end(), lo);
-  return first != list.end() && *first < hi;
+  TMOTIF_CHECK(node >= 0 && node < num_nodes_);
+  const std::size_t n = static_cast<std::size_t>(node);
+  const EventIndex* begin = incident_events_.data() + incident_offsets_[n];
+  const EventIndex* end = incident_events_.data() + incident_offsets_[n + 1];
+  const auto first = std::upper_bound(begin, end, lo);
+  return first != end && *first < hi;
 }
 
 int TemporalGraph::CountEdgeEventsInTimeRange(NodeId src, NodeId dst,
                                               Timestamp t_lo,
                                               Timestamp t_hi) const {
-  if (t_hi < t_lo) return 0;
-  const EventIndexSpan list = edge_events(src, dst);
-  const auto time_of = [this](EventIndex i) { return event(i).time; };
-  const auto first = std::lower_bound(
-      list.begin(), list.end(), t_lo,
-      [&](EventIndex i, Timestamp t) { return time_of(i) < t; });
-  const auto last = std::upper_bound(
-      list.begin(), list.end(), t_hi,
-      [&](Timestamp t, EventIndex i) { return t < time_of(i); });
-  return static_cast<int>(last - first);
+  const EdgeHandle edge = FindEdge(src, dst);
+  if (edge == kNoEdgeHandle) return 0;
+  return CountEdgeEventsInTimeRange(edge, t_lo, t_hi);
 }
 
 int TemporalGraph::CountEdgeEventsInIndexRange(NodeId src, NodeId dst,
@@ -148,11 +211,9 @@ TemporalGraph TemporalGraphBuilder::Build() {
   const std::size_t num_nodes = static_cast<std::size_t>(graph.num_nodes_);
   const std::size_t num_events = graph.events_.size();
 
-  graph.event_times_.reserve(num_events);
-  graph.event_pairs_.reserve(num_events);
+  graph.event_hot_.reserve(num_events);
   for (const Event& e : graph.events_) {
-    graph.event_times_.push_back(e.time);
-    graph.event_pairs_.push_back(NodePairKey(e.src, e.dst));
+    graph.event_hot_.push_back({e.time, NodePairKey(e.src, e.dst)});
   }
 
   // Incident index: count per node, prefix-sum, then fill in event order so
@@ -165,20 +226,27 @@ TemporalGraph TemporalGraphBuilder::Build() {
   for (std::size_t n = 0; n < num_nodes; ++n) {
     graph.incident_offsets_[n + 1] += graph.incident_offsets_[n];
   }
+  graph.incident_entries_.resize(2 * num_events);
   graph.incident_events_.resize(2 * num_events);
   {
     std::vector<std::size_t> cursor(graph.incident_offsets_.begin(),
                                     graph.incident_offsets_.end() - 1);
     for (EventIndex i = 0; i < graph.num_events(); ++i) {
       const Event& e = graph.event(i);
-      graph.incident_events_[cursor[static_cast<std::size_t>(e.src)]++] = i;
-      graph.incident_events_[cursor[static_cast<std::size_t>(e.dst)]++] = i;
+      const IncidentEntry entry{e.time, NodePairKey(e.src, e.dst), i};
+      for (const NodeId n : {e.src, e.dst}) {
+        const std::size_t at = cursor[static_cast<std::size_t>(n)]++;
+        graph.incident_entries_[at] = entry;
+        graph.incident_events_[at] = i;
+      }
     }
   }
 
-  // Edge-occurrence index: one sort of (key, event index) pairs yields the
-  // sorted distinct keys, the offsets, and the per-edge occurrence runs in
-  // a single pass — pair comparison keeps indices ascending within a key.
+  // Edge indices: one sort of (key, event index) pairs yields the distinct
+  // edges in (src, dst) order — which is exactly the neighbor-CSR payload
+  // order, so an edge's first-occurrence position assigns its slot — plus
+  // the per-slot occurrence runs and their SoA timestamp mirror in a single
+  // pass (pair comparison keeps indices, hence times, ascending per slot).
   {
     std::vector<std::pair<std::uint64_t, EventIndex>> keyed;
     keyed.reserve(num_events);
@@ -187,15 +255,33 @@ TemporalGraph TemporalGraphBuilder::Build() {
       keyed.emplace_back(NodePairKey(e.src, e.dst), i);
     }
     std::sort(keyed.begin(), keyed.end());
+    graph.neighbor_offsets_.assign(num_nodes + 1, 0);
     graph.edge_occurrences_.resize(num_events);
+    graph.edge_occurrence_times_.resize(num_events);
+    graph.event_edge_slot_.resize(num_events);
+    graph.event_edge_rank_.resize(num_events);
     for (std::size_t i = 0; i < keyed.size(); ++i) {
       if (i == 0 || keyed[i].first != keyed[i - 1].first) {
-        graph.edge_keys_.push_back(keyed[i].first);
+        const std::size_t src =
+            static_cast<std::size_t>(keyed[i].first >> 32);
+        ++graph.neighbor_offsets_[src + 1];
+        graph.neighbor_dsts_.push_back(
+            static_cast<NodeId>(keyed[i].first & 0xffffffffu));
         graph.edge_offsets_.push_back(i);
       }
+      const std::size_t slot = graph.neighbor_dsts_.size() - 1;
+      const std::size_t event = static_cast<std::size_t>(keyed[i].second);
       graph.edge_occurrences_[i] = keyed[i].second;
+      graph.edge_occurrence_times_[i] = graph.event_time(keyed[i].second);
+      graph.event_edge_slot_[event] =
+          static_cast<TemporalGraph::EdgeHandle>(slot);
+      graph.event_edge_rank_[event] =
+          static_cast<std::uint32_t>(i - graph.edge_offsets_[slot]);
     }
     graph.edge_offsets_.push_back(num_events);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      graph.neighbor_offsets_[n + 1] += graph.neighbor_offsets_[n];
+    }
   }
 
   if (!labels_.empty()) {

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
+#include <map>
+#include <unordered_set>
 
 #include "algorithms/parallel.h"
 #include "common/check.h"
@@ -62,6 +63,116 @@ struct NewInstanceSink {
     table->Add(packed);
   }
 };
+
+/// Incident-entry scan budget of one scoped-recount root collection: a few
+/// multiples of the window (a full recount visits every window event, so a
+/// ball search costing much more than that has lost already). The floor
+/// keeps tiny windows from starving the search.
+std::int64_t ScopedWorkBudget(std::size_t window_size) {
+  return std::max<std::int64_t>(256,
+                                4 * static_cast<std::int64_t>(window_size));
+}
+
+/// True when the instance's node set contains both endpoints of at least
+/// one flipped pair — the exact "affected by a static-edge flip" predicate
+/// (static inducedness reads HasStaticEdge only on intra-instance pairs).
+bool InstanceSpansFlippedPair(
+    const WindowGraph& graph, const EventIndex* chosen, int k,
+    const std::vector<std::pair<NodeId, NodeId>>& flips) {
+  NodeId nodes[2 * internal::kMaxCoreEvents];
+  int num_nodes = 0;
+  for (int i = 0; i < k; ++i) {
+    for (const NodeId n : {graph.event_src(chosen[i]),
+                           graph.event_dst(chosen[i])}) {
+      bool seen = false;
+      for (int j = 0; j < num_nodes; ++j) {
+        if (nodes[j] == n) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) nodes[num_nodes++] = n;
+    }
+  }
+  for (const auto& [u, v] : flips) {
+    bool has_u = false;
+    bool has_v = false;
+    for (int j = 0; j < num_nodes; ++j) {
+      has_u = has_u || nodes[j] == u;
+      has_v = has_v || nodes[j] == v;
+    }
+    if (has_u && has_v) return true;
+  }
+  return false;
+}
+
+/// Nodes within undirected hop distance `radius` of `center` over the
+/// window's incident event lists (the instance-connectivity relation).
+/// `work_budget` bounds the incident entries scanned (shared across calls,
+/// decremented in place); returns false — with the ball left partial — when
+/// the budget runs out, signalling the caller to fall back.
+bool CollectBall(const WindowGraph& graph, NodeId center, int radius,
+                 std::int64_t* work_budget, std::unordered_set<NodeId>* out) {
+  out->clear();
+  out->insert(center);
+  std::vector<NodeId> frontier{center};
+  for (int hop = 0; hop < radius && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next;
+    for (const NodeId node : frontier) {
+      const auto incident = graph.incident(node);
+      *work_budget -= static_cast<std::int64_t>(incident.size());
+      if (*work_budget < 0) return false;
+      for (const EventIndex idx : incident) {
+        const NodeId src = graph.event_src(idx);
+        const NodeId other = src == node ? graph.event_dst(idx) : src;
+        if (out->insert(other).second) next.push_back(other);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return true;
+}
+
+/// First-event candidates (within [first_begin, first_end)) of instances
+/// whose node set can contain both `u` and `v`: an instance spanning the
+/// pair keeps every node — in particular its first event's endpoints —
+/// within hop distance `radius` of *each* endpoint, so roots are events
+/// with both endpoints inside the intersected balls. Returns false when
+/// `work_budget` runs out.
+bool AppendScopedRoots(const WindowGraph& graph, NodeId u, NodeId v,
+                       int radius, EventIndex first_begin,
+                       EventIndex first_end, std::int64_t* work_budget,
+                       std::vector<EventIndex>* roots) {
+  std::unordered_set<NodeId> ball_u;
+  std::unordered_set<NodeId> ball_v;
+  if (!CollectBall(graph, u, radius, work_budget, &ball_u) ||
+      !CollectBall(graph, v, radius, work_budget, &ball_v)) {
+    return false;
+  }
+  const std::unordered_set<NodeId>& small =
+      ball_u.size() <= ball_v.size() ? ball_u : ball_v;
+  const std::unordered_set<NodeId>& large =
+      ball_u.size() <= ball_v.size() ? ball_v : ball_u;
+  const auto in_both = [&](NodeId n) {
+    return small.count(n) != 0 && large.count(n) != 0;
+  };
+  for (const NodeId node : small) {
+    if (large.count(node) == 0) continue;
+    const auto incident = graph.incident(node);
+    *work_budget -= static_cast<std::int64_t>(incident.size());
+    if (*work_budget < 0) return false;
+    for (const EventIndex idx : incident) {
+      if (idx < first_begin || idx >= first_end) continue;
+      const NodeId src = graph.event_src(idx);
+      const NodeId other = src == node ? graph.event_dst(idx) : src;
+      // Dedupe events whose both endpoints are in the intersection by
+      // emitting them from their source endpoint only.
+      if (src != node && in_both(src)) continue;
+      if (in_both(other)) roots->push_back(idx);
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -131,14 +242,16 @@ std::optional<Timestamp> StreamingMotifCounter::SpanBound() const {
   return bound;
 }
 
-bool StreamingMotifCounter::StaticEdgeSetChanges(
+std::vector<std::pair<NodeId, NodeId>>
+StreamingMotifCounter::CollectStaticEdgeFlips(
     const IngestPlan& plan, const std::vector<Event>& batch) const {
   struct EdgeDelta {
     NodeId src;
     NodeId dst;
     int delta = 0;
   };
-  std::unordered_map<std::uint64_t, EdgeDelta> deltas;
+  // An ordered map keeps the flip list deterministic (sorted by pair key).
+  std::map<std::uint64_t, EdgeDelta> deltas;
   for (std::size_t i = 0; i < plan.num_evict; ++i) {
     const Event& e = window_.event(i);
     auto& d = deltas[NodePairKey(e.src, e.dst)];
@@ -153,14 +266,76 @@ bool StreamingMotifCounter::StaticEdgeSetChanges(
     d.dst = e.dst;
     ++d.delta;
   }
+  std::vector<std::pair<NodeId, NodeId>> flips;
   for (const auto& [key, d] : deltas) {
     (void)key;
     const std::int64_t before =
         static_cast<std::int64_t>(live_.NumEdgeEvents(d.src, d.dst));
     const std::int64_t after = before + d.delta;
-    if ((before > 0) != (after > 0)) return true;
+    if ((before > 0) != (after > 0)) flips.emplace_back(d.src, d.dst);
   }
-  return false;
+  return flips;
+}
+
+bool StreamingMotifCounter::CollectFlipRoots(
+    const std::vector<std::pair<NodeId, NodeId>>& flips,
+    EventIndex first_begin, EventIndex first_end, std::int64_t* work_budget,
+    std::vector<EventIndex>* roots) const {
+  const int radius = options().max_nodes - 1;
+  roots->clear();
+  for (const auto& [u, v] : flips) {
+    if (!AppendScopedRoots(live_, u, v, radius, first_begin, first_end,
+                           work_budget, roots)) {
+      return false;
+    }
+  }
+  std::sort(roots->begin(), roots->end());
+  roots->erase(std::unique(roots->begin(), roots->end()), roots->end());
+  return true;
+}
+
+void StreamingMotifCounter::SubtractFlipAffected(
+    const std::vector<std::pair<NodeId, NodeId>>& flips,
+    const std::vector<EventIndex>& roots) {
+  stats_.scoped_recount_roots += roots.size();
+  internal::PackedMotifTable removed;
+  auto sink = internal::MakeFnSink(
+      [&](const EventIndex* chosen, int k, std::uint64_t packed) {
+        if (InstanceSpansFlippedPair(live_, chosen, k, flips)) {
+          removed.Add(packed);
+        }
+      });
+  internal::EnumerateCoreAtRoots(live_, config_.options, roots, sink);
+  SubtractTable(removed, &counts_);
+}
+
+bool StreamingMotifCounter::AddFlipAffected(
+    const std::vector<std::pair<NodeId, NodeId>>& flips,
+    EventIndex first_new) {
+  std::int64_t budget = ScopedWorkBudget(window_.size());
+  std::vector<EventIndex> roots;
+  // Roots past `first_new` can only anchor instances whose last event is
+  // new — the sink would discard every one of them (phase 6 owns arriving
+  // instances), so collecting them would just burn budget and inflate the
+  // locality estimate.
+  if (!CollectFlipRoots(flips, 0, first_new, &budget, &roots) ||
+      2 * roots.size() >= window_.size()) {
+    return false;
+  }
+  stats_.scoped_recount_roots += roots.size();
+  internal::PackedMotifTable added;
+  auto sink = internal::MakeFnSink(
+      [&](const EventIndex* chosen, int k, std::uint64_t packed) {
+        // Instances ending in a new event are phase 6's: they were never
+        // counted before this batch, under either edge set.
+        if (is_new_[static_cast<std::size_t>(chosen[k - 1])]) return;
+        if (InstanceSpansFlippedPair(live_, chosen, k, flips)) {
+          added.Add(packed);
+        }
+      });
+  internal::EnumerateCoreAtRoots(live_, config_.options, roots, sink);
+  AddTable(added, &counts_);
+  return true;
 }
 
 void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
@@ -213,22 +388,56 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   }
 
   // Full window turnover (including startup) recounts from scratch — there
-  // is nothing incremental to preserve. Static inducedness additionally
-  // recounts whenever the window's static edge set changes: an appearing or
-  // disappearing edge can flip instances anywhere in the window, with no
-  // locality for a targeted correction (docs/STREAMING.md discusses the
-  // trade-off).
+  // is nothing incremental to preserve.
   if (plan.num_evict >= old_size) {
     ApplyAndRecount(plan, batch, /*is_static_fallback=*/false);
-    return;
-  }
-  if (uses_static_inducedness_ && StaticEdgeSetChanges(plan, batch)) {
-    ApplyAndRecount(plan, batch, /*is_static_fallback=*/true);
     return;
   }
 
   const std::optional<Timestamp> span = SpanBound();
   const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
+
+  // Survivors can only flip validity at shared boundary timestamps (or via
+  // static-edge flips, handled below): an evicted or arriving event lies
+  // inside a surviving instance's scope only when it ties the instance's
+  // first or last timestamp. See docs/STREAMING.md for the case analysis.
+  const bool evict_tie =
+      n_evict > 0 && live_.event_time(n_evict - 1) == live_.event_time(n_evict);
+  const Timestamp old_surviving_max =
+      live_.event_time(static_cast<EventIndex>(old_size) - 1);
+  const bool append_tie =
+      num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
+
+  // Static inducedness: when the window's static edge set changes, survivor
+  // instances whose node set spans a flipped pair change validity. The
+  // scoped correction subtracts exactly those instances at pre-flip
+  // validity here and re-adds them at post-flip validity after the window
+  // slides — a neighborhood-restricted recount. The full-window fallback
+  // remains for batches where a flip coincides with a boundary tie (the
+  // two corrections would overlap), where the flip set is too large to
+  // localize cheaply, or where the collected root set approaches the
+  // window itself (the scoped passes would cost more than one recount).
+  std::vector<std::pair<NodeId, NodeId>> flips;
+  if (uses_static_inducedness_) flips = CollectStaticEdgeFlips(plan, batch);
+  if (!flips.empty()) {
+    constexpr std::size_t kMaxScopedFlips = 32;
+    std::vector<EventIndex> flip_roots;
+    bool scoped = !evict_tie && !append_tie && flips.size() <= kMaxScopedFlips;
+    if (scoped) {
+      std::int64_t budget = ScopedWorkBudget(old_size);
+      // The scoped correction enumerates each root twice (subtract + add);
+      // a full recount enumerates every window event once.
+      scoped = CollectFlipRoots(flips, n_evict,
+                                static_cast<EventIndex>(old_size), &budget,
+                                &flip_roots) &&
+               2 * flip_roots.size() < old_size;
+    }
+    if (!scoped) {
+      ApplyAndRecount(plan, batch, /*is_static_fallback=*/true);
+      return;
+    }
+    SubtractFlipAffected(flips, flip_roots);
+  }
 
   // Phase 1 — retract instances anchored at evicted events. The evicted
   // events form a canonical prefix, so an instance loses an event exactly
@@ -240,18 +449,6 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
     stats_.instances_retracted += retracted.total();
     SubtractTable(retracted, &counts_);
   }
-
-  // Survivors can only flip validity at shared boundary timestamps (or via
-  // static-edge flips, already routed to the fallback above): an evicted or
-  // arriving event lies inside a surviving instance's scope only when it
-  // ties the instance's first or last timestamp. See docs/STREAMING.md for
-  // the case analysis.
-  const bool evict_tie =
-      n_evict > 0 && live_.event_time(n_evict - 1) == live_.event_time(n_evict);
-  const Timestamp old_surviving_max =
-      live_.event_time(static_cast<EventIndex>(old_size) - 1);
-  const bool append_tie =
-      num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
 
   // Phase 2 — evict-side boundary correction: survivors whose first event
   // shares the eviction boundary timestamp are re-evaluated without the
@@ -308,6 +505,30 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   InvalidateSnapshot();
   is_new_.assign(window_.size(), 0);
   for (const std::size_t p : new_positions_) is_new_[p] = 1;
+
+  // Scoped static-flip correction, add-back half: flip-affected survivors
+  // re-enter at their validity under the new edge set (instances with a new
+  // last event are phase 6's, under the new edge set either way).
+  if (!flips.empty()) {
+    // Tie-free batch: the entering events are strictly later than every
+    // survivor, so they occupy the window's suffix.
+    const EventIndex first_new =
+        static_cast<EventIndex>(window_.size() - num_new);
+    if (!AddFlipAffected(flips, first_new)) {
+      // The post-apply neighborhood blew its budget (rare: arrivals grew a
+      // flip's ball past the locality threshold). The window has already
+      // slid, so recount it outright — that subsumes phase 6.
+      counts_ = MotifCounts();
+      AddTable(internal::CountPackedSharded(live_, config_.options, 0,
+                                            live_.num_events(),
+                                            config_.num_threads),
+               &counts_);
+      ++stats_.full_recounts;
+      ++stats_.static_fallbacks;
+      return;
+    }
+    ++stats_.scoped_static_recounts;
+  }
 
   // Phase 5 — append-side boundary correction, add-back half, evaluated on
   // the post-append window. An instance whose last event is old contains no

@@ -39,10 +39,18 @@ struct IngestStats {
   std::uint64_t instances_retracted = 0;
   /// Boundary-timestamp re-evaluation passes (see docs/STREAMING.md).
   std::uint64_t tie_corrections = 0;
-  /// Window recounted from scratch (window turnover or a static-edge flip
-  /// under static inducedness).
+  /// Window recounted from scratch (window turnover, or a static-edge flip
+  /// under static inducedness that coincided with a boundary tie or flipped
+  /// too many edges for the scoped path).
   std::uint64_t full_recounts = 0;
+  /// Static-edge flips that forced a full-window recount.
   std::uint64_t static_fallbacks = 0;
+  /// Static-edge flips handled by the scoped, neighborhood-restricted
+  /// recount (only instances whose node set spans a flipped pair are
+  /// re-evaluated; see docs/STREAMING.md).
+  std::uint64_t scoped_static_recounts = 0;
+  /// Roots enumerated by scoped recounts (both halves), for cost tracking.
+  std::uint64_t scoped_recount_roots = 0;
 };
 
 /// Maintains exact per-motif counts over a sliding window of a time-ordered
@@ -111,10 +119,37 @@ class StreamingMotifCounter {
   /// (nullopt when unbounded).
   std::optional<Timestamp> SpanBound() const;
 
-  /// True when applying `plan` + `batch` adds or removes a directed static
-  /// edge of the window (only consulted under static inducedness).
-  bool StaticEdgeSetChanges(const IngestPlan& plan,
-                            const std::vector<Event>& batch) const;
+  /// Directed static edges of the window whose existence flips (appears or
+  /// disappears) when `plan` + `batch` is applied (only consulted under
+  /// static inducedness). Deterministic order (sorted by node-pair key).
+  std::vector<std::pair<NodeId, NodeId>> CollectStaticEdgeFlips(
+      const IngestPlan& plan, const std::vector<Event>& batch) const;
+
+  /// Sorted, deduplicated first-event candidates (within
+  /// [first_begin, first_end)) of instances whose node set can span a
+  /// flipped pair — events inside the intersected hop-balls of each pair's
+  /// endpoints. Returns false (roots unusable) when the ball search
+  /// exhausts `work_budget` — the locality assumption failed and a full
+  /// recount is cheaper.
+  bool CollectFlipRoots(const std::vector<std::pair<NodeId, NodeId>>& flips,
+                        EventIndex first_begin, EventIndex first_end,
+                        std::int64_t* work_budget,
+                        std::vector<EventIndex>* roots) const;
+
+  /// Subtract-half of the scoped static-flip correction, run on the
+  /// pre-apply window over the given roots: removes counted survivor
+  /// instances whose node set spans a flipped pair.
+  void SubtractFlipAffected(
+      const std::vector<std::pair<NodeId, NodeId>>& flips,
+      const std::vector<EventIndex>& roots);
+  /// Add-half, run on the post-apply window: re-adds flip-affected
+  /// survivors at their new validity. Root collection stops at
+  /// `first_new` (survivors are entirely pre-batch; instances ending in a
+  /// new event are phase 6's), keeping the cost gate honest. Returns false
+  /// when root collection blows its budget or locality threshold
+  /// post-apply; the caller must then recount the window.
+  bool AddFlipAffected(const std::vector<std::pair<NodeId, NodeId>>& flips,
+                       EventIndex first_new);
 
   /// Applies the plan and recounts the whole window on the live indices
   /// (startup, full window turnover, or a static-edge flip).

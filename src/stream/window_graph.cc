@@ -20,17 +20,54 @@ WindowGraph::IndexRange WindowGraph::incident(NodeId node) const {
   if (node >= 0 && static_cast<std::size_t>(node) < incident_.size()) {
     list = &incident_[static_cast<std::size_t>(node)];
   }
-  return IndexRange(IndexIterator(list->begin(), offset_),
-                    IndexIterator(list->end(), offset_));
+  return IndexRange(IndexIterator(list->begin(), offset_, window_),
+                    IndexIterator(list->end(), offset_, window_));
 }
 
-bool WindowGraph::HasStaticEdge(NodeId src, NodeId dst) const {
-  return edges_.find(NodePairKey(src, dst)) != edges_.end();
+WindowGraph::EdgeHandle WindowGraph::FindEdge(NodeId src, NodeId dst) const {
+  if (src < 0 || static_cast<std::size_t>(src) >= adjacency_.size()) {
+    return kNoEdgeHandle;
+  }
+  for (const EdgeCell& cell : adjacency_[static_cast<std::size_t>(src)]) {
+    if (cell.dst == dst) return &cell;
+  }
+  return kNoEdgeHandle;
+}
+
+std::size_t WindowGraph::EdgeLowerRank(EdgeHandle edge, Timestamp t) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(edge->times.begin(), edge->times.end(), t) -
+      edge->times.begin());
+}
+
+std::size_t WindowGraph::EdgeUpperRank(EdgeHandle edge, Timestamp t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(edge->times.begin(), edge->times.end(), t) -
+      edge->times.begin());
+}
+
+int WindowGraph::CountEdgeEventsInTimeRange(EdgeHandle edge, Timestamp t_lo,
+                                            Timestamp t_hi) const {
+  if (t_hi < t_lo) return 0;
+  return static_cast<int>(EdgeUpperRank(edge, t_hi) -
+                          EdgeLowerRank(edge, t_lo));
+}
+
+bool WindowGraph::HasAdjacentEdgeEventInRange(EventIndex c, Timestamp t_lo,
+                                              Timestamp t_hi) const {
+  const EdgeHandle edge = FindEdge(event_src(c), event_dst(c));
+  TMOTIF_CHECK(edge != kNoEdgeHandle);  // c itself lies on the edge.
+  const std::uint64_t id = offset_ + static_cast<std::uint64_t>(c);
+  const auto it = std::lower_bound(edge->ids.begin(), edge->ids.end(), id);
+  const std::size_t rank =
+      static_cast<std::size_t>(it - edge->ids.begin());
+  return (rank > 0 && edge->times[rank - 1] >= t_lo) ||
+         (rank + 1 < edge->ids.size() && edge->times[rank + 1] <= t_hi);
 }
 
 std::size_t WindowGraph::NumEdgeEvents(NodeId src, NodeId dst) const {
-  const auto it = edges_.find(NodePairKey(src, dst));
-  return it == edges_.end() ? 0 : it->second.size();
+  const EdgeHandle edge = FindEdge(src, dst);
+  return edge == kNoEdgeHandle ? 0 : edge->ids.size();
 }
 
 bool WindowGraph::HasIncidentInIndexRange(NodeId node, EventIndex lo,
@@ -44,19 +81,29 @@ bool WindowGraph::HasIncidentInIndexRange(NodeId node, EventIndex lo,
 int WindowGraph::CountEdgeEventsInTimeRange(NodeId src, NodeId dst,
                                             Timestamp t_lo,
                                             Timestamp t_hi) const {
-  if (t_hi < t_lo) return 0;
-  const auto it = edges_.find(NodePairKey(src, dst));
-  if (it == edges_.end()) return 0;
-  const IdList& list = it->second;
-  const auto time_of = [this](std::uint64_t id) {
-    return event_time(static_cast<EventIndex>(id - offset_));
-  };
-  const auto first = std::lower_bound(
-      list.begin(), list.end(), t_lo,
-      [&](std::uint64_t id, Timestamp t) { return time_of(id) < t; });
-  const auto last = std::upper_bound(
-      list.begin(), list.end(), t_hi,
-      [&](Timestamp t, std::uint64_t id) { return t < time_of(id); });
+  const EdgeHandle edge = FindEdge(src, dst);
+  if (edge == kNoEdgeHandle) return 0;
+  return CountEdgeEventsInTimeRange(edge, t_lo, t_hi);
+}
+
+int WindowGraph::CountEdgeEventsInIndexRange(NodeId src, NodeId dst,
+                                             EventIndex lo,
+                                             EventIndex hi) const {
+  if (hi <= lo) return 0;
+  const EdgeHandle edge = FindEdge(src, dst);
+  if (edge == kNoEdgeHandle) return 0;
+  // Ids are monotone and position = id - offset, so position bounds map to
+  // id bounds directly (negative bounds clamp to the list front: every
+  // position is >= 0).
+  const IdList& ids = edge->ids;
+  const auto first =
+      lo < 0 ? ids.begin()
+             : std::upper_bound(ids.begin(), ids.end(),
+                                offset_ + static_cast<std::uint64_t>(lo));
+  const auto last =
+      hi < 0 ? ids.begin()
+             : std::lower_bound(ids.begin(), ids.end(),
+                                offset_ + static_cast<std::uint64_t>(hi));
   return static_cast<int>(last - first);
 }
 
@@ -78,7 +125,7 @@ EventIndex WindowGraph::UpperBoundTime(Timestamp t) const {
 
 void WindowGraph::Reset() {
   offset_ = 0;
-  edges_.clear();
+  for (std::vector<EdgeCell>& cells : adjacency_) cells.clear();
   for (IdList& list : incident_) list.clear();
   pending_ = false;
   const std::size_t size = window_->size();
@@ -97,27 +144,54 @@ void WindowGraph::PopBackEntry(IdList* list, std::uint64_t id) {
   list->pop_back();
 }
 
+WindowGraph::EdgeCell* WindowGraph::MutableEdge(NodeId src, NodeId dst) {
+  TMOTIF_CHECK(src >= 0 && static_cast<std::size_t>(src) < adjacency_.size());
+  for (EdgeCell& cell : adjacency_[static_cast<std::size_t>(src)]) {
+    if (cell.dst == dst) return &cell;
+  }
+  return nullptr;
+}
+
+void WindowGraph::EraseEdgeIfEmpty(NodeId src, EdgeCell* cell) {
+  if (!cell->ids.empty()) return;
+  std::vector<EdgeCell>& cells = adjacency_[static_cast<std::size_t>(src)];
+  // Order within a source is arbitrary: swap-remove (guarding against the
+  // self-move when the drained cell already sits at the back).
+  if (cell != &cells.back()) *cell = std::move(cells.back());
+  cells.pop_back();
+}
+
 void WindowGraph::PopEdgeFront(NodeId src, NodeId dst, std::uint64_t id) {
-  const auto it = edges_.find(NodePairKey(src, dst));
-  TMOTIF_CHECK(it != edges_.end());
-  PopFrontEntry(&it->second, id);
-  if (it->second.empty()) edges_.erase(it);
+  EdgeCell* cell = MutableEdge(src, dst);
+  TMOTIF_CHECK(cell != nullptr);
+  PopFrontEntry(&cell->ids, id);
+  cell->times.pop_front();
+  EraseEdgeIfEmpty(src, cell);
 }
 
 void WindowGraph::PopEdgeBack(NodeId src, NodeId dst, std::uint64_t id) {
-  const auto it = edges_.find(NodePairKey(src, dst));
-  TMOTIF_CHECK(it != edges_.end());
-  PopBackEntry(&it->second, id);
-  if (it->second.empty()) edges_.erase(it);
+  EdgeCell* cell = MutableEdge(src, dst);
+  TMOTIF_CHECK(cell != nullptr);
+  PopBackEntry(&cell->ids, id);
+  cell->times.pop_back();
+  EraseEdgeIfEmpty(src, cell);
 }
 
 void WindowGraph::AppendEntry(const Event& e, std::uint64_t id) {
   const std::size_t needed =
       static_cast<std::size_t>(std::max(e.src, e.dst)) + 1;
   if (incident_.size() < needed) incident_.resize(needed);
+  if (adjacency_.size() < needed) adjacency_.resize(needed);
   incident_[static_cast<std::size_t>(e.src)].push_back(id);
   incident_[static_cast<std::size_t>(e.dst)].push_back(id);
-  edges_[NodePairKey(e.src, e.dst)].push_back(id);
+  EdgeCell* cell = MutableEdge(e.src, e.dst);
+  if (cell == nullptr) {
+    adjacency_[static_cast<std::size_t>(e.src)].emplace_back();
+    cell = &adjacency_[static_cast<std::size_t>(e.src)].back();
+    cell->dst = e.dst;
+  }
+  cell->ids.push_back(id);
+  cell->times.push_back(e.time);
 }
 
 void WindowGraph::BeginUpdate(const IngestPlan& plan,

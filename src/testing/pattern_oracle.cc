@@ -1,0 +1,102 @@
+#include "testing/pattern_oracle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmotif {
+namespace testing {
+
+namespace {
+
+/// Checks one complete edge -> event assignment against the pattern
+/// semantics, the straightforward way.
+bool AssignmentMatches(const TemporalGraph& graph,
+                       const EventPattern& pattern,
+                       const std::vector<EventIndex>& assignment) {
+  const std::vector<Label>& node_labels = graph.node_labels();
+  std::vector<NodeId> bindings(static_cast<std::size_t>(pattern.num_vars),
+                               kInvalidNode);
+  const auto bind = [&](int var, NodeId node) {
+    NodeId& slot = bindings[static_cast<std::size_t>(var)];
+    if (slot != kInvalidNode) return slot == node;
+    for (const NodeId bound : bindings) {
+      if (bound == node) return false;  // Injectivity.
+    }
+    if (!pattern.var_labels.empty()) {
+      const Label want = pattern.var_labels[static_cast<std::size_t>(var)];
+      if (want != kNoLabel) {
+        if (node < 0 || node >= static_cast<NodeId>(node_labels.size())) {
+          return false;
+        }
+        if (node_labels[static_cast<std::size_t>(node)] != want) return false;
+      }
+    }
+    slot = node;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < pattern.edges.size(); ++i) {
+    const PatternEdge& pe = pattern.edges[i];
+    const Event& e = graph.event(assignment[i]);
+    if (pe.edge_label != kNoLabel && pe.edge_label != e.label) return false;
+    if (!bind(pe.src_var, e.src) || !bind(pe.dst_var, e.dst)) return false;
+  }
+  for (const auto& [before, after] : pattern.order) {
+    if (graph.event(assignment[static_cast<std::size_t>(before)]).time >=
+        graph.event(assignment[static_cast<std::size_t>(after)]).time) {
+      return false;
+    }
+  }
+  Timestamp t_min = graph.event(assignment[0]).time;
+  Timestamp t_max = t_min;
+  for (const EventIndex idx : assignment) {
+    t_min = std::min(t_min, graph.event(idx).time);
+    t_max = std::max(t_max, graph.event(idx).time);
+  }
+  return t_max - t_min <= pattern.delta_w;
+}
+
+void EnumerateAssignments(const TemporalGraph& graph,
+                          const EventPattern& pattern,
+                          std::vector<EventIndex>* assignment,
+                          std::vector<char>* used,
+                          std::vector<ReferencePatternMatch>* out) {
+  const std::size_t edge = assignment->size();
+  if (edge == pattern.edges.size()) {
+    if (AssignmentMatches(graph, pattern, *assignment)) {
+      out->push_back(ReferencePatternMatch{*assignment});
+    }
+    return;
+  }
+  for (EventIndex i = 0; i < graph.num_events(); ++i) {
+    if ((*used)[static_cast<std::size_t>(i)]) continue;  // Distinct events.
+    (*used)[static_cast<std::size_t>(i)] = 1;
+    assignment->push_back(i);
+    EnumerateAssignments(graph, pattern, assignment, used, out);
+    assignment->pop_back();
+    (*used)[static_cast<std::size_t>(i)] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<ReferencePatternMatch> ReferencePatternMatches(
+    const TemporalGraph& graph, const EventPattern& pattern) {
+  TMOTIF_CHECK_MSG(pattern.Valid(), "invalid event pattern");
+  std::vector<ReferencePatternMatch> matches;
+  std::vector<EventIndex> assignment;
+  std::vector<char> used(static_cast<std::size_t>(graph.num_events()), 0);
+  EnumerateAssignments(graph, pattern, &assignment, &used, &matches);
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+std::uint64_t ReferenceCountPatternMatches(const TemporalGraph& graph,
+                                           const EventPattern& pattern) {
+  return static_cast<std::uint64_t>(
+      ReferencePatternMatches(graph, pattern).size());
+}
+
+}  // namespace testing
+}  // namespace tmotif

@@ -1,0 +1,50 @@
+#ifndef TMOTIF_TESTING_PATTERN_ORACLE_H_
+#define TMOTIF_TESTING_PATTERN_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/models/song.h"
+#include "graph/temporal_graph.h"
+
+namespace tmotif {
+namespace testing {
+
+/// One complete pattern match as found by the brute-force oracle:
+/// `event_indices[i]` is the graph event assigned to pattern edge `i`.
+struct ReferencePatternMatch {
+  std::vector<EventIndex> event_indices;
+
+  friend bool operator==(const ReferencePatternMatch& a,
+                         const ReferencePatternMatch& b) {
+    return a.event_indices == b.event_indices;
+  }
+  friend bool operator<(const ReferencePatternMatch& a,
+                        const ReferencePatternMatch& b) {
+    return a.event_indices < b.event_indices;
+  }
+};
+
+/// Brute-force reference for the Song et al. streaming pattern matcher
+/// (core/models/song.h): tries *every* injective assignment of graph events
+/// to pattern edges and keeps the ones satisfying the pattern semantics —
+///   * edge-label predicates (`kNoLabel` matches anything),
+///   * injective, node-label-consistent variable bindings (labels from the
+///     graph; a non-wildcard predicate never matches an unlabeled graph),
+///   * strict precedence (`order`) between assigned event timestamps, and
+///   * the dW window: max assigned time − min assigned time <= delta_w.
+/// No shared code with EventPatternMatcher beyond the EventPattern struct
+/// itself; cost is O(num_events ^ num_edges) — keep graphs small.
+/// Matches are returned sorted by assignment tuple.
+std::vector<ReferencePatternMatch> ReferencePatternMatches(
+    const TemporalGraph& graph, const EventPattern& pattern);
+
+/// Number of matches the oracle accepts (what CountPatternMatches must
+/// reproduce).
+std::uint64_t ReferenceCountPatternMatches(const TemporalGraph& graph,
+                                           const EventPattern& pattern);
+
+}  // namespace testing
+}  // namespace tmotif
+
+#endif  // TMOTIF_TESTING_PATTERN_ORACLE_H_

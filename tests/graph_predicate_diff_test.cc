@@ -1,0 +1,199 @@
+// Differential tests of the two predicate-path implementations: the
+// immutable TemporalGraph (per-node neighbor CSR + per-slot occurrence
+// arrays) and the incrementally maintained WindowGraph (per-source edge
+// cells with id/timestamp deques) must answer HasStaticEdge,
+// CountEdgeEventsInTimeRange, CountEdgeEventsInIndexRange, and the
+// rank/occurrence surface identically on every window state. The window is
+// slid over the oracle-grid graphs exactly like the streaming counter does
+// (BeginUpdate / Apply / FinishUpdate), so the incremental maintenance is
+// cross-checked against a from-scratch build at every batch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/temporal_graph.h"
+#include "stream/stream_window.h"
+#include "stream/window_graph.h"
+#include "testing/random_graphs.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+
+RandomGraphSpec SmallSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_events = 16;
+  spec.max_time = 48;
+  spec.prob_duplicate_time = 0.25;
+  return spec;
+}
+
+RandomGraphSpec DenseSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 4;
+  spec.num_events = 14;
+  spec.max_time = 20;
+  spec.prob_duplicate_time = 0.4;
+  return spec;
+}
+
+/// Compares every predicate on every node pair (including one out-of-range
+/// id on each side) between the live window indices and a from-scratch
+/// TemporalGraph of the same events.
+void ExpectPredicatesAgree(const WindowGraph& live, const TemporalGraph& ref,
+                           Rng* rng, const std::string& label) {
+  ASSERT_EQ(live.num_events(), ref.num_events()) << label;
+  const NodeId max_id = ref.num_nodes() + 1;  // Probe past the range too.
+  const Timestamp t_min = ref.min_time() - 2;
+  const Timestamp t_max = ref.max_time() + 2;
+  for (NodeId u = 0; u <= max_id; ++u) {
+    for (NodeId v = 0; v <= max_id; ++v) {
+      if (u == v) continue;
+      ASSERT_EQ(live.HasStaticEdge(u, v), ref.HasStaticEdge(u, v))
+          << label << " HasStaticEdge(" << u << "," << v << ")";
+      ASSERT_EQ(live.NumEdgeEvents(u, v), ref.edge_events(u, v).size())
+          << label << " NumEdgeEvents(" << u << "," << v << ")";
+
+      // Random and boundary time ranges (inclusive semantics, empty and
+      // inverted ranges included).
+      for (int probe = 0; probe < 4; ++probe) {
+        const Timestamp a =
+            t_min + static_cast<Timestamp>(
+                        rng->UniformU64(static_cast<std::uint64_t>(
+                            t_max - t_min + 1)));
+        const Timestamp b =
+            t_min + static_cast<Timestamp>(
+                        rng->UniformU64(static_cast<std::uint64_t>(
+                            t_max - t_min + 1)));
+        ASSERT_EQ(live.CountEdgeEventsInTimeRange(u, v, a, b),
+                  ref.CountEdgeEventsInTimeRange(u, v, a, b))
+            << label << " CountEdgeEventsInTimeRange(" << u << "," << v
+            << "," << a << "," << b << ")";
+      }
+      ASSERT_EQ(live.CountEdgeEventsInTimeRange(u, v, t_min, t_max),
+                ref.CountEdgeEventsInTimeRange(u, v, t_min, t_max))
+          << label;
+
+      // Index ranges, including negative and past-the-end bounds.
+      const EventIndex n = ref.num_events();
+      const std::pair<EventIndex, EventIndex> index_ranges[] = {
+          {-1, static_cast<EventIndex>(n + 1)},
+          {0, n},
+          {static_cast<EventIndex>(
+               rng->UniformU64(static_cast<std::uint64_t>(n + 1))),
+           static_cast<EventIndex>(
+               rng->UniformU64(static_cast<std::uint64_t>(n + 1)))},
+          {1, 1}};
+      for (const auto& [lo, hi] : index_ranges) {
+        ASSERT_EQ(live.CountEdgeEventsInIndexRange(u, v, lo, hi),
+                  ref.CountEdgeEventsInIndexRange(u, v, lo, hi))
+            << label << " CountEdgeEventsInIndexRange(" << u << "," << v
+            << "," << lo << "," << hi << ")";
+      }
+
+      // Rank surface behind a resolved handle.
+      const auto live_edge = live.FindEdge(u, v);
+      const auto ref_edge = ref.FindEdge(u, v);
+      ASSERT_EQ(live_edge != WindowGraph::kNoEdgeHandle,
+                ref_edge != TemporalGraph::kNoEdgeHandle)
+          << label << " FindEdge(" << u << "," << v << ")";
+      if (live_edge != WindowGraph::kNoEdgeHandle) {
+        for (const Timestamp t : {t_min, t_max, ref.min_time(),
+                                  ref.max_time()}) {
+          ASSERT_EQ(live.EdgeLowerRank(live_edge, t),
+                    ref.EdgeLowerRank(ref_edge, t))
+              << label << " EdgeLowerRank(" << u << "," << v << "," << t
+              << ")";
+          ASSERT_EQ(live.EdgeUpperRank(live_edge, t),
+                    ref.EdgeUpperRank(ref_edge, t))
+              << label << " EdgeUpperRank(" << u << "," << v << "," << t
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphPredicateDiff, WindowAndBatchGraphsAgreeAcrossWindowStates) {
+  const std::vector<WindowPolicy> policies = {
+      WindowPolicy::CountBased(8), WindowPolicy::CountBased(12),
+      WindowPolicy::TimeBased(16)};
+  int states_checked = 0;
+  for (const RandomGraphSpec& spec : {SmallSpec(), DenseSpec()}) {
+    ForEachRandomGraph(
+        0x9d1ff, 6, spec, [&](std::uint64_t seed, const TemporalGraph& g) {
+          for (const WindowPolicy& policy : policies) {
+            for (const std::size_t batch_size :
+                 {std::size_t{1}, std::size_t{3}}) {
+              Rng rng(seed * 31 + batch_size);
+              StreamWindow window(policy);
+              WindowGraph live(&window);
+              const std::vector<Event>& all = g.events();
+              for (std::size_t begin = 0; begin < all.size();
+                   begin += batch_size) {
+                const std::size_t end =
+                    std::min(all.size(), begin + batch_size);
+                std::vector<Event> batch(
+                    all.begin() + static_cast<std::ptrdiff_t>(begin),
+                    all.begin() + static_cast<std::ptrdiff_t>(end));
+                // Incremental update exactly like the streaming counter's
+                // phase 4.
+                const IngestPlan plan = window.PlanIngest(batch);
+                live.BeginUpdate(plan, batch);
+                window.Apply(plan, batch);
+                live.FinishUpdate();
+
+                TemporalGraphBuilder builder;
+                for (const Event& e : window.events()) builder.AddEvent(e);
+                const TemporalGraph ref = builder.Build();
+                ExpectPredicatesAgree(
+                    live, ref, &rng,
+                    "seed=" + std::to_string(seed) +
+                        " window=" + policy.ToString() +
+                        " batch=" + std::to_string(batch_size) + " after " +
+                        std::to_string(end) + " events");
+                if (::testing::Test::HasFatalFailure()) return;
+                ++states_checked;
+              }
+            }
+          }
+        });
+  }
+  EXPECT_GT(states_checked, 100);
+}
+
+// The incremental indices must also survive Reset (used by the streaming
+// full-recount fallbacks) mid-stream.
+TEST(GraphPredicateDiff, ResetMidStreamMatchesFromScratch) {
+  ForEachRandomGraph(
+      0x4e5e7, 4, SmallSpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamWindow window(WindowPolicy::CountBased(8));
+        WindowGraph live(&window);
+        Rng rng(seed);
+        const std::vector<Event>& all = g.events();
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          std::vector<Event> batch = {all[i]};
+          const IngestPlan plan = window.PlanIngest(batch);
+          live.BeginUpdate(plan, batch);
+          window.Apply(plan, batch);
+          live.FinishUpdate();
+          if (i % 3 == 2) live.Reset();  // Must be a no-op semantically.
+          TemporalGraphBuilder builder;
+          for (const Event& e : window.events()) builder.AddEvent(e);
+          ExpectPredicatesAgree(live, builder.Build(), &rng,
+                                "reset seed=" + std::to_string(seed) +
+                                    " after " + std::to_string(i + 1));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      });
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -1,0 +1,162 @@
+// Labeled (Song et al.) pattern-matching differential tests (ROADMAP open
+// item): the streaming EventPatternMatcher is cross-checked against the
+// brute-force assignment oracle (testing/pattern_oracle.h) on labeled
+// random graphs — k in {2, 3} pattern edges, 2–3 label alphabets on both
+// events and nodes, wildcard and constrained predicates, and empty / chain
+// / single-pair precedence orders.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/models/song.h"
+#include "testing/pattern_oracle.h"
+#include "testing/random_graphs.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+using testing::ReferenceCountPatternMatches;
+
+RandomGraphSpec LabeledSpec(int num_labels, int num_node_labels) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 5;
+  spec.num_events = 12;
+  spec.max_time = 30;
+  spec.prob_duplicate_time = 0.25;
+  spec.num_labels = num_labels;
+  spec.num_node_labels = num_node_labels;
+  return spec;
+}
+
+/// Draws a structurally valid random pattern: `num_edges` edges over 2–4
+/// variables, labels from the given alphabets (kNoLabel with probability
+/// ~1/2), and one of three precedence shapes.
+EventPattern RandomPattern(Rng* rng, int num_edges, int num_labels,
+                           int num_node_labels, Timestamp delta_w) {
+  EventPattern pattern;
+  pattern.num_vars =
+      2 + static_cast<int>(rng->UniformU64(static_cast<std::uint64_t>(
+              num_edges == 2 ? 2 : 3)));  // 2-3 vars for k=2, 2-4 for k=3.
+  pattern.delta_w = delta_w;
+  for (int e = 0; e < num_edges; ++e) {
+    PatternEdge edge;
+    edge.src_var = static_cast<int>(
+        rng->UniformU64(static_cast<std::uint64_t>(pattern.num_vars)));
+    edge.dst_var = static_cast<int>(rng->UniformU64(
+        static_cast<std::uint64_t>(pattern.num_vars - 1)));
+    if (edge.dst_var >= edge.src_var) ++edge.dst_var;
+    if (rng->Bernoulli(0.5)) {
+      edge.edge_label = static_cast<Label>(
+          rng->UniformU64(static_cast<std::uint64_t>(num_labels)));
+    }
+    pattern.edges.push_back(edge);
+  }
+  if (rng->Bernoulli(0.5)) {
+    pattern.var_labels.assign(static_cast<std::size_t>(pattern.num_vars),
+                              kNoLabel);
+    for (int v = 0; v < pattern.num_vars; ++v) {
+      if (rng->Bernoulli(0.5)) {
+        pattern.var_labels[static_cast<std::size_t>(v)] = static_cast<Label>(
+            rng->UniformU64(static_cast<std::uint64_t>(num_node_labels)));
+      }
+    }
+  }
+  // Precedence: fully unordered, a total chain, or one ordered pair.
+  const std::uint64_t shape = rng->UniformU64(3);
+  if (shape == 1) {
+    for (int e = 1; e < num_edges; ++e) pattern.order.emplace_back(e - 1, e);
+  } else if (shape == 2 && num_edges >= 2) {
+    pattern.order.emplace_back(0, num_edges - 1);
+  }
+  return pattern;
+}
+
+TEST(PatternOracle, MatcherAgreesWithBruteForceOnLabeledGraphs) {
+  std::uint64_t total_matches = 0;
+  int patterns_checked = 0;
+  for (const int num_edges : {2, 3}) {
+    for (const auto& [num_labels, num_node_labels] :
+         std::vector<std::pair<int, int>>{{2, 2}, {3, 2}, {2, 3}}) {
+      const RandomGraphSpec spec = LabeledSpec(num_labels, num_node_labels);
+      ForEachRandomGraph(
+          0x50a6 + static_cast<std::uint64_t>(num_edges * 100 +
+                                              num_labels * 10 +
+                                              num_node_labels),
+          6, spec, [&](std::uint64_t seed, const TemporalGraph& g) {
+            Rng rng(seed ^ 0xfeed);
+            for (int trial = 0; trial < 4; ++trial) {
+              const Timestamp delta_w = trial % 2 == 0 ? 8 : 20;
+              const EventPattern pattern = RandomPattern(
+                  &rng, num_edges, num_labels, num_node_labels, delta_w);
+              ASSERT_TRUE(pattern.Valid());
+              const std::uint64_t expected =
+                  ReferenceCountPatternMatches(g, pattern);
+              const std::uint64_t actual = CountPatternMatches(g, pattern);
+              ASSERT_EQ(actual, expected)
+                  << "k=" << num_edges << " labels=" << num_labels << "/"
+                  << num_node_labels << " seed=" << seed
+                  << " trial=" << trial << " dW=" << delta_w
+                  << " vars=" << pattern.num_vars
+                  << " order=" << pattern.order.size();
+              total_matches += expected;
+              ++patterns_checked;
+            }
+          });
+    }
+  }
+  // The grid must actually match something, not just agree on zero.
+  EXPECT_GT(total_matches, 0u);
+  EXPECT_GT(patterns_checked, 100);
+}
+
+// Unlabeled graphs: a non-wildcard node-label predicate can never match
+// (documented matcher semantics), and the oracle must agree.
+TEST(PatternOracle, NodeLabelPredicateOnUnlabeledGraphNeverMatches) {
+  RandomGraphSpec spec = LabeledSpec(/*num_labels=*/2, /*num_node_labels=*/0);
+  ForEachRandomGraph(
+      0xbadd, 4, spec, [&](std::uint64_t seed, const TemporalGraph& g) {
+        EventPattern pattern;
+        pattern.num_vars = 2;
+        pattern.edges.push_back({0, 1, kNoLabel});
+        pattern.var_labels = {0, kNoLabel};
+        pattern.delta_w = 100;
+        ASSERT_TRUE(pattern.Valid());
+        EXPECT_EQ(CountPatternMatches(g, pattern), 0u) << seed;
+        EXPECT_EQ(ReferenceCountPatternMatches(g, pattern), 0u) << seed;
+      });
+}
+
+// Hand-checkable labeled case: events A->B and B->C within the window,
+// pattern "x -[l0]-> y -[l1]-> z" with node labels binding x to label 0.
+TEST(PatternOracle, HandCheckedLabeledChain) {
+  TemporalGraphBuilder builder;
+  builder.AddEvent(0, 1, 1, 0, /*label=*/0);
+  builder.AddEvent(1, 2, 2, 0, /*label=*/1);
+  builder.AddEvent(1, 2, 9, 0, /*label=*/1);   // Outside dW of event 0.
+  builder.AddEvent(0, 1, 5, 0, /*label=*/1);   // Wrong edge label for slot 0.
+  builder.SetNodeLabel(0, 0);
+  builder.SetNodeLabel(1, 1);
+  builder.SetNodeLabel(2, 1);
+  const TemporalGraph g = builder.Build();
+
+  EventPattern pattern;
+  pattern.num_vars = 3;
+  pattern.edges.push_back({0, 1, /*edge_label=*/0});
+  pattern.edges.push_back({1, 2, /*edge_label=*/1});
+  pattern.order.emplace_back(0, 1);
+  pattern.var_labels = {0, kNoLabel, kNoLabel};
+  pattern.delta_w = 5;
+  ASSERT_TRUE(pattern.Valid());
+
+  // Only (event 0, event 1) fits: right labels, strict order, span 1 <= 5.
+  EXPECT_EQ(ReferenceCountPatternMatches(g, pattern), 1u);
+  EXPECT_EQ(CountPatternMatches(g, pattern), 1u);
+}
+
+}  // namespace
+}  // namespace tmotif

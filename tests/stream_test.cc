@@ -88,6 +88,7 @@ void AccumulateGridStats(const IngestStats& stats) {
   g_grid_stats.tie_corrections += stats.tie_corrections;
   g_grid_stats.full_recounts += stats.full_recounts;
   g_grid_stats.static_fallbacks += stats.static_fallbacks;
+  g_grid_stats.scoped_static_recounts += stats.scoped_static_recounts;
 }
 
 /// Replays `graph`'s events through a streaming counter and checks every
@@ -261,6 +262,60 @@ TEST(StreamingMotifCounter, ParallelIngestionMatchesSerial) {
                                       4, "threads=3 seed=" + std::to_string(seed),
                                       /*num_threads=*/3);
                      });
+}
+
+// Static-edge flips that actually change surviving instances' validity,
+// routed through the SCOPED recount (tie-free batches, flips local to a
+// small neighborhood inside a padded window so the cost gate keeps them
+// off the full-recount fallback). The random grid rarely produces
+// count-changing scoped flips, so this is the directed regression test for
+// the subtract/add halves of the correction.
+TEST(StreamingMotifCounter, ScopedStaticFlipCorrectsAffectedInstances) {
+  StreamConfig config;
+  config.options.num_events = 3;
+  config.options.max_nodes = 3;
+  config.options.inducedness = Inducedness::kStatic;
+  config.window = WindowPolicy::CountBased(10);
+  StreamingMotifCounter counter(config);
+
+  // Padding events among far-away nodes keep the window large relative to
+  // the flip neighborhoods; the pad edges REPEAT so neither their re-entry
+  // nor their later eviction flips the static edge set, and distinct
+  // timestamps keep every batch tie-free.
+  const std::vector<Event> events = {
+      {10, 11, 1}, {12, 13, 2}, {10, 11, 3}, {12, 13, 4},
+      {10, 11, 5}, {12, 13, 6},
+      {0, 1, 7},   // New edge (0,1): flip with u < v.
+      {1, 2, 8},   // New edge (1,2).
+      {0, 2, 9},   // New edge (0,2): completes a valid induced triangle.
+      {2, 0, 10},  // New edge (2,0), u > v: INVALIDATES the triangle.
+      {0, 1, 11},
+      {1, 2, 12},
+  };
+  MotifCounts expected_at_10;  // Snapshot before the invalidating flip.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    counter.Ingest({events[i]});
+    const TemporalGraph expect_graph = GraphFromEvents(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(
+                             i + 1 > 10 ? i + 1 - 10 : 0),
+        events.begin() + static_cast<std::ptrdiff_t>(i + 1)));
+    const MotifCounts expected = CountMotifs(expect_graph, config.options);
+    ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+        << "after event " << i << " (t=" << events[i].time << "): streaming="
+        << DescribeCounts(counter.counts())
+        << " batch=" << DescribeCounts(expected);
+    if (events[i].time == 9) expected_at_10 = expected;
+  }
+  // The triangle existed at t=9 and the t=10 flip removed it — the scoped
+  // subtract half did real work, on a flipped pair with src > dst.
+  EXPECT_EQ(expected_at_10.count("011202"), 1u);
+  const IngestStats& stats = counter.stats();
+  EXPECT_GE(stats.scoped_static_recounts, 3u);
+  EXPECT_GT(stats.scoped_recount_roots, 0u);
+  // The triangle-building and triangle-invalidating flips stay scoped; at
+  // most one early tiny-window batch may trip the cost gate (2 roots vs a
+  // 2-event window) and fall back.
+  EXPECT_LE(stats.static_fallbacks, 1u);
 }
 
 // A batch larger than a count-based window forces the full-turnover path:
@@ -461,7 +516,11 @@ class GridCoverageEnvironment : public ::testing::Environment {
     EXPECT_GT(g_grid_stats.instances_retracted, 0u);
     EXPECT_GT(g_grid_stats.tie_corrections, 0u);
     EXPECT_GT(g_grid_stats.full_recounts, 0u);
+    // Static-edge flips must exercise BOTH handling paths: the scoped
+    // neighborhood-restricted recount (flip on a tie-free batch) and the
+    // full-window fallback (flip coinciding with a boundary tie).
     EXPECT_GT(g_grid_stats.static_fallbacks, 0u);
+    EXPECT_GT(g_grid_stats.scoped_static_recounts, 0u);
   }
 };
 

@@ -7,7 +7,8 @@
 namespace tmotif {
 namespace {
 
-std::vector<EventIndex> ToVector(EventIndexSpan span) {
+template <typename Span>
+std::vector<EventIndex> ToVector(const Span& span) {
   return std::vector<EventIndex>(span.begin(), span.end());
 }
 
@@ -90,6 +91,79 @@ TEST(TemporalGraph, NumStaticEdgesCountsDistinctPairs) {
   const TemporalGraph g = GraphFromEvents(
       {{0, 1, 1}, {0, 1, 2}, {1, 0, 3}, {1, 2, 4}});
   EXPECT_EQ(g.num_static_edges(), 3u);
+}
+
+TEST(TemporalGraph, FindEdgeResolvesSlotsInNeighborCsrOrder) {
+  // Distinct edges sorted by (src, dst): (0,1)=0, (0,2)=1, (1,0)=2, (2,1)=3.
+  const TemporalGraph g = GraphFromEvents(
+      {{2, 1, 1}, {0, 2, 2}, {0, 1, 3}, {1, 0, 4}, {0, 1, 5}});
+  EXPECT_EQ(g.FindEdge(0, 1), 0u);
+  EXPECT_EQ(g.FindEdge(0, 2), 1u);
+  EXPECT_EQ(g.FindEdge(1, 0), 2u);
+  EXPECT_EQ(g.FindEdge(2, 1), 3u);
+  EXPECT_EQ(g.FindEdge(1, 2), TemporalGraph::kNoEdgeHandle);
+  EXPECT_EQ(g.FindEdge(-1, 0), TemporalGraph::kNoEdgeHandle);
+  EXPECT_EQ(g.FindEdge(7, 0), TemporalGraph::kNoEdgeHandle);
+  // The slot's occurrence run and timestamp mirror line up.
+  EXPECT_EQ(ToVector(g.edge_events(g.FindEdge(0, 1))),
+            (std::vector<EventIndex>{2, 4}));
+  const TimestampSpan times = g.edge_event_times(g.FindEdge(0, 1));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 3);
+  EXPECT_EQ(times[1], 5);
+}
+
+TEST(TemporalGraph, EdgeIterationCoversTheStaticProjection) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 1}, {0, 2, 2}, {2, 1, 3}, {0, 1, 4}});
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    for (auto e = g.edges_begin(src); e != g.edges_end(src); ++e) {
+      edges.emplace_back(src, g.edge_dst(e));
+    }
+  }
+  EXPECT_EQ(edges, (std::vector<std::pair<NodeId, NodeId>>{
+                       {0, 1}, {0, 2}, {2, 1}}));
+  EXPECT_EQ(edges.size(), g.num_static_edges());
+}
+
+TEST(TemporalGraph, EdgeRanksBracketTimestamps) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 10}, {0, 1, 20}, {0, 1, 20}, {0, 1, 30}});
+  const TemporalGraph::EdgeHandle e = g.FindEdge(0, 1);
+  ASSERT_NE(e, TemporalGraph::kNoEdgeHandle);
+  EXPECT_EQ(g.EdgeLowerRank(e, 20), 1u);   // Strictly before 20.
+  EXPECT_EQ(g.EdgeUpperRank(e, 20), 3u);   // At or before 20.
+  EXPECT_EQ(g.EdgeLowerRank(e, 5), 0u);
+  EXPECT_EQ(g.EdgeUpperRank(e, 99), 4u);
+  EXPECT_EQ(g.CountEdgeEventsInTimeRange(e, 20, 30), 3);
+}
+
+TEST(TemporalGraph, HasAdjacentEdgeEventInRangeChecksRankNeighbors) {
+  const TemporalGraph g = GraphFromEvents(
+      {{0, 1, 10}, {2, 3, 15}, {0, 1, 20}, {0, 1, 40}});
+  // Event 2 = (0,1)@20: same-edge neighbors are @10 (before) and @40.
+  EXPECT_TRUE(g.HasAdjacentEdgeEventInRange(2, 10, 20));   // @10 is in.
+  EXPECT_FALSE(g.HasAdjacentEdgeEventInRange(2, 11, 39));  // Neither is.
+  EXPECT_TRUE(g.HasAdjacentEdgeEventInRange(2, 15, 40));   // @40 is in.
+  // Event 1 = (2,3)@15 is its edge's only occurrence.
+  EXPECT_FALSE(g.HasAdjacentEdgeEventInRange(1, 0, 100));
+}
+
+TEST(TemporalGraph, IncidentIteratorExposesInlinedHotFields) {
+  const TemporalGraph g = GraphFromEvents({{3, 1, 7}, {1, 4, 9}});
+  auto it = g.incident(1).begin();
+  EXPECT_EQ(*it, 0);
+  EXPECT_EQ(it.time(), 7);
+  EXPECT_EQ(it.src(), 3);
+  EXPECT_EQ(it.dst(), 1);
+  ++it;
+  EXPECT_EQ(*it, 1);
+  EXPECT_EQ(it.time(), 9);
+  EXPECT_EQ(it.src(), 1);
+  EXPECT_EQ(it.dst(), 4);
+  EXPECT_EQ(*g.IncidentUpperBound(1, 0), 1);
+  EXPECT_EQ(g.IncidentUpperBound(1, 1), g.incident(1).end());
 }
 
 TEST(TemporalGraph, CountIncidentInIndexRangeIsExclusive) {

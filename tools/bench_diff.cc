@@ -1,17 +1,29 @@
-// bench_diff: compares two directories of BENCH_*.json timing records (as
-// written by bench_util's WriteBenchResult) and prints a trend table, so
-// the perf trajectory accumulated across PRs is actually checked instead of
-// just uploaded. Exits nonzero when any bench slowed down beyond the
-// threshold.
+// bench_diff: compares BENCH_*.json timing records (as written by
+// bench_util's WriteBenchResult) against a baseline and prints a trend
+// table, so the perf trajectory accumulated across PRs is actually checked
+// instead of just uploaded. Exits nonzero when any bench slowed down beyond
+// its threshold.
 //
 //   bench_diff --old=baseline_dir --new=build/bench_out
 //   bench_diff --old=... --new=... --threshold=0.5 --min-seconds=0.05
+//   bench_diff --old=... --new=... --threshold-for=stream_ingest=0.8
+//
+// The baseline directory may hold BENCH_*.json records directly (a single
+// run) and/or subdirectories each holding one past run's records (a rolling
+// history, as maintained by CI). With several runs per bench the gate
+// compares against the per-bench *median*, which is robust to one noisy
+// run on either side — the reason single-previous-run baselines needed a
+// +60% threshold.
+//
+// --threshold-for=NAME=F overrides the relative-slowdown threshold for one
+// bench (repeatable); benches not named use --threshold.
 //
 // Records without a top-level "seconds" field (e.g. Google Benchmark's own
 // JSON from bench_perf_counting) are skipped. Benches present on only one
 // side are reported but never fail the run (benches come and go across
 // PRs).
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +34,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/text_table.h"
 
@@ -33,16 +46,18 @@ namespace fs = std::filesystem;
 struct CliArgs {
   std::string old_dir;
   std::string new_dir;
-  /// Allowed relative slowdown: fail when new > old * (1 + threshold).
+  /// Allowed relative slowdown: fail when new > baseline * (1 + threshold).
   double threshold = 0.25;
   /// Records faster than this on either side are too noisy to gate on.
   double min_seconds = 0.01;
+  /// Per-bench threshold overrides (--threshold-for=NAME=F).
+  std::map<std::string, double> threshold_overrides;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --old=DIR --new=DIR [--threshold=F] "
-               "[--min-seconds=F]\n",
+               "[--min-seconds=F] [--threshold-for=NAME=F ...]\n",
                argv0);
 }
 
@@ -57,7 +72,14 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value("--new=")) args->new_dir = v;
     else if (const char* v = value("--threshold=")) args->threshold = std::atof(v);
     else if (const char* v = value("--min-seconds=")) args->min_seconds = std::atof(v);
-    else {
+    else if (const char* v = value("--threshold-for=")) {
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v) {
+        std::fprintf(stderr, "--threshold-for expects NAME=F, got: %s\n", v);
+        return false;
+      }
+      args->threshold_overrides[std::string(v, eq)] = std::atof(eq + 1);
+    } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return false;
     }
@@ -69,6 +91,13 @@ bool Parse(int argc, char** argv, CliArgs* args) {
   if (args->threshold < 0) {
     std::fprintf(stderr, "--threshold must be >= 0\n");
     return false;
+  }
+  for (const auto& [bench, threshold] : args->threshold_overrides) {
+    if (threshold < 0) {
+      std::fprintf(stderr, "--threshold-for=%s must be >= 0\n",
+                   bench.c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -92,7 +121,8 @@ std::optional<double> ExtractNumber(const std::string& json,
   return parsed;
 }
 
-/// BENCH_<name>.json -> seconds, for every parsable record in `dir`.
+/// BENCH_<name>.json -> seconds, for every parsable record directly in
+/// `dir` (subdirectories are NOT descended into here).
 std::map<std::string, double> LoadRecords(const std::string& dir) {
   std::map<std::string, double> records;
   if (!fs::is_directory(dir)) return records;
@@ -115,15 +145,46 @@ std::map<std::string, double> LoadRecords(const std::string& dir) {
   return records;
 }
 
+/// Per-bench samples across every run found under `dir`: flat records are
+/// one run, and each immediate subdirectory holding records is another.
+std::map<std::string, std::vector<double>> LoadBaselineRuns(
+    const std::string& dir) {
+  std::map<std::string, std::vector<double>> samples;
+  const auto absorb = [&](const std::map<std::string, double>& run) {
+    for (const auto& [bench, seconds] : run) {
+      samples[bench].push_back(seconds);
+    }
+  };
+  absorb(LoadRecords(dir));
+  if (fs::is_directory(dir)) {
+    // Sorted for deterministic output regardless of directory order.
+    std::vector<fs::path> subdirs;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      if (entry.is_directory()) subdirs.push_back(entry.path());
+    }
+    std::sort(subdirs.begin(), subdirs.end());
+    for (const fs::path& sub : subdirs) absorb(LoadRecords(sub.string()));
+  }
+  return samples;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
 int Main(int argc, char** argv) {
   CliArgs args;
   if (!Parse(argc, argv, &args)) {
     Usage(argv[0]);
     return 2;
   }
-  const std::map<std::string, double> old_records = LoadRecords(args.old_dir);
+  const std::map<std::string, std::vector<double>> baseline_runs =
+      LoadBaselineRuns(args.old_dir);
   const std::map<std::string, double> new_records = LoadRecords(args.new_dir);
-  if (old_records.empty()) {
+  if (baseline_runs.empty()) {
     std::fprintf(stderr, "no usable BENCH_*.json records under %s\n",
                  args.old_dir.c_str());
     return 2;
@@ -134,40 +195,56 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  TextTable table({"Bench", "Old", "New", "Delta", "Status"});
+  TextTable table({"Bench", "Baseline", "Runs", "New", "Delta", "Status"});
   int regressions = 0;
-  std::map<std::string, double> all;
-  for (const auto& [bench, seconds] : old_records) all[bench] = seconds;
-  for (const auto& [bench, seconds] : new_records) all[bench] = seconds;
+  std::map<std::string, bool> all;
+  for (const auto& [bench, runs] : baseline_runs) {
+    (void)runs;
+    all[bench] = true;
+  }
+  for (const auto& [bench, seconds] : new_records) {
+    (void)seconds;
+    all[bench] = true;
+  }
   for (const auto& [bench, unused] : all) {
     (void)unused;
-    const auto old_it = old_records.find(bench);
+    const auto old_it = baseline_runs.find(bench);
     const auto new_it = new_records.find(bench);
     char old_cell[32] = "-";
+    char runs_cell[16] = "-";
     char new_cell[32] = "-";
     char delta_cell[32] = "-";
     const char* status = "ok";
-    if (old_it == old_records.end()) {
+    if (old_it == baseline_runs.end()) {
       std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_it->second);
       status = "new";
     } else if (new_it == new_records.end()) {
-      std::snprintf(old_cell, sizeof(old_cell), "%.3fs", old_it->second);
+      std::snprintf(old_cell, sizeof(old_cell), "%.3fs",
+                    Median(old_it->second));
+      std::snprintf(runs_cell, sizeof(runs_cell), "%zu",
+                    old_it->second.size());
       status = "removed";
     } else {
-      const double old_s = old_it->second;
+      const double old_s = Median(old_it->second);
       const double new_s = new_it->second;
       std::snprintf(old_cell, sizeof(old_cell), "%.3fs", old_s);
+      std::snprintf(runs_cell, sizeof(runs_cell), "%zu",
+                    old_it->second.size());
       std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_s);
       if (old_s > 0) {
         std::snprintf(delta_cell, sizeof(delta_cell), "%+.1f%%",
                       100.0 * (new_s - old_s) / old_s);
       }
+      const auto override_it = args.threshold_overrides.find(bench);
+      const double threshold = override_it != args.threshold_overrides.end()
+                                   ? override_it->second
+                                   : args.threshold;
       const bool measurable =
           old_s >= args.min_seconds || new_s >= args.min_seconds;
-      if (measurable && new_s > old_s * (1.0 + args.threshold)) {
+      if (measurable && new_s > old_s * (1.0 + threshold)) {
         status = "REGRESSED";
         ++regressions;
-      } else if (measurable && old_s > new_s * (1.0 + args.threshold)) {
+      } else if (measurable && old_s > new_s * (1.0 + threshold)) {
         status = "faster";
       } else if (!measurable) {
         status = "noise";
@@ -176,15 +253,18 @@ int Main(int argc, char** argv) {
     table.AddRow()
         .AddCell(bench)
         .AddCell(old_cell)
+        .AddCell(runs_cell)
         .AddCell(new_cell)
         .AddCell(delta_cell)
         .AddCell(status);
   }
   std::printf("%s", table.Render().c_str());
-  std::printf("\n%zu benches compared (threshold +%.0f%%, min %.3fs): %d "
-              "regression%s\n",
-              all.size(), 100.0 * args.threshold, args.min_seconds,
-              regressions, regressions == 1 ? "" : "s");
+  std::printf("\n%zu benches compared (median baseline, threshold +%.0f%%, "
+              "%zu override%s, min %.3fs): %d regression%s\n",
+              all.size(), 100.0 * args.threshold,
+              args.threshold_overrides.size(),
+              args.threshold_overrides.size() == 1 ? "" : "s",
+              args.min_seconds, regressions, regressions == 1 ? "" : "s");
   return regressions > 0 ? 1 : 0;
 }
 
