@@ -71,6 +71,25 @@ inline int PackedNumEvents(std::uint64_t packed) {
   return k;
 }
 
+/// Number of distinct event bytes (digit pairs) among the first `k` bytes
+/// of a packed code — under static inducedness, the instance-side half of
+/// the coverage check (the other half being the scope's static edge count).
+inline int PackedDistinctPairCount(std::uint64_t packed, int k) {
+  int distinct = 0;
+  for (int i = 0; i < k; ++i) {
+    const std::uint64_t byte = (packed >> (8 * i)) & 0xFF;
+    bool dup = false;
+    for (int j = 0; j < i; ++j) {
+      if (((packed >> (8 * j)) & 0xFF) == byte) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) ++distinct;
+  }
+  return distinct;
+}
+
 /// Writes the digit-string spelling of `packed` into `buf` (no terminator);
 /// returns the length (2 * num_events). `buf` must hold 2 * kMaxCoreEvents.
 inline int PackedCodeToChars(std::uint64_t packed, int num_events, char* buf) {
@@ -114,9 +133,14 @@ inline int PackedCodeToChars(std::uint64_t packed, int num_events, char* buf) {
 /// timestamp — making repeated per-instance predicate checks O(1).
 ///
 /// `Sink` must provide `void Emit(const EventIndex* chosen, int num_events,
-/// std::uint64_t packed_code)`. Instances arrive in the same deterministic
-/// order as the seed implementation (lexicographic by chosen event
-/// indices).
+/// std::uint64_t packed_code, const NodeId* nodes, int num_nodes)` — the
+/// instance-identity emit: `chosen` are the instance's event indices,
+/// `nodes[d]` is the node holding digit `d` of the packed code (valid for
+/// `d < num_nodes`; the pointers are scratch, valid only inside the call).
+/// Counting sinks ignore the node arguments; the streaming live-instance
+/// store (stream/instance_store.h) is the consumer that needs them.
+/// Instances arrive in the same deterministic order as the seed
+/// implementation (lexicographic by chosen event indices).
 template <typename Graph, typename Sink>
 class DfsEngine {
  public:
@@ -222,24 +246,6 @@ class DfsEngine {
     return count;
   }
 
-  /// Number of distinct event bytes (digit pairs) among the first `k`
-  /// bytes of a packed code.
-  static int DistinctPairCount(std::uint64_t packed, int k) {
-    int distinct = 0;
-    for (int i = 0; i < k; ++i) {
-      const std::uint64_t byte = (packed >> (8 * i)) & 0xFF;
-      bool dup = false;
-      for (int j = 0; j < i; ++j) {
-        if (((packed >> (8 * j)) & 0xFF) == byte) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) ++distinct;
-    }
-    return distinct;
-  }
-
   bool PassesFinalChecks(std::uint64_t packed, int num_nodes) {
     if (opt_.inducedness == Inducedness::kNone) return true;
     const int k = opt_.num_events;
@@ -249,7 +255,7 @@ class DfsEngine {
       // pairs number scope_static_edges_ — a pure byte scan, no graph
       // queries. (The final-depth loop inlines this check; this branch
       // serves the k == 1 root path.)
-      return DistinctPairCount(packed, k) == scope_static_edges_;
+      return PackedDistinctPairCount(packed, k) == scope_static_edges_;
     }
     // Temporal-window inducedness: the events among the instance's node set
     // within [t_first, t_last] must be exactly the instance's k events.
@@ -279,13 +285,14 @@ class DfsEngine {
 
   void Emit(std::uint64_t packed, int num_nodes) {
     if (!PassesFinalChecks(packed, num_nodes)) return;
-    EmitUnchecked(packed);
+    EmitUnchecked(packed, num_nodes);
   }
 
   /// Emit with every predicate already verified by the caller.
-  void EmitUnchecked(std::uint64_t packed) {
+  void EmitUnchecked(std::uint64_t packed, int num_nodes) {
     ++count_;
-    sink_.Emit(chosen_.data(), opt_.num_events, packed);
+    sink_.Emit(chosen_.data(), opt_.num_events, packed, nodes_.data(),
+               num_nodes);
     if (opt_.max_instances != 0 && count_ >= opt_.max_instances) {
       stopped_ = true;
     }
@@ -347,7 +354,7 @@ class DfsEngine {
         PairMemo& m = MemoFor(a, b);
         if (m.handle == Graph::kNoEdgeHandle) continue;
         const std::uint64_t code = packed_ | PackPair(a, b, depth);
-        if (DistinctPairCount(code, k) != scope_static_edges_) {
+        if (PackedDistinctPairCount(code, k) != scope_static_edges_) {
           continue;  // No candidate on this edge can ever pass.
         }
         const auto range = graph_.edge_occurrences(m.handle);
@@ -398,7 +405,8 @@ class DfsEngine {
       }
 
       chosen_[static_cast<std::size_t>(depth)] = c;
-      EmitUnchecked(run.code);  // The run-level pre-filter already passed.
+      // The run-level pre-filter already passed.
+      EmitUnchecked(run.code, num_nodes_);
       if (stopped_) return;
     }
   }
@@ -524,7 +532,7 @@ class DfsEngine {
         const int sd = src_digit < 0 ? nd : src_digit;
         const int dd = dst_digit < 0 ? nd : dst_digit;
         const std::uint64_t code = packed_ | PackPair(sd, dd, depth);
-        const int distinct = DistinctPairCount(code, opt_.num_events);
+        const int distinct = PackedDistinctPairCount(code, opt_.num_events);
         if (new_nodes == 0) {
           if (distinct != scope_static_edges_) continue;
         } else {
@@ -538,9 +546,12 @@ class DfsEngine {
             cached_new_delta = StaticEdgesToScope(w, num_nodes_);
           }
           if (needed != cached_new_delta) continue;
+          // Scratch slot for the sink's node array (dead past num_nodes_;
+          // real digit assignments always re-stamp their generation).
+          nodes_[static_cast<std::size_t>(nd)] = w;
         }
         chosen_[static_cast<std::size_t>(depth)] = c;
-        EmitUnchecked(code);
+        EmitUnchecked(code, num_nodes_ + new_nodes);
         if (stopped_) return;
         continue;
       }
@@ -717,7 +728,7 @@ class DfsEngine {
       // subtree before recursing.
       const bool prefix_viable =
           !static_induced_ ||
-          scope_static_edges_ - DistinctPairCount(packed_, depth + 1) <=
+          scope_static_edges_ - PackedDistinctPairCount(packed_, depth + 1) <=
               opt_.num_events - (depth + 1);
       if (prefix_viable) {
         Extend(depth + 1, /*inherited=*/frontier);
@@ -797,14 +808,16 @@ std::uint64_t EnumerateCoreAtRoots(const Graph& graph,
 
 /// Sink that only counts (CountInstances / CountInstancesParallel).
 struct CountOnlySink {
-  void Emit(const EventIndex*, int, std::uint64_t) {}
+  void Emit(const EventIndex*, int, std::uint64_t, const NodeId*, int) {}
 };
 
-/// Sink adapting a lambda `fn(chosen, num_events, packed)`.
+/// Sink adapting a lambda `fn(chosen, num_events, packed)` (the common
+/// counting shape; the node identity is dropped).
 template <typename Fn>
 struct FnSink {
   Fn fn;
-  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed) {
+  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed,
+            const NodeId*, int) {
     fn(chosen, num_events, packed);
   }
 };

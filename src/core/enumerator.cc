@@ -26,7 +26,8 @@ class VisitorSink {
  public:
   explicit VisitorSink(const InstanceVisitor& visit) : visit_(visit) {}
 
-  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed) {
+  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed,
+            const NodeId*, int) {
     const int len = internal::PackedCodeToChars(packed, num_events, buf_);
     MotifInstance instance;
     instance.event_indices = chosen;

@@ -117,7 +117,8 @@ class PackedMotifTable {
 /// Sink accumulating every emitted instance into a PackedMotifTable.
 struct PackedTableSink {
   PackedMotifTable* table;
-  void Emit(const EventIndex*, int, std::uint64_t packed) {
+  void Emit(const EventIndex*, int, std::uint64_t packed, const NodeId*,
+            int) {
     table->Add(packed);
   }
 };

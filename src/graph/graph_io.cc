@@ -76,6 +76,7 @@ std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
     e.duration = n >= 4 ? static_cast<Duration>(fields[3]) : 0;
     e.label = n >= 5 ? static_cast<Label>(fields[4]) : kNoLabel;
     builder.AddEvent(e);
+    if (options.keep_arrival_order) result.arrival_events.push_back(e);
     ++result.num_events;
   };
 

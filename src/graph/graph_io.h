@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "graph/temporal_graph.h"
 
@@ -16,10 +17,17 @@ struct EdgeListOptions {
   bool skip_self_loops = true;
   /// Remap arbitrary non-negative ids onto a dense [0, n) range.
   bool compact_node_ids = false;
+  /// Also return the accepted events in file (arrival) order — the graph
+  /// itself is always canonically sorted, but a stream replay that wants
+  /// to exercise out-of-order delivery (tmotif_stream --lateness) needs
+  /// the order the feed actually produced.
+  bool keep_arrival_order = false;
 };
 
 struct EdgeListResult {
   TemporalGraph graph;
+  /// Accepted events in file order (only when keep_arrival_order is set).
+  std::vector<Event> arrival_events;
   std::size_t num_lines = 0;
   std::size_t num_events = 0;
   std::size_t num_skipped_self_loops = 0;

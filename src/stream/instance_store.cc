@@ -1,0 +1,92 @@
+#include "stream/instance_store.h"
+
+namespace tmotif {
+
+void LiveInstanceStore::Reset(std::uint64_t first_id_base) {
+  pool_.clear();
+  free_list_.clear();
+  slots_.clear();
+  buckets_.clear();
+  base_ = first_id_base;
+  live_ = 0;
+  num_counted_ = 0;
+  dead_bucket_slots_ = 0;
+}
+
+LiveInstanceStore::Entry& LiveInstanceStore::Insert(
+    std::uint64_t first_id, std::uint64_t packed, const NodeId* nodes,
+    int num_nodes, int distinct_pairs, bool counted) {
+  TMOTIF_CHECK(first_id >= base_);
+  TMOTIF_CHECK(num_nodes >= 1 && num_nodes <= internal::kMaxCoreNodes);
+  const std::size_t slot = static_cast<std::size_t>(first_id - base_);
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+
+  std::uint32_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Entry& entry = pool_[index];
+  for (int d = 0; d < num_nodes; ++d) {
+    entry.nodes[static_cast<std::size_t>(d)] = nodes[d];
+  }
+  entry.packed = packed;
+  ++entry.generation;  // Retags the pool index; stale bucket refs miss.
+  entry.visit_stamp = 0;
+  entry.num_nodes = static_cast<std::int8_t>(num_nodes);
+  entry.distinct_pairs = static_cast<std::int8_t>(distinct_pairs);
+  entry.counted = counted;
+  entry.alive = true;
+  ++live_;
+  if (counted) ++num_counted_;
+
+  const std::uint64_t tagged = Tagged(index, entry.generation);
+  slots_[slot].push_back(tagged);
+  ForEachPairKey(entry,
+                 [&](std::uint64_t key) { buckets_[key].push_back(tagged); });
+  return entry;
+}
+
+void LiveInstanceStore::SpliceSlot(std::uint64_t first_id) {
+  TMOTIF_CHECK(first_id >= base_);
+  const std::size_t pos = static_cast<std::size_t>(first_id - base_);
+  if (pos >= slots_.size()) return;  // Nothing anchored at or past it yet.
+  // NOTE: an explicit element, not `{}` — brace-initializing the argument
+  // would select the initializer-list insert overload and insert nothing.
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::vector<std::uint64_t>());
+}
+
+void LiveInstanceStore::Free(Entry* entry, std::uint32_t index) {
+  entry->alive = false;
+  if (entry->counted) {
+    TMOTIF_CHECK(num_counted_ > 0);
+    --num_counted_;
+  }
+  TMOTIF_CHECK(live_ > 0);
+  --live_;
+  // Its bucket references go stale; they are dropped lazily on the next
+  // scan of each bucket, or wholesale by CompactIfNeeded.
+  const int n = entry->num_nodes;
+  dead_bucket_slots_ += static_cast<std::size_t>(n * (n - 1) / 2);
+  free_list_.push_back(index);
+}
+
+void LiveInstanceStore::CompactIfNeeded() {
+  if (dead_bucket_slots_ <= live_ + 64) return;
+  buckets_.clear();
+  dead_bucket_slots_ = 0;
+  for (std::uint32_t index = 0; index < pool_.size(); ++index) {
+    const Entry& entry = pool_[index];
+    if (!entry.alive) continue;
+    const std::uint64_t tagged = Tagged(index, entry.generation);
+    ForEachPairKey(entry, [&](std::uint64_t key) {
+      buckets_[key].push_back(tagged);
+    });
+  }
+}
+
+}  // namespace tmotif

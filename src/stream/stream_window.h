@@ -70,10 +70,39 @@ class StreamWindow {
   /// Largest timestamp ever ingested (not just in the current window);
   /// 0 before the first event. Time-based eviction measures from here.
   Timestamp max_time_seen() const { return max_time_seen_; }
+  /// Whether max_time_seen() is meaningful (streams may live in negative
+  /// time, so the zero default cannot distinguish "no events yet").
+  bool saw_any_event() const { return saw_any_event_; }
 
   /// Computes the policy's response to `batch` (sorted by EventTimeLess,
   /// times >= max_time_seen()) without applying it.
   IngestPlan PlanIngest(const std::vector<Event>& batch) const;
+
+  /// Computes the policy's response to splicing `late` (sorted, every time
+  /// strictly below max_time_seen()) into the window. Count-based windows
+  /// evict the merged canonical prefix — late events falling inside it are
+  /// dropped via `batch_begin`, exactly as if they had arrived on time and
+  /// already expired; time-based windows never evict (the clock does not
+  /// move) but drop late events at or below the horizon threshold.
+  IngestPlan PlanSplice(const std::vector<Event>& late) const;
+
+  /// Applies a splice plan: evicts the canonical prefix and merges
+  /// late[plan.batch_begin:] into canonical position (ties sort after
+  /// resident events with identical keys — late arrivals are younger).
+  /// Does NOT advance max_time_seen. `positions` (optional) receives the
+  /// final window positions of the entered events, ascending.
+  /// `first_changed` (optional) receives the pre-eviction window position
+  /// of the first event whose position the merge changes (the insertion
+  /// cut; window.size() when nothing changes) — the pop point for
+  /// WindowGraph::BeginSplice.
+  void Splice(const IngestPlan& plan, const std::vector<Event>& late,
+              std::vector<std::size_t>* positions = nullptr,
+              std::size_t* first_changed = nullptr);
+
+  /// Pre-eviction window position where `Splice(plan, late)` will cut in
+  /// (for callers that must prepare index updates before mutating).
+  std::size_t SpliceCut(const IngestPlan& plan,
+                        const std::vector<Event>& late) const;
 
   /// Applies a plan: evicts `plan.num_evict` events from the front and
   /// merges batch[plan.batch_begin:] into canonical position. The merge

@@ -37,6 +37,40 @@ void AddTable(const internal::PackedMotifTable& table, MotifCounts* counts) {
   });
 }
 
+/// Sink forwarding the full instance-identity emit (event indices + digit
+/// node assignment) to a lambda — the store-population shape
+/// (internal::MakeFnSink drops the node arguments).
+template <typename Fn>
+struct NodeFnSink {
+  Fn fn;
+  void Emit(const EventIndex* chosen, int num_events, std::uint64_t packed,
+            const NodeId* nodes, int num_nodes) {
+    fn(chosen, num_events, packed, nodes, num_nodes);
+  }
+};
+
+template <typename Fn>
+NodeFnSink<Fn> MakeNodeFnSink(Fn fn) {
+  return NodeFnSink<Fn>{std::move(fn)};
+}
+
+/// Directed static edges among `nodes[0..num_nodes)` in the current window
+/// — the scope side of the static coverage check, recomputed on demand
+/// (num_nodes <= 9, so at most 72 O(out-degree) lookups; typically 6).
+int ScopeStaticEdges(const WindowGraph& graph, const NodeId* nodes,
+                     int num_nodes) {
+  int count = 0;
+  for (int a = 0; a < num_nodes; ++a) {
+    for (int b = 0; b < num_nodes; ++b) {
+      if (a == b) continue;
+      if (graph.FindEdge(nodes[a], nodes[b]) != WindowGraph::kNoEdgeHandle) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
 /// Subtract-half of the append-side boundary correction: removes survivors
 /// whose last event timestamp equals `t_b`, evaluated on the pre-append
 /// graph (either the live WindowGraph or the survivor-only TemporalGraph of
@@ -58,7 +92,8 @@ void SubtractAppendTies(const Graph& graph, const EnumerationOptions& options,
 struct NewInstanceSink {
   const std::vector<char>* is_new;
   internal::PackedMotifTable* table;
-  void Emit(const EventIndex* chosen, int k, std::uint64_t packed) {
+  void Emit(const EventIndex* chosen, int k, std::uint64_t packed,
+            const NodeId*, int) {
     if (!(*is_new)[static_cast<std::size_t>(chosen[k - 1])]) return;
     table->Add(packed);
   }
@@ -181,12 +216,26 @@ StreamingMotifCounter::StreamingMotifCounter(const StreamConfig& config)
   TMOTIF_CHECK_MSG(config_.options.max_instances == 0,
                    "max_instances is not supported in streaming counting");
   TMOTIF_CHECK(config_.num_threads >= 1);
+  TMOTIF_CHECK_MSG(config_.lateness >= 0, "lateness must be >= 0");
   internal::ValidateEnumerationOptions(config_.options);
   has_nonlocal_ = config_.options.consecutive_events_restriction ||
                   config_.options.cdg_restriction ||
                   config_.options.inducedness != Inducedness::kNone;
   uses_static_inducedness_ =
       config_.options.inducedness == Inducedness::kStatic;
+  // The store factorization needs validity = candidate-predicate AND static
+  // coverage with a purely instance-local candidate predicate, so any other
+  // non-local predicate keeps the scoped-recount machinery in charge. It
+  // also needs anchors (first events) strictly older than the trailing tie
+  // group a batch merge renumbers — true exactly when instances span at
+  // least two (strictly increasing) timestamps, i.e. k >= 2.
+  store_active_ = uses_static_inducedness_ &&
+                  config_.static_flips == StaticFlipStrategy::kInstanceStore &&
+                  !config_.options.consecutive_events_restriction &&
+                  !config_.options.cdg_restriction &&
+                  config_.options.num_events >= 2;
+  candidate_options_ = config_.options;
+  if (store_active_) candidate_options_.inducedness = Inducedness::kNone;
 }
 
 std::vector<std::pair<MotifCode, std::uint64_t>>
@@ -244,7 +293,8 @@ std::optional<Timestamp> StreamingMotifCounter::SpanBound() const {
 
 std::vector<std::pair<NodeId, NodeId>>
 StreamingMotifCounter::CollectStaticEdgeFlips(
-    const IngestPlan& plan, const std::vector<Event>& batch) const {
+    std::size_t num_evict, const std::vector<Event>& added,
+    std::size_t added_begin) const {
   struct EdgeDelta {
     NodeId src;
     NodeId dst;
@@ -252,15 +302,15 @@ StreamingMotifCounter::CollectStaticEdgeFlips(
   };
   // An ordered map keeps the flip list deterministic (sorted by pair key).
   std::map<std::uint64_t, EdgeDelta> deltas;
-  for (std::size_t i = 0; i < plan.num_evict; ++i) {
+  for (std::size_t i = 0; i < num_evict; ++i) {
     const Event& e = window_.event(i);
     auto& d = deltas[NodePairKey(e.src, e.dst)];
     d.src = e.src;
     d.dst = e.dst;
     --d.delta;
   }
-  for (std::size_t i = plan.batch_begin; i < batch.size(); ++i) {
-    const Event& e = batch[i];
+  for (std::size_t i = added_begin; i < added.size(); ++i) {
+    const Event& e = added[i];
     auto& d = deltas[NodePairKey(e.src, e.dst)];
     d.src = e.src;
     d.dst = e.dst;
@@ -338,20 +388,27 @@ bool StreamingMotifCounter::AddFlipAffected(
   return true;
 }
 
+void StreamingMotifCounter::RecountWindow() {
+  live_.Reset();
+  id_offset_ = 0;
+  counts_ = MotifCounts();
+  ++stats_.full_recounts;
+  if (store_active_) {
+    RebuildStore();
+  } else {
+    AddTable(internal::CountPackedSharded(live_, config_.options, 0,
+                                          live_.num_events(),
+                                          config_.num_threads),
+             &counts_);
+  }
+}
+
 void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
                                             const std::vector<Event>& batch,
                                             bool is_static_fallback) {
   window_.Apply(plan, batch);
   InvalidateSnapshot();
-  live_.Reset();
-  // Recount directly on the live indices, sharded by first event exactly
-  // like CountMotifsParallel.
-  counts_ = MotifCounts();
-  AddTable(internal::CountPackedSharded(live_, config_.options, 0,
-                                        live_.num_events(),
-                                        config_.num_threads),
-           &counts_);
-  ++stats_.full_recounts;
+  RecountWindow();
   if (is_static_fallback) ++stats_.static_fallbacks;
 }
 
@@ -365,19 +422,130 @@ void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
   AddTable(added, &counts_);
 }
 
+// --- Live-instance store path. ---
+
+void StreamingMotifCounter::RebuildStore() {
+  store_.Reset(0);
+  // A rebuild is a recount, not delta churn: instances_added stays
+  // untouched, matching the non-store recount path.
+  StoreAddCandidates(0, live_.num_events(),
+                     [](const EventIndex*, int) { return true; },
+                     /*count_churn=*/false);
+}
+
+template <typename Keep>
+void StreamingMotifCounter::StoreAddCandidates(EventIndex lo, EventIndex hi,
+                                               Keep keep, bool count_churn) {
+  internal::PackedMotifTable added;
+  auto sink = MakeNodeFnSink([&](const EventIndex* chosen, int k,
+                                 std::uint64_t packed, const NodeId* nodes,
+                                 int num_nodes) {
+    if (!keep(chosen, k)) return;
+    const int distinct = internal::PackedDistinctPairCount(packed, k);
+    const bool counted =
+        distinct == ScopeStaticEdges(live_, nodes, num_nodes);
+    store_.Insert(id_offset_ + static_cast<std::uint64_t>(chosen[0]), packed,
+                  nodes, num_nodes, distinct, counted);
+    if (counted) added.Add(packed);
+  });
+  internal::EnumerateCore(live_, candidate_options_, lo, hi, sink);
+  if (count_churn) stats_.instances_added += added.total();
+  AddTable(added, &counts_);
+}
+
+void StreamingMotifCounter::StoreEvict(std::size_t num_evict) {
+  internal::PackedMotifTable retired;
+  store_.EvictFront(num_evict, [&](const LiveInstanceStore::Entry& entry) {
+    if (entry.counted) retired.Add(entry.packed);
+  });
+  stats_.instances_retracted += retired.total();
+  SubtractTable(retired, &counts_);
+}
+
+void StreamingMotifCounter::StoreProcessFlips(
+    const std::vector<std::pair<NodeId, NodeId>>& flips) {
+  if (flips.empty()) return;
+  const std::uint64_t stamp = store_.NextVisitStamp();
+  internal::PackedMotifTable admitted;
+  internal::PackedMotifTable retired;
+  for (const auto& [u, v] : flips) {
+    store_.ForEachTouching(u, v, [&](LiveInstanceStore::Entry& entry) {
+      if (entry.visit_stamp == stamp) return;  // Touched via another flip.
+      entry.visit_stamp = stamp;
+      ++stats_.store_entries_touched;
+      const bool covered =
+          entry.distinct_pairs ==
+          ScopeStaticEdges(live_, entry.nodes.data(), entry.num_nodes);
+      if (covered == entry.counted) return;
+      entry.counted = covered;
+      store_.NoteCountedChange(covered);
+      if (covered) {
+        admitted.Add(entry.packed);
+      } else {
+        retired.Add(entry.packed);
+      }
+    });
+  }
+  stats_.store_admitted += admitted.total();
+  stats_.store_retired += retired.total();
+  ++stats_.store_flip_batches;
+  AddTable(admitted, &counts_);
+  SubtractTable(retired, &counts_);
+}
+
+// --- Ingestion. ---
+
 void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   std::stable_sort(batch.begin(), batch.end(), EventTimeLess);
   for (const Event& e : batch) {
     TMOTIF_CHECK_MSG(e.src != e.dst,
                      "self-loop events must be filtered before ingestion");
   }
+  ++stats_.batches;
+  stats_.events_ingested += batch.size();
+
+  // Split off genuinely late events (strictly behind the stream clock):
+  // in-horizon ones are spliced, the rest dropped. The remainder is the
+  // in-order suffix the standard delta path ingests.
+  std::size_t ordered_begin = 0;
+  if (window_.saw_any_event()) {
+    const Timestamp clock = window_.max_time_seen();
+    while (ordered_begin < batch.size() &&
+           batch[ordered_begin].time < clock) {
+      ++ordered_begin;
+    }
+    if (ordered_begin > 0) {
+      const Timestamp cutoff = SaturatingSubtract(clock, config_.lateness);
+      std::size_t accept_begin = 0;
+      while (accept_begin < ordered_begin &&
+             batch[accept_begin].time < cutoff) {
+        ++accept_begin;
+      }
+      stats_.late_dropped += accept_begin;
+      if (accept_begin < ordered_begin) {
+        IngestLate(std::vector<Event>(
+            batch.begin() + static_cast<std::ptrdiff_t>(accept_begin),
+            batch.begin() + static_cast<std::ptrdiff_t>(ordered_begin)));
+      }
+    }
+  }
+  if (ordered_begin == 0) {
+    IngestOrdered(batch);
+  } else if (ordered_begin < batch.size()) {
+    IngestOrdered(std::vector<Event>(
+        batch.begin() + static_cast<std::ptrdiff_t>(ordered_begin),
+        batch.end()));
+  }
+}
+
+void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   const IngestPlan plan = window_.PlanIngest(batch);
   const std::size_t old_size = window_.size();
   const std::size_t num_new = batch.size() - plan.batch_begin;
-  ++stats_.batches;
-  stats_.events_ingested += batch.size();
   stats_.events_dropped += plan.batch_begin;
   stats_.events_evicted += plan.num_evict;
+  // Only events that actually enter widen the duration-aware span bound;
+  // a dropped outlier must not degrade every later delta range.
   for (std::size_t i = plan.batch_begin; i < batch.size(); ++i) {
     max_duration_seen_ = std::max(max_duration_seen_, batch[i].duration);
   }
@@ -397,6 +565,34 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   const std::optional<Timestamp> span = SpanBound();
   const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
 
+  if (store_active_) {
+    // Store path: candidate validity is instance-local, so survivors never
+    // flip as candidates — no boundary-tie corrections. The store absorbs
+    // every static-edge flip by retiring/admitting exactly the instances
+    // whose node set spans a flipped pair, and the only enumerations left
+    // are the same retract/add deltas every model pays.
+    const std::vector<std::pair<NodeId, NodeId>> flips =
+        CollectStaticEdgeFlips(plan.num_evict, batch, plan.batch_begin);
+    if (n_evict > 0) StoreEvict(plan.num_evict);
+    live_.BeginUpdate(plan, batch);
+    window_.Apply(plan, batch, &new_positions_);
+    live_.FinishUpdate();
+    id_offset_ += plan.num_evict;
+    InvalidateSnapshot();
+    StoreProcessFlips(flips);  // Post-apply edge state.
+    if (num_new > 0) {
+      is_new_.assign(window_.size(), 0);
+      for (const std::size_t p : new_positions_) is_new_[p] = 1;
+      const Timestamp min_new_time = batch[plan.batch_begin].time;
+      StoreAddCandidates(
+          FirstPossibleStart(live_, min_new_time, span), live_.num_events(),
+          [this](const EventIndex* chosen, int k) {
+            return is_new_[static_cast<std::size_t>(chosen[k - 1])] != 0;
+          });
+    }
+    return;
+  }
+
   // Survivors can only flip validity at shared boundary timestamps (or via
   // static-edge flips, handled below): an evicted or arriving event lies
   // inside a surviving instance's scope only when it ties the instance's
@@ -408,17 +604,21 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   const bool append_tie =
       num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
 
-  // Static inducedness: when the window's static edge set changes, survivor
-  // instances whose node set spans a flipped pair change validity. The
-  // scoped correction subtracts exactly those instances at pre-flip
-  // validity here and re-adds them at post-flip validity after the window
-  // slides — a neighborhood-restricted recount. The full-window fallback
-  // remains for batches where a flip coincides with a boundary tie (the
-  // two corrections would overlap), where the flip set is too large to
-  // localize cheaply, or where the collected root set approaches the
-  // window itself (the scoped passes would cost more than one recount).
+  // Static inducedness without the store (scoped-recount strategy, or a
+  // config that also sets consecutive/CDG): when the window's static edge
+  // set changes, survivor instances whose node set spans a flipped pair
+  // change validity. The scoped correction subtracts exactly those
+  // instances at pre-flip validity here and re-adds them at post-flip
+  // validity after the window slides — a neighborhood-restricted recount.
+  // The full-window fallback remains for batches where a flip coincides
+  // with a boundary tie (the two corrections would overlap), where the flip
+  // set is too large to localize cheaply, or where the collected root set
+  // approaches the window itself (the scoped passes would cost more than
+  // one recount).
   std::vector<std::pair<NodeId, NodeId>> flips;
-  if (uses_static_inducedness_) flips = CollectStaticEdgeFlips(plan, batch);
+  if (uses_static_inducedness_) {
+    flips = CollectStaticEdgeFlips(plan.num_evict, batch, plan.batch_begin);
+  }
   if (!flips.empty()) {
     constexpr std::size_t kMaxScopedFlips = 32;
     std::vector<EventIndex> flip_roots;
@@ -502,6 +702,7 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
   live_.BeginUpdate(plan, batch);
   window_.Apply(plan, batch, &new_positions_);
   live_.FinishUpdate();
+  id_offset_ += plan.num_evict;
   InvalidateSnapshot();
   is_new_.assign(window_.size(), 0);
   for (const std::size_t p : new_positions_) is_new_[p] = 1;
@@ -518,12 +719,7 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
       // The post-apply neighborhood blew its budget (rare: arrivals grew a
       // flip's ball past the locality threshold). The window has already
       // slid, so recount it outright — that subsumes phase 6.
-      counts_ = MotifCounts();
-      AddTable(internal::CountPackedSharded(live_, config_.options, 0,
-                                            live_.num_events(),
-                                            config_.num_threads),
-               &counts_);
-      ++stats_.full_recounts;
+      RecountWindow();
       ++stats_.static_fallbacks;
       return;
     }
@@ -557,6 +753,155 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
     const Timestamp min_new_time = batch[plan.batch_begin].time;
     AddNewInstances(FirstPossibleStart(live_, min_new_time, span));
   }
+}
+
+void StreamingMotifCounter::ApplySplice(std::size_t num_evict,
+                                        const std::vector<Event>& late,
+                                        std::size_t late_begin) {
+  IngestPlan plan;
+  plan.num_evict = num_evict;
+  plan.batch_begin = late_begin;
+  const std::size_t cut = window_.SpliceCut(plan, late);
+  live_.BeginSplice(num_evict, cut);
+  window_.Splice(plan, late, &spliced_positions_);
+  live_.FinishUpdate();
+  id_offset_ += num_evict;
+  if (store_active_) {
+    // Anchor slots shift in lockstep with the id renumbering (ascending
+    // final positions: each insertion already accounts for the previous).
+    for (const std::size_t p : spliced_positions_) {
+      store_.SpliceSlot(id_offset_ + p);
+    }
+  }
+  InvalidateSnapshot();
+}
+
+void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
+  const IngestPlan plan = window_.PlanSplice(late);
+  stats_.events_dropped += plan.batch_begin;
+  const std::size_t num_spliced = late.size() - plan.batch_begin;
+  if (num_spliced == 0) return;
+  stats_.events_evicted += plan.num_evict;
+  stats_.late_events += num_spliced;
+  // Spliced events enter the window, so their durations must widen the
+  // span bound before any correction range is computed.
+  for (std::size_t i = plan.batch_begin; i < late.size(); ++i) {
+    max_duration_seen_ = std::max(max_duration_seen_, late[i].duration);
+  }
+
+  const std::optional<Timestamp> span = SpanBound();
+  const Timestamp min_late_time = late[plan.batch_begin].time;
+  const Timestamp max_late_time = late.back().time;
+
+  const auto mark_spliced = [&]() -> EventIndex {
+    is_late_.assign(window_.size(), 0);
+    EventIndex max_pos = 0;
+    for (const std::size_t p : spliced_positions_) {
+      is_late_[p] = 1;
+      max_pos = std::max(max_pos, static_cast<EventIndex>(p));
+    }
+    return max_pos;
+  };
+
+  if (store_active_) {
+    // Fully incremental: evict, splice (slots realign), absorb the static
+    // flips through the store, then add the candidates that contain a
+    // spliced event (the only new ones — existing candidates are immune to
+    // the splice, their validity being instance-local).
+    const std::vector<std::pair<NodeId, NodeId>> flips =
+        CollectStaticEdgeFlips(plan.num_evict, late, plan.batch_begin);
+    if (plan.num_evict > 0) StoreEvict(plan.num_evict);
+    ApplySplice(plan.num_evict, late, plan.batch_begin);
+    StoreProcessFlips(flips);
+    const EventIndex max_pos = mark_spliced();
+    StoreAddCandidates(FirstPossibleStart(live_, min_late_time, span),
+                       max_pos + 1,
+                       [this](const EventIndex* chosen, int k) {
+                         for (int i = 0; i < k; ++i) {
+                           if (is_late_[static_cast<std::size_t>(chosen[i])]) {
+                             return true;
+                           }
+                         }
+                         return false;
+                       });
+    ++stats_.late_splices;
+    return;
+  }
+
+  // Without the store, two cases resist cheap localization: a static-edge
+  // flip can strike instances far outside any time-bounded root range (the
+  // spliced event creates/destroys an edge whose spanning instances live
+  // anywhere in the window), and an eviction under a non-local predicate
+  // would need the full boundary-tie machinery. Both take the windowed
+  // recount; everything else is a bounded subtract/add around the splice.
+  std::vector<std::pair<NodeId, NodeId>> flips;
+  if (uses_static_inducedness_) {
+    flips = CollectStaticEdgeFlips(plan.num_evict, late, plan.batch_begin);
+  }
+  if (!flips.empty() || (plan.num_evict > 0 && has_nonlocal_)) {
+    ApplySplice(plan.num_evict, late, plan.batch_begin);
+    RecountWindow();
+    ++stats_.late_recounts;
+    return;
+  }
+
+  const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
+  // Retract instances anchored at the evicted prefix (reached only with a
+  // purely local predicate, so survivors cannot flip).
+  if (n_evict > 0) {
+    internal::PackedMotifTable retracted;
+    internal::PackedTableSink sink{&retracted};
+    internal::EnumerateCore(live_, config_.options, 0, n_evict, sink);
+    stats_.instances_retracted += retracted.total();
+    SubtractTable(retracted, &counts_);
+  }
+
+  // Non-local predicates (consecutive, CDG, temporal-window inducedness):
+  // a spliced event can only affect instances whose scope reaches its
+  // timestamp, i.e. first-event time in [min_late - span, max_late]. The
+  // subtract half removes everything in that range at pre-splice validity;
+  // the add half below re-adds the range at post-splice validity — the
+  // difference is exactly the splice's effect, containment included.
+  const bool replace_range = has_nonlocal_;
+  if (replace_range) {
+    internal::PackedMotifTable removed;
+    internal::PackedTableSink sink{&removed};
+    internal::EnumerateCore(live_, config_.options,
+                            FirstPossibleStart(live_, min_late_time, span),
+                            live_.UpperBoundTime(max_late_time), sink);
+    SubtractTable(removed, &counts_);
+  }
+
+  ApplySplice(plan.num_evict, late, plan.batch_begin);
+  const EventIndex max_pos = mark_spliced();
+
+  if (replace_range) {
+    internal::PackedMotifTable added;
+    internal::PackedTableSink sink{&added};
+    internal::EnumerateCore(live_, config_.options,
+                            FirstPossibleStart(live_, min_late_time, span),
+                            live_.UpperBoundTime(max_late_time), sink);
+    AddTable(added, &counts_);
+  } else {
+    // Purely local predicate: existing instances are untouched, so only
+    // instances containing a spliced event are new.
+    internal::PackedMotifTable added;
+    auto sink = internal::MakeFnSink(
+        [&](const EventIndex* chosen, int k, std::uint64_t packed) {
+          for (int i = 0; i < k; ++i) {
+            if (is_late_[static_cast<std::size_t>(chosen[i])]) {
+              added.Add(packed);
+              return;
+            }
+          }
+        });
+    internal::EnumerateCore(live_, config_.options,
+                            FirstPossibleStart(live_, min_late_time, span),
+                            max_pos + 1, sink);
+    stats_.instances_added += added.total();
+    AddTable(added, &counts_);
+  }
+  ++stats_.late_splices;
 }
 
 }  // namespace tmotif

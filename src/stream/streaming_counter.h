@@ -10,10 +10,26 @@
 #include "core/counter.h"
 #include "core/enumerator.h"
 #include "graph/temporal_graph.h"
+#include "stream/instance_store.h"
 #include "stream/stream_window.h"
 #include "stream/window_graph.h"
 
 namespace tmotif {
+
+/// How static-inducedness edge flips are corrected (see docs/STREAMING.md).
+enum class StaticFlipStrategy {
+  /// Node-pair live-instance store (stream/instance_store.h): every flip
+  /// retires/admits exactly the affected instances, O(affected), at any
+  /// batch size — the default. Requires static inducedness to be the only
+  /// non-local predicate; configs that also set consecutive-events or CDG
+  /// fall back to the scoped-recount machinery automatically.
+  kInstanceStore,
+  /// Verification/debug mode: the pre-store scoped neighborhood recount
+  /// (hop-ball root collection with full-window fallback). Slower on
+  /// flip-heavy streams but store-free; kept for differential verification
+  /// of the store and for memory-constrained deployments.
+  kScopedRecount,
+};
 
 /// Configuration of a streaming motif counter.
 struct StreamConfig {
@@ -25,6 +41,13 @@ struct StreamConfig {
   /// Worker threads for the delta-ingestion enumeration and the full
   /// recount fallbacks (sharded exactly like algorithms/parallel.h).
   int num_threads = 1;
+  StaticFlipStrategy static_flips = StaticFlipStrategy::kInstanceStore;
+  /// Bounded out-of-order ingestion: events arriving up to `lateness`
+  /// seconds behind the stream clock (`max_time_seen`) are spliced into the
+  /// window at their canonical position and corrected for; later ones are
+  /// dropped and counted in `IngestStats::late_dropped`. 0 (the default)
+  /// accepts only in-order streams — late events are dropped, not fatal.
+  Timestamp lateness = 0;
 };
 
 /// Per-stream ingestion counters, exposed for tools and benchmarks.
@@ -39,31 +62,49 @@ struct IngestStats {
   std::uint64_t instances_retracted = 0;
   /// Boundary-timestamp re-evaluation passes (see docs/STREAMING.md).
   std::uint64_t tie_corrections = 0;
-  /// Window recounted from scratch (window turnover, or a static-edge flip
-  /// under static inducedness that coincided with a boundary tie or flipped
-  /// too many edges for the scoped path).
+  /// Window recounted from scratch (startup, window turnover, a late-event
+  /// splice the delta passes cannot localize, or — scoped-recount strategy
+  /// only — a static-edge flip that coincided with a boundary tie or
+  /// resisted localization).
   std::uint64_t full_recounts = 0;
-  /// Static-edge flips that forced a full-window recount.
+  /// Static-edge flips that forced a full-window recount (never incremented
+  /// while the live-instance store is active).
   std::uint64_t static_fallbacks = 0;
   /// Static-edge flips handled by the scoped, neighborhood-restricted
-  /// recount (only instances whose node set spans a flipped pair are
-  /// re-evaluated; see docs/STREAMING.md).
+  /// recount (verification/debug strategy; see docs/STREAMING.md).
   std::uint64_t scoped_static_recounts = 0;
   /// Roots enumerated by scoped recounts (both halves), for cost tracking.
   std::uint64_t scoped_recount_roots = 0;
+  /// Static-edge flip batches absorbed by the live-instance store, the
+  /// store entries those flips re-evaluated, and the counted-set changes
+  /// they caused (admissions re-enter the counts, retirements leave).
+  std::uint64_t store_flip_batches = 0;
+  std::uint64_t store_entries_touched = 0;
+  std::uint64_t store_admitted = 0;
+  std::uint64_t store_retired = 0;
+  /// Out-of-order ingestion: late events spliced into the window, late
+  /// events beyond the lateness horizon (dropped), late batches applied as
+  /// delta corrections, and late batches that recounted the window.
+  std::uint64_t late_events = 0;
+  std::uint64_t late_dropped = 0;
+  std::uint64_t late_splices = 0;
+  std::uint64_t late_recounts = 0;
 };
 
-/// Maintains exact per-motif counts over a sliding window of a time-ordered
-/// event stream. On arrival, only instances that include an arriving event
-/// are enumerated (every such instance ends in one, so a bounded
-/// first-event range suffices); on expiry, only instances anchored at an
-/// evicted event are retracted. Models whose instance predicate reads graph
-/// state outside the instance (consecutive-events, CDG, inducedness) get
-/// targeted boundary corrections, and static inducedness falls back to a
-/// windowed recount on the rare batches where the window's static edge set
-/// changes. The invariant — asserted by tests/stream_test.cc across the
-/// oracle grid — is that after every batch, `counts()` equals
-/// `CountMotifs(GraphFromEvents(window events), options)` exactly.
+/// Maintains exact per-motif counts over a sliding window of an event
+/// stream. On arrival, only instances that include an arriving event are
+/// enumerated (every such instance ends in one, so a bounded first-event
+/// range suffices); on expiry, only instances anchored at an evicted event
+/// are retracted. Models whose instance predicate reads graph state outside
+/// the instance (consecutive-events, CDG, inducedness) get targeted
+/// boundary corrections. Static inducedness is handled by the node-pair
+/// live-instance store (stream/instance_store.h) by default — every static
+/// edge flip retires/admits exactly the affected instances, fully
+/// incremental at any batch size — with the pre-store scoped recount
+/// available as a verification/debug strategy. The invariant — asserted by
+/// tests/stream_test.cc across the oracle grid — is that after every batch,
+/// `counts()` equals `CountMotifs(GraphFromEvents(window events), options)`
+/// exactly.
 ///
 /// All delta-path enumeration runs on the devirtualized core
 /// (core/enumerate_core.h) directly over incrementally maintained
@@ -72,11 +113,14 @@ struct IngestStats {
 /// is materialized lazily, only when `window_graph()` / `WindowTimespans()`
 /// are called.
 ///
-/// Streams must be time-ordered: each batch's earliest timestamp must be
-/// >= the largest timestamp already ingested (equal is fine; simultaneous
-/// events never share an instance but may interleave arbitrarily across
-/// batches). Self-loop events must be filtered by the caller (graph_io's
-/// loader does this).
+/// Streams should be time-ordered: each batch's earliest timestamp at or
+/// above the largest timestamp already ingested (equal is fine;
+/// simultaneous events never share an instance but may interleave
+/// arbitrarily across batches). Late events are tolerated up to
+/// `StreamConfig::lateness`: they are spliced into the window at their
+/// canonical position and the counts corrected; beyond the horizon they
+/// are dropped (`late_dropped`). Self-loop events must be filtered by the
+/// caller (graph_io's loader does this).
 class StreamingMotifCounter {
  public:
   explicit StreamingMotifCounter(const StreamConfig& config);
@@ -113,6 +157,12 @@ class StreamingMotifCounter {
 
   const StreamConfig& config() const { return config_; }
   const IngestStats& stats() const { return stats_; }
+  /// True when static flips are absorbed by the live-instance store (static
+  /// inducedness with no other non-local predicate, store strategy).
+  bool store_active() const { return store_active_; }
+  /// Live candidate instances held by the store (its memory driver; 0 when
+  /// the store is inactive). See docs/STREAMING.md for the memory model.
+  std::size_t store_size() const { return store_.size(); }
 
  private:
   /// Upper bound on instance timespans implied by the timing constraints
@@ -120,10 +170,48 @@ class StreamingMotifCounter {
   std::optional<Timestamp> SpanBound() const;
 
   /// Directed static edges of the window whose existence flips (appears or
-  /// disappears) when `plan` + `batch` is applied (only consulted under
-  /// static inducedness). Deterministic order (sorted by node-pair key).
+  /// disappears) when the `num_evict`-event canonical prefix leaves and
+  /// `added[added_begin:]` enters (only consulted under static
+  /// inducedness). Deterministic order (sorted by node-pair key).
   std::vector<std::pair<NodeId, NodeId>> CollectStaticEdgeFlips(
-      const IngestPlan& plan, const std::vector<Event>& batch) const;
+      std::size_t num_evict, const std::vector<Event>& added,
+      std::size_t added_begin) const;
+
+  /// In-order ingestion (every time at or above the stream clock). The
+  /// shared tail of Ingest.
+  void IngestOrdered(const std::vector<Event>& batch);
+
+  /// Splices in-horizon late events (`late`, canonically sorted, all times
+  /// strictly below the stream clock) and applies delta corrections — or a
+  /// windowed recount where the deltas cannot localize the damage (see
+  /// docs/STREAMING.md).
+  void IngestLate(const std::vector<Event>& late);
+
+  /// Applies the splice to the window + live indices (+ store anchor slots
+  /// when active) and records the post-splice positions of the entered
+  /// events in `spliced_positions_`.
+  void ApplySplice(std::size_t num_evict, const std::vector<Event>& late,
+                   std::size_t late_begin);
+
+  // --- Live-instance store path (store_active_). ---
+
+  /// Re-populates the store and counts from scratch on the live indices.
+  void RebuildStore();
+  /// Retires the store entries anchored at the `num_evict` oldest events.
+  void StoreEvict(std::size_t num_evict);
+  /// Re-evaluates the coverage check of every entry touching a flipped
+  /// pair; retires/admits on change (post-apply edge state).
+  void StoreProcessFlips(
+      const std::vector<std::pair<NodeId, NodeId>>& flips);
+  /// Enumerates candidates with first event in [lo, hi) accepted by
+  /// `keep(chosen, k)`, inserts them, and counts the covered ones.
+  /// `count_churn` feeds `instances_added` (false for rebuilds, which are
+  /// recounts, matching the non-store recount path's stat semantics).
+  template <typename Keep>
+  void StoreAddCandidates(EventIndex lo, EventIndex hi, Keep keep,
+                          bool count_churn = true);
+
+  // --- Scoped-recount (verification/debug) machinery. ---
 
   /// Sorted, deduplicated first-event candidates (within
   /// [first_begin, first_end)) of instances whose node set can span a
@@ -152,9 +240,12 @@ class StreamingMotifCounter {
                        EventIndex first_new);
 
   /// Applies the plan and recounts the whole window on the live indices
-  /// (startup, full window turnover, or a static-edge flip).
+  /// (startup, full window turnover, or a static-edge flip fallback).
   void ApplyAndRecount(const IngestPlan& plan, const std::vector<Event>& batch,
                        bool is_static_fallback);
+  /// Recounts the already-updated window in place (store rebuild included
+  /// when active).
+  void RecountWindow();
   /// Adds instances of the live window whose first event lies in
   /// [begin, num_events) and whose last event is flagged in `is_new_`,
   /// sharded over num_threads.
@@ -168,11 +259,23 @@ class StreamingMotifCounter {
   StreamConfig config_;
   bool has_nonlocal_ = false;
   bool uses_static_inducedness_ = false;
+  /// Static flips handled by the live-instance store (static inducedness is
+  /// the only non-local predicate and the strategy selects the store).
+  bool store_active_ = false;
+  /// `options` with the static coverage check stripped — the candidate
+  /// predicate the store path enumerates with (purely instance-local).
+  EnumerationOptions candidate_options_;
 
   StreamWindow window_;
   /// Incremental per-node / per-edge indices over window_ (declared after
   /// it: construction order matters).
   WindowGraph live_;
+  LiveInstanceStore store_;
+  /// Monotone id of the event at window position 0 — mirrors the
+  /// WindowGraph id scheme so store anchor ids can be derived from
+  /// positions (advances with evictions; splices renumber the tail without
+  /// moving it).
+  std::uint64_t id_offset_ = 0;
   MotifCounts counts_;
   IngestStats stats_;
   /// Lazily materialized TemporalGraph of the window for snapshot APIs.
@@ -190,6 +293,9 @@ class StreamingMotifCounter {
   /// Scratch: window position -> entered with the current batch.
   std::vector<char> is_new_;
   std::vector<std::size_t> new_positions_;
+  /// Scratch: window position -> spliced in by the current late batch.
+  std::vector<char> is_late_;
+  std::vector<std::size_t> spliced_positions_;
 };
 
 }  // namespace tmotif

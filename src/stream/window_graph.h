@@ -305,6 +305,15 @@ class WindowGraph {
   /// entered batch events) from the updated window.
   void FinishUpdate();
 
+  /// Pre-Splice half of a late-event splice (StreamWindow::Splice): evicts
+  /// the `num_evict`-event canonical prefix and pops every index entry for
+  /// pre-eviction positions >= `cut` (they are the tail of every list they
+  /// appear in, exactly like the trailing tie group — the splice merely
+  /// moves the pop point from the tie boundary to the insertion cut).
+  /// `FinishUpdate` then re-appends the merged, renumbered tail from the
+  /// spliced window. Cost: O(evicted + events at or after the cut).
+  void BeginSplice(std::size_t num_evict, std::size_t cut);
+
  private:
   void PopFrontEntry(IdList* list, std::uint64_t id);
   void PopBackEntry(IdList* list, std::uint64_t id);

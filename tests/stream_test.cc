@@ -89,6 +89,9 @@ void AccumulateGridStats(const IngestStats& stats) {
   g_grid_stats.full_recounts += stats.full_recounts;
   g_grid_stats.static_fallbacks += stats.static_fallbacks;
   g_grid_stats.scoped_static_recounts += stats.scoped_static_recounts;
+  g_grid_stats.store_flip_batches += stats.store_flip_batches;
+  g_grid_stats.store_admitted += stats.store_admitted;
+  g_grid_stats.store_retired += stats.store_retired;
 }
 
 /// Replays `graph`'s events through a streaming counter and checks every
@@ -99,11 +102,14 @@ void ReplayAndCheck(const TemporalGraph& graph,
                     const EnumerationOptions& options,
                     const WindowPolicy& policy, std::size_t batch_size,
                     const std::string& label, int num_threads = 1,
-                    int* nonzero_snapshots = nullptr) {
+                    int* nonzero_snapshots = nullptr,
+                    StaticFlipStrategy strategy =
+                        StaticFlipStrategy::kInstanceStore) {
   StreamConfig config;
   config.options = options;
   config.window = policy;
   config.num_threads = num_threads;
+  config.static_flips = strategy;
   StreamingMotifCounter counter(config);
 
   const std::vector<Event>& all = graph.events();
@@ -141,6 +147,9 @@ struct StreamCase {
   EnumerationOptions options;
   RandomGraphSpec spec;
   int num_graphs = 8;
+  /// Static-flip handling under test: the live-instance store (default) or
+  /// the pre-store scoped recount kept as a verification/debug mode.
+  StaticFlipStrategy strategy = StaticFlipStrategy::kInstanceStore;
 };
 
 std::ostream& operator<<(std::ostream& os, const StreamCase& c) {
@@ -187,7 +196,7 @@ TEST_P(StreamDifferentialTest, StreamingMatchesBatchOnEverySnapshot) {
                 std::string(c.name) + " seed=" + std::to_string(seed) +
                     " window=" + policy.ToString() +
                     " batch=" + std::to_string(batch_size),
-                /*num_threads=*/1, &nonzero);
+                /*num_threads=*/1, &nonzero, c.strategy);
             if (::testing::Test::HasFatalFailure()) return;
           }
         }
@@ -237,6 +246,16 @@ INSTANTIATE_TEST_SUITE_P(
         StreamCase{"induced_static_unbounded",
                    Opts(3, 3, {}, false, false, Inducedness::kStatic),
                    DenseSpec()},
+        // The pre-store scoped-recount machinery, demoted to a
+        // verification/debug strategy, must stay exact — these twin cases
+        // keep its subtract/add halves and fallbacks under differential
+        // coverage.
+        StreamCase{"induced_static_scoped",
+                   Opts(3, 3, {}, false, false, Inducedness::kStatic),
+                   DenseSpec(), 8, StaticFlipStrategy::kScopedRecount},
+        StreamCase{"paranjape_tight_scoped",
+                   OptionsForModel(ModelId::kParanjape, 3, 3, 0, 8),
+                   DenseSpec(), 6, StaticFlipStrategy::kScopedRecount},
         StreamCase{"duration_aware_dc",
                    Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false, false,
                         Inducedness::kNone, true),
@@ -276,6 +295,7 @@ TEST(StreamingMotifCounter, ScopedStaticFlipCorrectsAffectedInstances) {
   config.options.max_nodes = 3;
   config.options.inducedness = Inducedness::kStatic;
   config.window = WindowPolicy::CountBased(10);
+  config.static_flips = StaticFlipStrategy::kScopedRecount;
   StreamingMotifCounter counter(config);
 
   // Padding events among far-away nodes keep the window large relative to
@@ -316,6 +336,162 @@ TEST(StreamingMotifCounter, ScopedStaticFlipCorrectsAffectedInstances) {
   // most one early tiny-window batch may trip the cost gate (2 roots vs a
   // 2-event window) and fall back.
   EXPECT_LE(stats.static_fallbacks, 1u);
+}
+
+// The same flip sequence through the live-instance store: every snapshot
+// exact, the invalidating flip handled by a store retirement — and no
+// recount of any kind after startup.
+TEST(StreamingMotifCounter, StoreRetiresFlipAffectedInstances) {
+  StreamConfig config;
+  config.options.num_events = 3;
+  config.options.max_nodes = 3;
+  config.options.inducedness = Inducedness::kStatic;
+  config.window = WindowPolicy::CountBased(10);
+  StreamingMotifCounter counter(config);
+  ASSERT_TRUE(counter.store_active());
+
+  const std::vector<Event> events = {
+      {10, 11, 1}, {12, 13, 2}, {10, 11, 3}, {12, 13, 4},
+      {10, 11, 5}, {12, 13, 6},
+      {0, 1, 7},   {1, 2, 8},   {0, 2, 9},   // Valid induced triangle.
+      {2, 0, 10},                             // Edge (2,0): invalidates it.
+      {0, 1, 11},  {1, 2, 12},
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    counter.Ingest({events[i]});
+    const TemporalGraph expect_graph = GraphFromEvents(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(
+                             i + 1 > 10 ? i + 1 - 10 : 0),
+        events.begin() + static_cast<std::ptrdiff_t>(i + 1)));
+    const MotifCounts expected = CountMotifs(expect_graph, config.options);
+    ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+        << "after event " << i << " (t=" << events[i].time << "): streaming="
+        << DescribeCounts(counter.counts())
+        << " batch=" << DescribeCounts(expected);
+  }
+  const IngestStats& stats = counter.stats();
+  EXPECT_GE(stats.store_retired, 1u);  // The t=10 flip retired the triangle.
+  EXPECT_GT(stats.store_flip_batches, 0u);
+  EXPECT_EQ(stats.static_fallbacks, 0u);
+  EXPECT_EQ(stats.scoped_static_recounts, 0u);
+  EXPECT_EQ(stats.full_recounts, 1u);  // Startup only.
+  EXPECT_GT(counter.store_size(), 0u);
+}
+
+// Store admission: a static edge whose last occurrence EVICTS shrinks the
+// scopes spanning it, and candidates that were one covered edge short
+// become valid — the store must admit them without any enumeration.
+TEST(StreamingMotifCounter, StoreAdmitsInstancesWhenEdgeEvicts) {
+  StreamConfig config;
+  config.options.num_events = 3;
+  config.options.max_nodes = 3;
+  config.options.inducedness = Inducedness::kStatic;
+  config.window = WindowPolicy::CountBased(4);
+  StreamingMotifCounter counter(config);
+
+  // (2,0) precedes the triangle, so the window holds all four; the triangle
+  // {t=2,3,4} is NOT induced (scope has the extra (2,0) edge) until the
+  // t=5 pad evicts (2,0,1) and the edge disappears.
+  const std::vector<Event> events = {
+      {2, 0, 1}, {0, 1, 2}, {1, 2, 3}, {0, 2, 4}, {5, 6, 5},
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    counter.Ingest({events[i]});
+    const TemporalGraph expect_graph = GraphFromEvents(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(
+                             i + 1 > 4 ? i + 1 - 4 : 0),
+        events.begin() + static_cast<std::ptrdiff_t>(i + 1)));
+    const MotifCounts expected = CountMotifs(expect_graph, config.options);
+    ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+        << "after event " << i << ": streaming="
+        << DescribeCounts(counter.counts())
+        << " batch=" << DescribeCounts(expected);
+  }
+  EXPECT_EQ(counter.counts().count("011202"), 1u);  // Admitted triangle.
+  EXPECT_GE(counter.stats().store_admitted, 1u);
+  EXPECT_EQ(counter.stats().static_fallbacks, 0u);
+}
+
+// The acceptance bar of the live-instance store: static-induced presets
+// (Paranjape and Hulovatyy) stream at ANY batch size with zero full-window
+// recount fallbacks — the single full recount is startup. Batch counting of
+// the final window cross-checks exactness at every size.
+TEST(StreamingMotifCounter, StaticPresetsStreamWithoutRecountFallbacks) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 24;
+  spec.num_events = 600;
+  spec.max_time = 1200;
+  spec.prob_duplicate_time = 0.2;
+
+  const std::vector<std::pair<const char*, EnumerationOptions>> presets = {
+      {"paranjape", OptionsForModel(ModelId::kParanjape, 3, 3, 0, 60)},
+      {"hulovatyy", OptionsForModel(ModelId::kHulovatyy, 3, 3, 40, 0)},
+  };
+  ForEachRandomGraph(
+      0x5707e, 2, spec, [&](std::uint64_t seed, const TemporalGraph& g) {
+        for (const auto& [name, options] : presets) {
+          for (const std::size_t batch_size :
+               {std::size_t{1}, std::size_t{16}, std::size_t{64},
+                std::size_t{256}}) {
+            StreamConfig config;
+            config.options = options;
+            // Strictly larger than the largest batch: a batch the size of
+            // the window is a full turnover, which legitimately recounts.
+            config.window = WindowPolicy::CountBased(400);
+            StreamingMotifCounter counter(config);
+            ASSERT_TRUE(counter.store_active());
+            const std::vector<Event>& all = g.events();
+            for (std::size_t begin = 0; begin < all.size();
+                 begin += batch_size) {
+              const std::size_t end =
+                  std::min(all.size(), begin + batch_size);
+              counter.Ingest(std::vector<Event>(
+                  all.begin() + static_cast<std::ptrdiff_t>(begin),
+                  all.begin() + static_cast<std::ptrdiff_t>(end)));
+            }
+            const std::string label = std::string(name) + " seed=" +
+                                      std::to_string(seed) + " batch=" +
+                                      std::to_string(batch_size);
+            const IngestStats& stats = counter.stats();
+            // Startup fills the empty window; nothing after it recounts.
+            EXPECT_LE(stats.full_recounts, 1u) << label;
+            EXPECT_EQ(stats.static_fallbacks, 0u) << label;
+            EXPECT_EQ(stats.scoped_static_recounts, 0u) << label;
+            EXPECT_GT(stats.store_flip_batches, 0u) << label;
+            const MotifCounts expected =
+                CountMotifs(counter.window_graph(), options);
+            ASSERT_EQ(counter.counts().SortedByCode(),
+                      expected.SortedByCode())
+                << label;
+          }
+        }
+      });
+}
+
+// The two static-flip strategies are differential twins: identical counts
+// after every batch, whatever path each takes internally.
+TEST(StreamingMotifCounter, StoreAndScopedStrategiesAgree) {
+  const EnumerationOptions options =
+      OptionsForModel(ModelId::kParanjape, 3, 3, 0, 10);
+  ForEachRandomGraph(
+      0xa9bee, 6, DenseSpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig store_config;
+        store_config.options = options;
+        store_config.window = WindowPolicy::CountBased(10);
+        StreamConfig scoped_config = store_config;
+        scoped_config.static_flips = StaticFlipStrategy::kScopedRecount;
+        StreamingMotifCounter with_store(store_config);
+        StreamingMotifCounter with_scoped(scoped_config);
+        ASSERT_TRUE(with_store.store_active());
+        ASSERT_FALSE(with_scoped.store_active());
+        for (const Event& e : g.events()) {
+          with_store.Ingest({e});
+          with_scoped.Ingest({e});
+          ASSERT_EQ(with_store.counts().SortedByCode(),
+                    with_scoped.counts().SortedByCode())
+              << "seed=" << seed << " t=" << e.time;
+        }
+      });
 }
 
 // A batch larger than a count-based window forces the full-turnover path:
@@ -516,9 +692,14 @@ class GridCoverageEnvironment : public ::testing::Environment {
     EXPECT_GT(g_grid_stats.instances_retracted, 0u);
     EXPECT_GT(g_grid_stats.tie_corrections, 0u);
     EXPECT_GT(g_grid_stats.full_recounts, 0u);
-    // Static-edge flips must exercise BOTH handling paths: the scoped
-    // neighborhood-restricted recount (flip on a tie-free batch) and the
-    // full-window fallback (flip coinciding with a boundary tie).
+    // Static-edge flips must exercise every handling path: the
+    // live-instance store (both retire and admit directions), plus — via
+    // the scoped-strategy twin cases and the consecutive/CDG + static
+    // combos the store does not cover — the scoped neighborhood-restricted
+    // recount and its full-window fallback.
+    EXPECT_GT(g_grid_stats.store_flip_batches, 0u);
+    EXPECT_GT(g_grid_stats.store_retired, 0u);
+    EXPECT_GT(g_grid_stats.store_admitted, 0u);
     EXPECT_GT(g_grid_stats.static_fallbacks, 0u);
     EXPECT_GT(g_grid_stats.scoped_static_recounts, 0u);
   }
@@ -527,13 +708,25 @@ class GridCoverageEnvironment : public ::testing::Environment {
 const ::testing::Environment* const g_coverage_env =
     ::testing::AddGlobalTestEnvironment(new GridCoverageEnvironment);
 
-TEST(StreamingMotifCounterDeathTest, RejectsOutOfOrderBatches) {
+// With the default lateness horizon of 0, out-of-order events are dropped
+// (and accounted), never fatal — the pre-lateness behavior was a CHECK
+// failure.
+TEST(StreamingMotifCounter, DropsLateEventsBeyondTheDefaultHorizon) {
   StreamConfig config;
   config.options = Opts(2, 3);
   config.window = WindowPolicy::CountBased(8);
   StreamingMotifCounter counter(config);
   counter.Ingest({{0, 1, 10}});
-  EXPECT_DEATH(counter.Ingest({{1, 2, 9}}), "time-ordered");
+  const std::uint64_t before = counter.total();
+  counter.Ingest({{1, 2, 9}});
+  EXPECT_EQ(counter.window_size(), 1u);
+  EXPECT_EQ(counter.total(), before);
+  EXPECT_EQ(counter.stats().late_dropped, 1u);
+  EXPECT_EQ(counter.stats().late_events, 0u);
+  // An equal-timestamp arrival is NOT late (ties interleave freely).
+  counter.Ingest({{1, 2, 10}});
+  EXPECT_EQ(counter.window_size(), 2u);
+  EXPECT_EQ(counter.stats().late_dropped, 1u);
 }
 
 TEST(StreamingMotifCounterDeathTest, RejectsSelfLoops) {

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Doc-drift check: keeps the markdown tree honest as the code moves.
+
+Two classes of rot are caught:
+
+  1. Broken intra-repo links — every relative markdown link (and image)
+     in the repo's *.md files must resolve to an existing file.
+  2. Stale CLI flags — every `--flag` that appears in a code span or
+     fenced block mentioning one of the CLI tools (tmotif_count,
+     tmotif_stream, bench_diff) must appear in that tool's --help output.
+
+Usage:
+  tools/check_docs.py [--repo-root DIR] [--bin-dir BUILDDIR]
+
+Without --bin-dir only the link check runs (useful before building);
+CI passes the build directory so the flag check runs against the real
+binaries. Exit status is nonzero on any finding.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+TOOLS = ("tmotif_count", "tmotif_stream", "bench_diff")
+
+# Relative markdown links/images: [text](target) where target is not a URL
+# or a pure intra-page anchor.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+FENCE_RE = re.compile(r"^```")
+INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+
+
+def find_markdown_files(root):
+    out = []
+    skip_dirs = {".git", "build", ".github"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in skip_dirs
+                       and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def check_links(md_files, root, errors):
+    for path in md_files:
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in LINK_RE.findall(line):
+                    if target.startswith(("http://", "https://", "mailto:",
+                                          "#")):
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(base, target.split("#")[0]))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{os.path.relpath(path, root)}:{lineno}: "
+                            f"broken link -> {target}")
+
+
+def tool_help(bin_dir, tool, errors):
+    binary = os.path.join(bin_dir, tool)
+    if not os.path.exists(binary):
+        errors.append(f"flag check: binary not found: {binary} "
+                      f"(build the tools first)")
+        return None
+    try:
+        proc = subprocess.run([binary, "--help"], capture_output=True,
+                              text=True, timeout=30)
+    except OSError as e:
+        errors.append(f"flag check: cannot run {binary}: {e}")
+        return None
+    return proc.stdout + proc.stderr
+
+
+def iter_code_snippets(path):
+    """Yields (lineno, text) for fenced-block lines and inline code spans."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                yield lineno, line
+            else:
+                for span in INLINE_CODE_RE.findall(line):
+                    yield lineno, span
+
+
+def check_flags(md_files, root, bin_dir, errors):
+    helps = {}
+    for tool in TOOLS:
+        text = tool_help(bin_dir, tool, errors)
+        if text is not None:
+            helps[tool] = text
+    if not helps:
+        return
+    for path in md_files:
+        current_tool = None  # Carried across continuation lines ending in \.
+        carry = False
+        for lineno, snippet in iter_code_snippets(path):
+            mentioned = [t for t in TOOLS if t in snippet]
+            if mentioned:
+                current_tool = mentioned[0]
+            elif not carry:
+                current_tool = None
+            carry = snippet.rstrip().endswith("\\")
+            if current_tool is None or current_tool not in helps:
+                continue
+            for flag in FLAG_RE.findall(snippet):
+                if flag not in helps[current_tool]:
+                    errors.append(
+                        f"{os.path.relpath(path, root)}:{lineno}: flag "
+                        f"{flag} not in `{current_tool} --help` output")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))))
+    parser.add_argument("--bin-dir", default=None,
+                        help="build directory holding the tool binaries; "
+                             "omit to skip the CLI-flag check")
+    args = parser.parse_args()
+
+    md_files = find_markdown_files(args.repo_root)
+    if not md_files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    check_links(md_files, args.repo_root, errors)
+    if args.bin_dir is not None:
+        check_flags(md_files, args.repo_root, args.bin_dir, errors)
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}", file=sys.stderr)
+        print(f"check_docs: {len(errors)} finding(s) across "
+              f"{len(md_files)} markdown files", file=sys.stderr)
+        return 1
+    scope = "links + CLI flags" if args.bin_dir else "links"
+    print(f"check_docs: OK ({scope}; {len(md_files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,8 @@ struct CliArgs {
   long long window_seconds = -1;
   bool window_events_set = false;
   bool window_seconds_set = false;
+  long long lateness = 0;
+  bool scoped_recounts = false;
   int batch = 256;
   int report_every = 0;  // Batches between snapshot reports; 0 = final only.
   int top = 10;
@@ -62,6 +64,10 @@ void Usage(const char* argv0, std::FILE* out = stderr) {
       "  --window-events=N   count-based sliding window capacity\n"
       "  --window-seconds=S  time-based sliding window horizon\n"
       "                      (exactly one; default --window-events=4096)\n"
+      "  --lateness=SECONDS  accept out-of-order events up to this far\n"
+      "                      behind the stream clock (default 0 = drop)\n"
+      "  --scoped-recounts   static-flip verification/debug mode: scoped\n"
+      "                      recounts instead of the live-instance store\n"
       "  --batch=N           events per ingested batch (default 256)\n"
       "  --report-every=N    print a snapshot every N batches (0 = final "
       "only)\n"
@@ -95,6 +101,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->window_seconds = std::atoll(v);
       args->window_seconds_set = true;
     }
+    else if (const char* v = value("--lateness=")) args->lateness = std::atoll(v);
+    else if (std::strcmp(a, "--scoped-recounts") == 0) args->scoped_recounts = true;
     else if (const char* v = value("--batch=")) args->batch = std::atoi(v);
     else if (const char* v = value("--report-every=")) args->report_every = std::atoi(v);
     else if (const char* v = value("--top=")) args->top = std::atoi(v);
@@ -133,6 +141,10 @@ bool Parse(int argc, char** argv, CliArgs* args) {
   }
   if (args->window_seconds_set && args->window_seconds < 1) {
     std::fprintf(stderr, "--window-seconds must be >= 1\n");
+    return false;
+  }
+  if (args->lateness < 0) {
+    std::fprintf(stderr, "--lateness must be >= 0\n");
     return false;
   }
   if (args->batch < 1) {
@@ -219,9 +231,14 @@ int Main(int argc, char** argv) {
         args.window_events_set ? args.window_events : 4096);
   }
   config.num_threads = std::max(args.threads, 1);
+  config.lateness = args.lateness;
+  if (args.scoped_recounts) {
+    config.static_flips = StaticFlipStrategy::kScopedRecount;
+  }
 
   EdgeListOptions load_options;
   load_options.compact_node_ids = args.compact_ids;
+  load_options.keep_arrival_order = true;
   const auto loaded = LoadEdgeList(args.input, load_options);
   if (!loaded.has_value()) {
     std::fprintf(stderr, "cannot read %s\n", args.input.c_str());
@@ -231,9 +248,10 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
                  loaded->num_bad_lines);
   }
-  // The loaded graph's event list is canonically time-ordered, which is
-  // exactly the replay order a live stream would deliver.
-  const std::vector<Event>& events = loaded->graph.events();
+  // Replay in file (arrival) order: for sorted files this is the canonical
+  // stream order, and for unordered feeds it is exactly the out-of-order
+  // delivery the --lateness horizon is for.
+  const std::vector<Event>& events = loaded->arrival_events;
 
   std::printf("%s: replaying %zu events (batch %d, window %s)\n",
               args.input.c_str(), events.size(), args.batch,
@@ -285,6 +303,26 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.tie_corrections),
       static_cast<unsigned long long>(stats.full_recounts),
       static_cast<unsigned long long>(stats.static_fallbacks));
+  if (counter.store_active()) {
+    std::printf(
+        "instance store: %zu live candidates; %llu flip batches touched "
+        "%llu entries (%llu admitted, %llu retired)\n",
+        counter.store_size(),
+        static_cast<unsigned long long>(stats.store_flip_batches),
+        static_cast<unsigned long long>(stats.store_entries_touched),
+        static_cast<unsigned long long>(stats.store_admitted),
+        static_cast<unsigned long long>(stats.store_retired));
+  }
+  if (stats.late_events + stats.late_dropped > 0) {
+    std::printf(
+        "late events: %llu spliced (%llu delta batches, %llu recounts), "
+        "%llu dropped beyond the %llds horizon\n",
+        static_cast<unsigned long long>(stats.late_events),
+        static_cast<unsigned long long>(stats.late_splices),
+        static_cast<unsigned long long>(stats.late_recounts),
+        static_cast<unsigned long long>(stats.late_dropped),
+        static_cast<long long>(config.lateness));
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
