@@ -8,9 +8,12 @@
 // BENCH_counting_throughput.json record — wall seconds, events/s,
 // instances/s, and speedup_vs_seed of the headline configuration, plus
 // per-preset predicate-path throughput (<preset>_instances_per_sec and
-// <preset>_speedup_vs_pr3 for all four model presets) — so tools/bench_diff
-// can track the counting-throughput trajectory across runs with the same
-// machinery as every other bench.
+// <preset>_speedup_vs_pr3 for all four model presets) and the specialized
+// k <= 3 fast-path throughput (fastpath_<key>_instances_per_sec and
+// fastpath_<key>_speedup_vs_generic, measured against the generic DFS
+// engine forced on the same workload) — so tools/bench_diff can track the
+// counting-throughput trajectory across runs with the same machinery as
+// every other bench.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +25,8 @@
 #include "algorithms/parallel.h"
 #include "bench_util.h"
 #include "core/counter.h"
+#include "core/enumerate_core.h"
+#include "core/fast_paths/fast_path.h"
 #include "core/models/model_info.h"
 #include "core/models/song.h"
 #include "gen/generator.h"
@@ -230,6 +235,67 @@ void WriteThroughputRecord(const BenchArgs& args) {
     fields.emplace_back(std::string(preset.key) + "_instances_per_sec", ips);
     fields.emplace_back(std::string(preset.key) + "_speedup_vs_pr3",
                         ips / preset.pr3_instances_per_sec);
+  }
+
+  // Specialized k <= 3 fast-path throughput on dispatched configurations
+  // (dW-only, no order predicates): the Song preset workload (k = 3,
+  // max_nodes = 3 — wedges/stars/triangles counters) and vanilla 2-node
+  // three-event counting (the Paranjape event-sequence DP family). Each is
+  // measured twice on the same graph: through the dispatcher (the fast
+  // paths) and with the generic DFS engine forced, so speedup_vs_generic is
+  // an apples-to-apples same-run ratio rather than a frozen baseline.
+  struct FastPathWorkload {
+    const char* key;
+    EnumerationOptions options;
+  };
+  std::vector<FastPathWorkload> fast_workloads;
+  {
+    EnumerationOptions song;
+    song.num_events = 3;
+    song.max_nodes = 3;
+    song.timing = TimingConstraints::OnlyDeltaW(3000);
+    fast_workloads.push_back({"song", song});
+    EnumerationOptions vanilla_2node;
+    vanilla_2node.num_events = 3;
+    vanilla_2node.max_nodes = 2;
+    vanilla_2node.timing = TimingConstraints::OnlyDeltaW(3000);
+    fast_workloads.push_back({"vanilla_2node", vanilla_2node});
+  }
+  for (const FastPathWorkload& w : fast_workloads) {
+    TMOTIF_CHECK(internal::fast_paths::FastPathSupported(w.options));
+    double fast_best = 0.0;
+    std::uint64_t fast_instances = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      WallTimer timer;
+      fast_instances = CountInstances(graph, w.options);
+      const double seconds = timer.Seconds();
+      if (rep == 0 || seconds < fast_best) fast_best = seconds;
+    }
+    double generic_best = 0.0;
+    std::uint64_t generic_instances = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      WallTimer timer;
+      internal::CountOnlySink sink;
+      generic_instances = internal::EnumerateCore(graph, w.options, 0,
+                                                  graph.num_events(), sink);
+      const double seconds = timer.Seconds();
+      if (rep == 0 || seconds < generic_best) generic_best = seconds;
+    }
+    TMOTIF_CHECK(fast_instances == generic_instances);
+    const double fast_ips =
+        fast_best > 0 ? static_cast<double>(fast_instances) / fast_best : 0.0;
+    const double generic_ips =
+        generic_best > 0
+            ? static_cast<double>(generic_instances) / generic_best
+            : 0.0;
+    const double speedup = generic_ips > 0 ? fast_ips / generic_ips : 0.0;
+    std::printf("fastpath %s: %.4fs vs generic %.4fs, %.0f instances/s, "
+                "%.2fx vs generic\n",
+                w.key, fast_best, generic_best, fast_ips, speedup);
+    fields.emplace_back(
+        std::string("fastpath_") + w.key + "_instances_per_sec", fast_ips);
+    fields.emplace_back(
+        std::string("fastpath_") + w.key + "_speedup_vs_generic", speedup);
   }
   WriteBenchResult(record_args, "counting_throughput", best_seconds, fields);
 }

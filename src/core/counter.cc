@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/enumerate_core.h"
+#include "core/fast_paths/fast_path.h"
 #include "core/packed_table.h"
 
 namespace tmotif {
@@ -67,8 +68,13 @@ MotifCounts CountMotifsInRange(const TemporalGraph& graph,
   MotifCounts counts;
   if (first_begin >= first_end) return counts;
   internal::PackedMotifTable table;
-  internal::PackedTableSink sink{&table};
-  internal::EnumerateCore(graph, options, first_begin, first_end, sink);
+  if (internal::fast_paths::FastPathSupported(options)) {
+    internal::fast_paths::CountRangeInto(graph, options, first_begin,
+                                         first_end, &table);
+  } else {
+    internal::PackedTableSink sink{&table};
+    internal::EnumerateCore(graph, options, first_begin, first_end, sink);
+  }
   table.ForEach([&](std::uint64_t packed, std::uint64_t count) {
     counts.Add(internal::PackedCodeToString(packed), count);
   });

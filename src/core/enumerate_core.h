@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
@@ -30,6 +31,19 @@
 
 namespace tmotif {
 namespace internal {
+
+/// Detects the optional batch half of the sink contract:
+/// `EmitBatch(packed_code, count)` accepts a whole saturated edge run of
+/// `count` instances sharing one code without materializing the instances.
+/// Sinks that need per-instance identity (visitors, the streaming
+/// live-instance store) simply omit the method and keep the Emit path.
+template <typename Sink, typename = void>
+struct SinkHasEmitBatch : std::false_type {};
+
+template <typename Sink>
+struct SinkHasEmitBatch<
+    Sink, std::void_t<decltype(std::declval<Sink&>().EmitBatch(
+              std::uint64_t{}, std::uint64_t{}))>> : std::true_type {};
 
 /// Packed codes hold one byte per event, so 8 events is the hard cap (the
 /// documented library limit; max_nodes <= num_events + 1 <= 9 keeps every
@@ -151,6 +165,9 @@ class DfsEngine {
         use_dc_(opt.timing.delta_c.has_value()),
         use_dw_(opt.timing.delta_w.has_value()),
         static_induced_(opt.inducedness == Inducedness::kStatic),
+        batch_saturated_(!opt.cdg_restriction &&
+                         !opt.consecutive_events_restriction &&
+                         opt.max_instances == 0),
         dc_(use_dc_ ? *opt.timing.delta_c : 0),
         dw_(use_dw_ ? *opt.timing.delta_w : 0) {}
 
@@ -337,6 +354,36 @@ class DfsEngine {
   /// emission order is unchanged.
   void SaturatedFinal(int depth, NodeId prev_src, NodeId prev_dst,
                       Timestamp t_prev, Timestamp upper) {
+    // Batch short-circuit: with no per-candidate order predicates (CDG /
+    // consecutive) and no instance cap, every occurrence of an accepted
+    // edge in (t_prev, upper] is an instance with the run's code — two
+    // rank queries per scope edge replace the whole min-merge, and the
+    // sink absorbs each run as one EmitBatch. Only batch-capable sinks
+    // take this branch; identity sinks still get per-instance Emit calls
+    // in deterministic order below.
+    if constexpr (SinkHasEmitBatch<Sink>::value) {
+      if (batch_saturated_) {
+        const int k = opt_.num_events;
+        for (int a = 0; a < num_nodes_; ++a) {
+          for (int b = 0; b < num_nodes_; ++b) {
+            if (a == b) continue;
+            PairMemo& m = MemoFor(a, b);
+            if (m.handle == Graph::kNoEdgeHandle) continue;
+            const std::uint64_t code = packed_ | PackPair(a, b, depth);
+            if (PackedDistinctPairCount(code, k) != scope_static_edges_) {
+              continue;
+            }
+            const std::size_t lo = graph_.EdgeUpperRank(m.handle, t_prev);
+            const std::size_t hi = graph_.EdgeUpperRank(m.handle, upper);
+            if (hi <= lo) continue;
+            const std::uint64_t n = hi - lo;
+            count_ += n;
+            sink_.EmitBatch(code, n);
+          }
+        }
+        return;
+      }
+    }
     struct ScopeRun {
       EdgeRunIter cur;
       EdgeRunIter end;
@@ -750,6 +797,9 @@ class DfsEngine {
   const bool use_dc_;
   const bool use_dw_;
   const bool static_induced_;
+  /// Saturated-final runs may be absorbed whole (see SaturatedFinal): no
+  /// per-candidate order predicate and no instance cap to respect.
+  const bool batch_saturated_;
   const Timestamp dc_;
   const Timestamp dw_;
   std::uint64_t count_ = 0;
@@ -806,9 +856,12 @@ std::uint64_t EnumerateCoreAtRoots(const Graph& graph,
   return total;
 }
 
-/// Sink that only counts (CountInstances / CountInstancesParallel).
+/// Sink that only counts (CountInstances / CountInstancesParallel). The
+/// EmitBatch no-op opts it into the saturated-run batch path — the engine
+/// already advances its own instance counter by the run length.
 struct CountOnlySink {
   void Emit(const EventIndex*, int, std::uint64_t, const NodeId*, int) {}
+  void EmitBatch(std::uint64_t, std::uint64_t) {}
 };
 
 /// Sink adapting a lambda `fn(chosen, num_events, packed)` (the common

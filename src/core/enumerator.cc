@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/enumerate_core.h"
+#include "core/fast_paths/fast_path.h"
 
 namespace tmotif {
 
@@ -53,9 +54,7 @@ std::uint64_t EnumerateInstances(const TemporalGraph& graph,
 
 std::uint64_t CountInstances(const TemporalGraph& graph,
                              const EnumerationOptions& options) {
-  internal::ValidateEnumerationOptions(options);
-  internal::CountOnlySink sink;
-  return internal::EnumerateCore(graph, options, 0, graph.num_events(), sink);
+  return CountInstancesInRange(graph, options, 0, graph.num_events());
 }
 
 std::uint64_t EnumerateInstancesInRange(const TemporalGraph& graph,
@@ -79,6 +78,10 @@ std::uint64_t CountInstancesInRange(const TemporalGraph& graph,
   first_begin = std::max<EventIndex>(first_begin, 0);
   first_end = std::min<EventIndex>(first_end, graph.num_events());
   if (first_begin >= first_end) return 0;
+  if (internal::fast_paths::FastPathSupported(options)) {
+    return internal::fast_paths::CountRange(graph, options, first_begin,
+                                            first_end);
+  }
   internal::CountOnlySink sink;
   return internal::EnumerateCore(graph, options, first_begin, first_end, sink);
 }

@@ -1,0 +1,31 @@
+#include "core/fast_paths/fast_path.h"
+
+namespace tmotif {
+namespace internal {
+namespace fast_paths {
+
+bool FastPathSupported(const EnumerationOptions& options) {
+  if (options.max_instances != 0) return false;
+  const int k = options.num_events;
+  if (k > 3) return false;
+  if (k == 1) return true;  // Every predicate is trivial or one lookup.
+  if (options.consecutive_events_restriction || options.cdg_restriction) {
+    return false;  // Order predicates need per-instance identity.
+  }
+  if (options.timing.delta_c.has_value()) return false;  // Per-gap bound.
+  if (options.inducedness == Inducedness::kTemporalWindow) return false;
+  if (options.inducedness == Inducedness::kStatic) {
+    // 2-node scopes reduce to a per-pair direction-pattern filter; larger
+    // scopes would need per-instance coverage checks.
+    return options.max_nodes == 2;
+  }
+  // kNone: pair DP alone (max_nodes == 2), pairs + wedges (k == 2), or
+  // pairs + stars + triangles (k == 3, max_nodes == 3).
+  if (options.max_nodes == 2) return true;
+  if (k == 2) return true;
+  return k == 3 && options.max_nodes == 3;
+}
+
+}  // namespace fast_paths
+}  // namespace internal
+}  // namespace tmotif

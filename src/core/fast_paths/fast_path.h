@@ -1,0 +1,823 @@
+#ifndef TMOTIF_CORE_FAST_PATHS_FAST_PATH_H_
+#define TMOTIF_CORE_FAST_PATHS_FAST_PATH_H_
+
+// Specialized exact counters for k <= 3 temporal motifs, after Paranjape et
+// al. ("Motifs in Temporal Networks"): instead of enumerating instances one
+// DFS leaf at a time, events are grouped per node pair / per node and
+// counted with sliding-window sequence DP (2-node motifs), per-center
+// window counts (wedges), doubleton + rank queries (stars) and static
+// neighbor intersection + rank queries (triangles). No instance is ever
+// materialized — the counters produce (packed code, count) totals directly,
+// which is why they beat the generic DfsEngine by integer multiples on the
+// predicate-free presets (Song / vanilla counting) where the DFS has
+// nothing to prune.
+//
+// Dispatch contract: callers must consult FastPathSupported(options) first;
+// the counters handle exactly the combinations it accepts and
+// TMOTIF_CHECK otherwise. The general DfsEngine remains the fallback for
+// everything else (dC gaps, order predicates, temporal-window inducedness,
+// k >= 4, instance caps).
+//
+// Range counting uses window differences: the set of instances with every
+// event inside [lo, N) shrinks monotonically as lo grows, so
+//   #instances with first event in [b, e)
+//     = Count(events [b, N)) - Count(events [e, N))
+// holds per code with non-negative differences. The same identity powers
+// the streaming delta path (stream/streaming_counter.cc): retractions are
+// prefix-window differences and arrivals are suffix differences with an
+// exclude-new event filter, both evaluated by the same counters.
+//
+// Like DfsEngine, everything is templated on the graph so the batch
+// counters (TemporalGraph) and the streaming window (WindowGraph) share one
+// implementation; only the tiny read-only accessor subset is required:
+// num_events / event_time / event_src / event_dst for the scan, plus
+// FindEdge + CountEdgeEventsInTimeRange for the inducedness predicates
+// (which are full-graph properties, never filtered ones).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "core/enumerate_core.h"
+#include "core/packed_table.h"
+
+namespace tmotif {
+namespace internal {
+namespace fast_paths {
+
+/// True when the specialized counters handle `options` exactly: k <= 3, no
+/// instance cap, and for k >= 2 no order predicates (consecutive / CDG), no
+/// dC gap, and inducedness limited to kNone (2-node, or any shape at
+/// k <= 3 with max_nodes == 3) or kStatic with max_nodes == 2. k == 1 is
+/// always supported (every predicate is trivial or a per-event lookup).
+bool FastPathSupported(const EnumerationOptions& options);
+
+/// Signed per-code accumulator for window differences.
+using CodeDeltas = std::unordered_map<std::uint64_t, std::int64_t>;
+
+namespace detail {
+
+inline std::size_t LowerIdx(const std::vector<Timestamp>& times, Timestamp t) {
+  return static_cast<std::size_t>(
+      std::lower_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+inline std::size_t UpperIdx(const std::vector<Timestamp>& times, Timestamp t) {
+  return static_cast<std::size_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+inline Timestamp SatAdd(Timestamp t, Timestamp d) {
+  constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+  return t > kMax - d ? kMax : t + d;
+}
+
+inline Timestamp SatSub(Timestamp t, Timestamp d) {
+  constexpr Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  return t < kMin + d ? kMin : t - d;
+}
+
+/// Packs an abstract event sequence (node symbols in time order, symbols
+/// arbitrary small ints) into the canonical code: digits are assigned by
+/// first appearance, exactly like core/motif_code.h.
+inline std::uint64_t PackAbstract(const int (&srcs)[3], const int (&dsts)[3],
+                                  int k) {
+  int digit[4] = {-1, -1, -1, -1};
+  int next = 0;
+  std::uint64_t packed = 0;
+  for (int i = 0; i < k; ++i) {
+    int& ds = digit[srcs[i]];
+    if (ds < 0) ds = next++;
+    int& dd = digit[dsts[i]];
+    if (dd < 0) dd = next++;
+    packed |= PackPair(ds, dd, i);
+  }
+  return packed;
+}
+
+/// 2-node codes by relative direction: all directions are measured against
+/// the first event's, so only the equality pattern matters.
+inline std::uint64_t PairCode2(int d1, int de) {
+  return 0x01ULL | ((de == d1 ? 0x01ULL : 0x10ULL) << 8);
+}
+
+inline std::uint64_t PairCode3(int d1, int d2, int de) {
+  return 0x01ULL | ((d2 == d1 ? 0x01ULL : 0x10ULL) << 8) |
+         ((de == d1 ? 0x01ULL : 0x10ULL) << 16);
+}
+
+/// Wedge (two events, three nodes) code. Directions are relative to the
+/// shared center node: d == 1 means the center is that event's src. The
+/// center holds digit 0 or 1 depending on the first event's orientation;
+/// the second event's far endpoint is always digit 2.
+inline std::uint64_t WedgeCode(int d1, int d2) {
+  const std::uint64_t cd = d1 ? 0 : 1;
+  const std::uint64_t byte1 = d2 ? ((cd << 4) | 2) : ((2 << 4) | cd);
+  return 0x01ULL | (byte1 << 8);
+}
+
+/// Filtered event timeline of one undirected node pair (times ascending;
+/// dir 0 = lo -> hi with lo < hi).
+struct PairTimeline {
+  NodeId lo = 0;
+  NodeId hi = 0;
+  std::vector<Timestamp> times;
+  std::vector<std::uint8_t> dirs;
+  /// dir_prefix[i] = number of dir-1 events among the first i (rank-query
+  /// support; built only when stars/triangles run).
+  std::vector<std::uint32_t> dir_prefix;
+};
+
+/// Filtered timeline of one node's incident events (dir 1 = node is src).
+struct NodeTimeline {
+  std::vector<Timestamp> times;
+  std::vector<std::uint8_t> dirs;
+  std::vector<std::uint32_t> pair_ids;
+  std::vector<std::uint32_t> dir_prefix;
+};
+
+/// Events in timeline index range [i0, i1) whose dir equals `d`, given the
+/// timeline's dir-1 prefix sums.
+inline std::uint64_t RangeDirCount(const std::vector<std::uint32_t>& prefix,
+                                   std::size_t i0, std::size_t i1, int d) {
+  if (i1 <= i0) return 0;
+  const std::uint64_t ones = prefix[i1] - prefix[i0];
+  return d == 1 ? ones : (i1 - i0) - ones;
+}
+
+inline void BuildDirPrefix(const std::vector<std::uint8_t>& dirs,
+                           std::vector<std::uint32_t>* prefix) {
+  prefix->resize(dirs.size() + 1);
+  (*prefix)[0] = 0;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    (*prefix)[i + 1] = (*prefix)[i] + dirs[i];
+  }
+}
+
+/// One-shot counter over the filtered events of an index window. Build one,
+/// call Count once.
+template <typename Graph>
+class WindowCounter {
+ public:
+  WindowCounter(const Graph& graph, const EnumerationOptions& opt)
+      : graph_(graph),
+        opt_(opt),
+        use_dw_(opt.timing.delta_w.has_value()),
+        dw_(use_dw_ ? *opt.timing.delta_w : 0),
+        static_induced_(opt.inducedness == Inducedness::kStatic) {
+    TMOTIF_CHECK(FastPathSupported(opt));
+  }
+
+  /// Counts every instance whose events all lie in [lo, hi) and pass
+  /// `include(index)`, invoking emit(packed_code, count) with per-code
+  /// totals (a code may be emitted more than once; counts are positive).
+  template <typename Include, typename Emit>
+  void Count(EventIndex lo, EventIndex hi, const Include& include,
+             const Emit& emit) {
+    const int k = opt_.num_events;
+    lo = std::max<EventIndex>(lo, 0);
+    hi = std::min<EventIndex>(hi, static_cast<EventIndex>(graph_.num_events()));
+    if (lo >= hi) return;
+    if (k == 1) {
+      CountSingles(lo, hi, include, emit);
+      return;
+    }
+    const bool shapes3 =
+        opt_.inducedness == Inducedness::kNone && opt_.max_nodes >= 3;
+    BuildTimelines(lo, hi, include, /*need_nodes=*/shapes3);
+
+    std::uint64_t g2[2][2] = {};
+    std::uint64_t g3[2][2][2] = {};
+    for (const PairTimeline& pair : pairs_) PairDp(pair, g2, g3);
+    if (k == 2) {
+      for (int d1 = 0; d1 < 2; ++d1) {
+        for (int de = 0; de < 2; ++de) {
+          if (g2[d1][de]) emit(PairCode2(d1, de), g2[d1][de]);
+        }
+      }
+    } else {
+      for (int d1 = 0; d1 < 2; ++d1) {
+        for (int d2 = 0; d2 < 2; ++d2) {
+          for (int de = 0; de < 2; ++de) {
+            if (g3[d1][d2][de]) emit(PairCode3(d1, d2, de), g3[d1][d2][de]);
+          }
+        }
+      }
+    }
+
+    if (!shapes3) return;
+    if (k == 2) {
+      std::uint64_t w[2][2] = {};
+      CountWedges(w);
+      for (int d1 = 0; d1 < 2; ++d1) {
+        for (int d2 = 0; d2 < 2; ++d2) {
+          if (w[d1][d2]) emit(WedgeCode(d1, d2), w[d1][d2]);
+        }
+      }
+      return;
+    }
+    // k == 3, max_nodes == 3: stars (two distinct pairs) and triangles
+    // (three distinct pairs) complete the partition of instances by their
+    // distinct-pair count; rank queries need the prefix sums.
+    for (PairTimeline& pair : pairs_) BuildDirPrefix(pair.dirs, &pair.dir_prefix);
+    for (NodeTimeline& node : nodes_) BuildDirPrefix(node.dirs, &node.dir_prefix);
+    std::unordered_map<std::uint64_t, std::uint64_t> acc;
+    CountStars(&acc);
+    CountTriangles(&acc);
+    for (const auto& [code, n] : acc) {
+      if (n) emit(code, n);
+    }
+  }
+
+ private:
+  using EdgeHandle = typename Graph::EdgeHandle;
+
+  template <typename Include, typename Emit>
+  void CountSingles(EventIndex lo, EventIndex hi, const Include& include,
+                    const Emit& emit) {
+    std::uint64_t n = 0;
+    for (EventIndex i = lo; i < hi; ++i) {
+      if (!include(i)) continue;
+      const NodeId s = graph_.event_src(i);
+      const NodeId d = graph_.event_dst(i);
+      switch (opt_.inducedness) {
+        case Inducedness::kNone:
+          ++n;
+          break;
+        case Inducedness::kStatic:
+          // Scope = {s, d}; the instance covers (s, d) only, so it passes
+          // iff the full graph has no reverse static edge.
+          if (graph_.FindEdge(d, s) == Graph::kNoEdgeHandle) ++n;
+          break;
+        case Inducedness::kTemporalWindow: {
+          // The events among {s, d} at exactly this timestamp must be just
+          // this one (the engine scans both directed orientations).
+          const Timestamp t = graph_.event_time(i);
+          int total = 0;
+          const EdgeHandle fwd = graph_.FindEdge(s, d);
+          if (fwd != Graph::kNoEdgeHandle) {
+            total += graph_.CountEdgeEventsInTimeRange(fwd, t, t);
+          }
+          const EdgeHandle rev = graph_.FindEdge(d, s);
+          if (rev != Graph::kNoEdgeHandle) {
+            total += graph_.CountEdgeEventsInTimeRange(rev, t, t);
+          }
+          if (total == 1) ++n;
+          break;
+        }
+      }
+    }
+    if (n > 0) emit(0x01ULL, n);
+  }
+
+  template <typename Include>
+  void BuildTimelines(EventIndex lo, EventIndex hi, const Include& include,
+                      bool need_nodes) {
+    pairs_.clear();
+    pair_index_.clear();
+    nodes_.clear();
+    node_index_.clear();
+    for (EventIndex i = lo; i < hi; ++i) {
+      if (!include(i)) continue;
+      const NodeId s = graph_.event_src(i);
+      const NodeId d = graph_.event_dst(i);
+      const Timestamp t = graph_.event_time(i);
+      const NodeId a = std::min(s, d);
+      const NodeId b = std::max(s, d);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+          static_cast<std::uint32_t>(b);
+      auto [it, inserted] =
+          pair_index_.emplace(key, static_cast<std::uint32_t>(pairs_.size()));
+      if (inserted) {
+        pairs_.emplace_back();
+        pairs_.back().lo = a;
+        pairs_.back().hi = b;
+      }
+      const std::uint32_t pi = it->second;
+      PairTimeline& pair = pairs_[pi];
+      pair.times.push_back(t);
+      pair.dirs.push_back(s == a ? 0 : 1);
+      if (need_nodes) {
+        AppendNodeEvent(s, t, 1, pi);
+        AppendNodeEvent(d, t, 0, pi);
+      }
+    }
+  }
+
+  void AppendNodeEvent(NodeId node, Timestamp t, std::uint8_t is_src,
+                       std::uint32_t pair_id) {
+    auto [it, inserted] = node_index_.emplace(
+        node, static_cast<std::uint32_t>(nodes_.size()));
+    if (inserted) nodes_.emplace_back();
+    NodeTimeline& timeline = nodes_[it->second];
+    timeline.times.push_back(t);
+    timeline.dirs.push_back(is_src);
+    timeline.pair_ids.push_back(pair_id);
+  }
+
+  /// Sliding-window sequence DP over one pair's timeline. Timestamp tie
+  /// groups move atomically (instance events need strictly increasing
+  /// times): completions for a group are taken against the pre-group
+  /// window state, evictions pop whole front groups. c1[d] counts window
+  /// events by direction; c2[d1][d2] counts ordered in-window event pairs
+  /// (only k == 3 maintains it). The dW window applies to the would-be
+  /// *first* event: older ones are evicted before completing.
+  void PairDp(const PairTimeline& pair, std::uint64_t g2[2][2],
+              std::uint64_t g3[2][2][2]) {
+    const std::vector<Timestamp>& T = pair.times;
+    const std::vector<std::uint8_t>& D = pair.dirs;
+    const std::size_t n = T.size();
+    const int k = opt_.num_events;
+    std::uint64_t p2[2][2] = {};
+    std::uint64_t p3[2][2][2] = {};
+    std::uint64_t c1[2] = {};
+    std::uint64_t c2[2][2] = {};
+    std::size_t wbegin = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && T[j] == T[i]) ++j;
+      const Timestamp t = T[i];
+      if (use_dw_) {
+        while (wbegin < i && t - T[wbegin] > dw_) {
+          std::size_t ge = wbegin + 1;
+          while (ge < i && T[ge] == T[wbegin]) ++ge;
+          std::uint64_t evicted[2] = {};
+          for (std::size_t x = wbegin; x < ge; ++x) ++evicted[D[x]];
+          c1[0] -= evicted[0];
+          c1[1] -= evicted[1];
+          if (k == 3) {
+            // Pairs starting in the evicted group end strictly later (ties
+            // were popped together), i.e. at events still in c1.
+            for (int d1 = 0; d1 < 2; ++d1) {
+              for (int d2 = 0; d2 < 2; ++d2) {
+                c2[d1][d2] -= evicted[d1] * c1[d2];
+              }
+            }
+          }
+          wbegin = ge;
+        }
+      }
+      std::uint64_t grp[2] = {};
+      for (std::size_t x = i; x < j; ++x) ++grp[D[x]];
+      if (k == 2) {
+        for (int de = 0; de < 2; ++de) {
+          for (int d1 = 0; d1 < 2; ++d1) {
+            p2[d1][de] += grp[de] * c1[d1];
+          }
+        }
+      } else {
+        for (int de = 0; de < 2; ++de) {
+          for (int d1 = 0; d1 < 2; ++d1) {
+            for (int d2 = 0; d2 < 2; ++d2) {
+              p3[d1][d2][de] += grp[de] * c2[d1][d2];
+            }
+          }
+        }
+        for (int d1 = 0; d1 < 2; ++d1) {
+          for (int de = 0; de < 2; ++de) {
+            c2[d1][de] += c1[d1] * grp[de];
+          }
+        }
+      }
+      c1[0] += grp[0];
+      c1[1] += grp[1];
+      i = j;
+    }
+    // Static inducedness (max_nodes == 2): the scope is the pair itself and
+    // the instance must cover every full-graph static orientation, so the
+    // direction pattern's distinct-pair count must equal the static edge
+    // count — a per-pair constant filter over the four/eight patterns.
+    int scope_edges = 2;
+    if (static_induced_) {
+      scope_edges =
+          (graph_.FindEdge(pair.lo, pair.hi) != Graph::kNoEdgeHandle ? 1 : 0) +
+          (graph_.FindEdge(pair.hi, pair.lo) != Graph::kNoEdgeHandle ? 1 : 0);
+    }
+    if (opt_.num_events == 2) {
+      for (int d1 = 0; d1 < 2; ++d1) {
+        for (int de = 0; de < 2; ++de) {
+          if (static_induced_ && (de == d1 ? 1 : 2) != scope_edges) continue;
+          g2[d1][de] += p2[d1][de];
+        }
+      }
+    } else {
+      for (int d1 = 0; d1 < 2; ++d1) {
+        for (int d2 = 0; d2 < 2; ++d2) {
+          for (int de = 0; de < 2; ++de) {
+            const int distinct = (d1 == d2 && d2 == de) ? 1 : 2;
+            if (static_induced_ && distinct != scope_edges) continue;
+            g3[d1][d2][de] += p3[d1][d2][de];
+          }
+        }
+      }
+    }
+  }
+
+  /// Wedges: ordered cross-pair event pairs sharing one node, counted per
+  /// center with the same tie-group-atomic sliding window; same-pair
+  /// predecessors (2-node instances) are excluded by per-pair window
+  /// counts. Each wedge has exactly one shared node, so no double count.
+  void CountWedges(std::uint64_t w[2][2]) {
+    std::unordered_map<std::uint32_t, std::array<std::uint64_t, 2>> cpair;
+    for (const NodeTimeline& node : nodes_) {
+      const std::vector<Timestamp>& T = node.times;
+      const std::vector<std::uint8_t>& D = node.dirs;
+      const std::vector<std::uint32_t>& P = node.pair_ids;
+      const std::size_t n = T.size();
+      cpair.clear();
+      std::uint64_t ctot[2] = {};
+      std::size_t wbegin = 0;
+      std::size_t i = 0;
+      while (i < n) {
+        std::size_t j = i + 1;
+        while (j < n && T[j] == T[i]) ++j;
+        const Timestamp t = T[i];
+        if (use_dw_) {
+          while (wbegin < i && t - T[wbegin] > dw_) {
+            --ctot[D[wbegin]];
+            --cpair[P[wbegin]][D[wbegin]];
+            ++wbegin;
+          }
+        }
+        for (std::size_t x = i; x < j; ++x) {
+          const auto it = cpair.find(P[x]);
+          for (int d1 = 0; d1 < 2; ++d1) {
+            const std::uint64_t same =
+                it != cpair.end() ? (*it).second[d1] : 0;
+            const std::uint64_t cnt = ctot[d1] - same;
+            if (cnt) w[d1][D[x]] += cnt;
+          }
+        }
+        for (std::size_t x = i; x < j; ++x) {
+          ++ctot[D[x]];
+          ++cpair[P[x]][D[x]];
+        }
+        i = j;
+      }
+    }
+  }
+
+  /// Stars (k == 3, three nodes, one pair used twice): enumerate the
+  /// doubleton — ordered same-pair event pairs (f1, f2) inside the window —
+  /// then rank-count the singleton event g among each endpoint's incident
+  /// events (minus same-pair ones) in the three admissible time ranges
+  /// before / between / after the doubleton.
+  ///
+  /// Everything is evaluated per timestamp TIE GROUP, not per doubleton: the
+  /// rank ranges and the singleton counts depend only on (t1, t2), so a
+  /// (p-group, q-group) pair contributes the same singleton count to every
+  /// one of its |p-group| x |q-group| doubletons, weighted by the groups'
+  /// per-direction sizes. All node- and pair-timeline search bounds depend
+  /// on one group's own timestamp, so they are precomputed once per group
+  /// (one pass of binary searches) and the double loop over group pairs is
+  /// pure prefix-sum arithmetic. The canonical code depends only on
+  /// (d1, d2, center, pos, gdir), so counts accumulate into a flat
+  /// 48-entry array and are packed once at the end — no hashing on the hot
+  /// path.
+  void CountStars(std::unordered_map<std::uint64_t, std::uint64_t>* acc) {
+    // [d1][d2][center][pos][gdir].
+    std::uint64_t counts[2][2][2][3][2] = {};
+    struct TieGroup {
+      std::size_t begin;
+      std::size_t end;
+      Timestamp t;
+      std::uint64_t ndir[2];
+      /// Pair-timeline bounds: first index with time >= t - dw, first index
+      /// with time > t + dw.
+      std::size_t lo_tm;
+      std::size_t hi_tp;
+    };
+    /// Node-timeline bounds of one (group, center): first index with time
+    /// >= t - dw / >= t / > t / > t + dw.
+    struct CenterBounds {
+      std::size_t lo_m;
+      std::size_t lo_t;
+      std::size_t up_t;
+      std::size_t up_p;
+    };
+    std::vector<TieGroup> groups;
+    std::vector<CenterBounds> bounds;  // groups.size() * 2, center-minor.
+    for (const PairTimeline& pair : pairs_) {
+      const std::vector<Timestamp>& T = pair.times;
+      const std::size_t n = T.size();
+      if (n < 2) continue;
+      const NodeTimeline* nts[2] = {&nodes_[node_index_.at(pair.lo)],
+                                    &nodes_[node_index_.at(pair.hi)]};
+      groups.clear();
+      bounds.clear();
+      for (std::size_t i = 0; i < n;) {
+        std::size_t j = i + 1;
+        while (j < n && T[j] == T[i]) ++j;
+        TieGroup g;
+        g.begin = i;
+        g.end = j;
+        g.t = T[i];
+        g.ndir[0] = 0;
+        g.ndir[1] = 0;
+        for (std::size_t x = i; x < j; ++x) ++g.ndir[pair.dirs[x]];
+        g.lo_tm = use_dw_ ? LowerIdx(T, SatSub(g.t, dw_)) : 0;
+        g.hi_tp = use_dw_ ? UpperIdx(T, SatAdd(g.t, dw_)) : n;
+        groups.push_back(g);
+        for (int c = 0; c < 2; ++c) {
+          const std::vector<Timestamp>& NT = nts[c]->times;
+          CenterBounds b;
+          b.lo_m = use_dw_ ? LowerIdx(NT, SatSub(g.t, dw_)) : 0;
+          b.lo_t = LowerIdx(NT, g.t);
+          b.up_t = UpperIdx(NT, g.t);
+          b.up_p = use_dw_ ? UpperIdx(NT, SatAdd(g.t, dw_)) : NT.size();
+          bounds.push_back(b);
+        }
+        i = j;
+      }
+      const std::size_t num_groups = groups.size();
+      for (std::size_t gp = 0; gp + 1 < num_groups; ++gp) {
+        const TieGroup& P = groups[gp];
+        for (std::size_t gq = gp + 1; gq < num_groups; ++gq) {
+          const TieGroup& Q = groups[gq];
+          if (use_dw_ && Q.t - P.t > dw_) break;
+          const std::uint64_t m[2][2] = {
+              {P.ndir[0] * Q.ndir[0], P.ndir[0] * Q.ndir[1]},
+              {P.ndir[1] * Q.ndir[0], P.ndir[1] * Q.ndir[1]}};
+          for (int c = 0; c < 2; ++c) {
+            const CenterBounds& bp = bounds[gp * 2 + c];
+            const CenterBounds& bq = bounds[gq * 2 + c];
+            // g strictly before f1 (within f2's window) / strictly between
+            // / strictly after f2 (within f1's window).
+            const std::size_t ni[3][2] = {{bq.lo_m, bp.lo_t},
+                                          {bp.up_t, bq.lo_t},
+                                          {bq.up_t, bp.up_p}};
+            const std::size_t pi[3][2] = {{Q.lo_tm, P.begin},
+                                          {P.end, Q.begin},
+                                          {Q.end, P.hi_tp}};
+            for (int pos = 0; pos < 3; ++pos) {
+              for (int gdir = 0; gdir < 2; ++gdir) {  // 1 = center is src.
+                // A pair event has the center as src iff its dir == c.
+                const int pair_dir_wanted = gdir == 1 ? c : 1 - c;
+                const std::uint64_t cnt =
+                    RangeDirCount(nts[c]->dir_prefix, ni[pos][0], ni[pos][1],
+                                  gdir) -
+                    RangeDirCount(pair.dir_prefix, pi[pos][0], pi[pos][1],
+                                  pair_dir_wanted);
+                if (!cnt) continue;
+                for (int d1 = 0; d1 < 2; ++d1) {
+                  for (int d2 = 0; d2 < 2; ++d2) {
+                    counts[d1][d2][c][pos][gdir] += cnt * m[d1][d2];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    for (int d1 = 0; d1 < 2; ++d1) {
+      for (int d2 = 0; d2 < 2; ++d2) {
+        for (int c = 0; c < 2; ++c) {
+          for (int pos = 0; pos < 3; ++pos) {
+            for (int gdir = 0; gdir < 2; ++gdir) {
+              const std::uint64_t cnt = counts[d1][d2][c][pos][gdir];
+              if (!cnt) continue;
+              // Symbols: pair.lo = 0, pair.hi = 1, new far endpoint = 2.
+              const int fs1 = d1, fd1 = 1 - d1;
+              const int fs2 = d2, fd2 = 1 - d2;
+              const int gs = gdir ? c : 2;
+              const int gd = gdir ? 2 : c;
+              int srcs[3], dsts[3];
+              int fi = 0;
+              for (int slot = 0; slot < 3; ++slot) {
+                if (slot == pos) {  // g's slot in time order.
+                  srcs[slot] = gs;
+                  dsts[slot] = gd;
+                } else if (fi++ == 0) {
+                  srcs[slot] = fs1;
+                  dsts[slot] = fd1;
+                } else {
+                  srcs[slot] = fs2;
+                  dsts[slot] = fd2;
+                }
+              }
+              (*acc)[PackAbstract(srcs, dsts, 3)] += cnt;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Triangles (k == 3, three distinct pairs): enumerate static triangles
+  /// a < b < c by neighbor-list intersection over the filtered pair set,
+  /// then for each windowed cross-pair event pair (x, y) rank-count the
+  /// third pair's events in the before / between / after ranges. The
+  /// largest of the three timelines takes the rank-query role.
+  void CountTriangles(std::unordered_map<std::uint64_t, std::uint64_t>* acc) {
+    // Undirected adjacency over the filtered pairs, sorted by neighbor.
+    std::unordered_map<NodeId, std::vector<std::pair<NodeId, std::uint32_t>>>
+        adj;
+    for (std::uint32_t pi = 0; pi < pairs_.size(); ++pi) {
+      adj[pairs_[pi].lo].emplace_back(pairs_[pi].hi, pi);
+      adj[pairs_[pi].hi].emplace_back(pairs_[pi].lo, pi);
+    }
+    for (auto& [node, neighbors] : adj) {
+      (void)node;
+      std::sort(neighbors.begin(), neighbors.end());
+    }
+    for (std::uint32_t pab = 0; pab < pairs_.size(); ++pab) {
+      const NodeId a = pairs_[pab].lo;
+      const NodeId b = pairs_[pab].hi;
+      const auto& na = adj[a];
+      const auto& nb = adj[b];
+      std::size_t ia = 0, ib = 0;
+      while (ia < na.size() && ib < nb.size()) {
+        if (na[ia].first < nb[ib].first) {
+          ++ia;
+        } else if (nb[ib].first < na[ia].first) {
+          ++ib;
+        } else {
+          const NodeId c = na[ia].first;
+          if (c > b) {
+            CountOneTriangle(a, b, c, pab, na[ia].second, nb[ib].second, acc);
+          }
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+
+  void CountOneTriangle(NodeId a, NodeId b, NodeId c, std::uint32_t pab,
+                        std::uint32_t pac, std::uint32_t pbc,
+                        std::unordered_map<std::uint64_t, std::uint64_t>* acc) {
+    // Symbols: a = 0, b = 1, c = 2 (PackAbstract canonicalizes anyway).
+    struct Role {
+      const PairTimeline* pair;
+      int lo_sym;
+      int hi_sym;
+    };
+    Role roles[3] = {{&pairs_[pab], 0, 1},
+                     {&pairs_[pac], 0, 2},
+                     {&pairs_[pbc], 1, 2}};
+    (void)a;
+    (void)b;
+    (void)c;
+    // The biggest timeline answers rank queries; the other two enumerate.
+    int zi = 0;
+    for (int r = 1; r < 3; ++r) {
+      if (roles[r].pair->times.size() > roles[zi].pair->times.size()) zi = r;
+    }
+    std::swap(roles[zi], roles[2]);
+    const Role& rx = roles[0];
+    const Role& ry = roles[1];
+    const Role& rz = roles[2];
+    const std::vector<Timestamp>& TX = rx.pair->times;
+    const std::vector<Timestamp>& TY = ry.pair->times;
+    const std::vector<Timestamp>& TZ = rz.pair->times;
+    for (std::size_t xi = 0; xi < TX.size(); ++xi) {
+      const Timestamp tx = TX[xi];
+      const std::size_t y0 = use_dw_ ? LowerIdx(TY, SatSub(tx, dw_)) : 0;
+      const std::size_t y1 =
+          use_dw_ ? UpperIdx(TY, SatAdd(tx, dw_)) : TY.size();
+      for (std::size_t yi = y0; yi < y1; ++yi) {
+        const Timestamp ty = TY[yi];
+        if (ty == tx) continue;
+        const Timestamp tmin = std::min(tx, ty);
+        const Timestamp tmax = std::max(tx, ty);
+        const bool x_first = tx < ty;
+        const int xs = rx.pair->dirs[xi] == 0 ? rx.lo_sym : rx.hi_sym;
+        const int xd = rx.pair->dirs[xi] == 0 ? rx.hi_sym : rx.lo_sym;
+        const int ys = ry.pair->dirs[yi] == 0 ? ry.lo_sym : ry.hi_sym;
+        const int yd = ry.pair->dirs[yi] == 0 ? ry.hi_sym : ry.lo_sym;
+        for (int pos = 0; pos < 3; ++pos) {
+          std::size_t z0, z1;
+          if (pos == 0) {  // z strictly before both, within tmax's window.
+            z0 = use_dw_ ? LowerIdx(TZ, SatSub(tmax, dw_)) : 0;
+            z1 = LowerIdx(TZ, tmin);
+          } else if (pos == 1) {  // z strictly between.
+            z0 = UpperIdx(TZ, tmin);
+            z1 = LowerIdx(TZ, tmax);
+          } else {  // z strictly after both, within tmin's window.
+            z0 = UpperIdx(TZ, tmax);
+            z1 = use_dw_ ? UpperIdx(TZ, SatAdd(tmin, dw_)) : TZ.size();
+          }
+          if (z1 <= z0) continue;
+          for (int zd = 0; zd < 2; ++zd) {
+            const std::uint64_t cnt =
+                RangeDirCount(rz.pair->dir_prefix, z0, z1, zd);
+            if (!cnt) continue;
+            const int zs = zd == 0 ? rz.lo_sym : rz.hi_sym;
+            const int zdd = zd == 0 ? rz.hi_sym : rz.lo_sym;
+            int srcs[3], dsts[3];
+            const int zslot = pos;
+            int fi = 0;
+            for (int slot = 0; slot < 3; ++slot) {
+              if (slot == zslot) {
+                srcs[slot] = zs;
+                dsts[slot] = zdd;
+              } else if (fi++ == 0) {
+                srcs[slot] = x_first ? xs : ys;
+                dsts[slot] = x_first ? xd : yd;
+              } else {
+                srcs[slot] = x_first ? ys : xs;
+                dsts[slot] = x_first ? yd : xd;
+              }
+            }
+            (*acc)[PackAbstract(srcs, dsts, 3)] += cnt;
+          }
+        }
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const EnumerationOptions& opt_;
+  const bool use_dw_;
+  const Timestamp dw_;
+  const bool static_induced_;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_index_;
+  std::vector<PairTimeline> pairs_;
+  std::unordered_map<NodeId, std::uint32_t> node_index_;
+  std::vector<NodeTimeline> nodes_;
+};
+
+}  // namespace detail
+
+/// Accumulates `sign` times the per-code counts of instances whose events
+/// all lie in [lo, hi) and pass `include(index)` into `deltas`. The
+/// building block of both range differences below and the streaming delta
+/// path.
+template <typename Graph, typename Include>
+void AccumulateWindow(const Graph& graph, const EnumerationOptions& options,
+                      EventIndex lo, EventIndex hi, const Include& include,
+                      std::int64_t sign, CodeDeltas* deltas) {
+  detail::WindowCounter<Graph> counter(graph, options);
+  counter.Count(lo, hi, include,
+                [&](std::uint64_t code, std::uint64_t count) {
+                  (*deltas)[code] += sign * static_cast<std::int64_t>(count);
+                });
+}
+
+/// Adds counts of instances with first event in [first_begin, first_end)
+/// into `table` — the fast-path drop-in for EnumerateCore +
+/// PackedTableSink. The caller clamps the range and has checked
+/// FastPathSupported. Evaluated as the suffix-window difference
+/// [first_begin, N) minus [first_end, N); suffix instance sets nest, so
+/// every per-code difference is non-negative.
+template <typename Graph>
+void CountRangeInto(const Graph& graph, const EnumerationOptions& options,
+                    EventIndex first_begin, EventIndex first_end,
+                    PackedMotifTable* table) {
+  const EventIndex n = static_cast<EventIndex>(graph.num_events());
+  const auto all = [](EventIndex) { return true; };
+  if (first_end >= n) {
+    detail::WindowCounter<Graph> counter(graph, options);
+    counter.Count(first_begin, n, all,
+                  [&](std::uint64_t code, std::uint64_t count) {
+                    table->Add(code, count);
+                  });
+    return;
+  }
+  CodeDeltas deltas;
+  AccumulateWindow(graph, options, first_begin, n, all, +1, &deltas);
+  AccumulateWindow(graph, options, first_end, n, all, -1, &deltas);
+  for (const auto& [code, delta] : deltas) {
+    TMOTIF_CHECK(delta >= 0);
+    if (delta > 0) table->Add(code, static_cast<std::uint64_t>(delta));
+  }
+}
+
+/// Total instance count over a first-event range (CountInstancesInRange's
+/// fast path).
+template <typename Graph>
+std::uint64_t CountRange(const Graph& graph, const EnumerationOptions& options,
+                         EventIndex first_begin, EventIndex first_end) {
+  const EventIndex n = static_cast<EventIndex>(graph.num_events());
+  const auto all = [](EventIndex) { return true; };
+  std::uint64_t with = 0;
+  std::uint64_t without = 0;
+  {
+    detail::WindowCounter<Graph> counter(graph, options);
+    counter.Count(first_begin, n, all,
+                  [&](std::uint64_t, std::uint64_t count) { with += count; });
+  }
+  if (first_end < n) {
+    detail::WindowCounter<Graph> counter(graph, options);
+    counter.Count(first_end, n, all, [&](std::uint64_t, std::uint64_t count) {
+      without += count;
+    });
+  }
+  TMOTIF_CHECK(with >= without);
+  return with - without;
+}
+
+}  // namespace fast_paths
+}  // namespace internal
+}  // namespace tmotif
+
+#endif  // TMOTIF_CORE_FAST_PATHS_FAST_PATH_H_

@@ -115,11 +115,17 @@ class PackedMotifTable {
 };
 
 /// Sink accumulating every emitted instance into a PackedMotifTable.
+/// Implements the optional batch half of the sink contract: a saturated
+/// edge run of `n` instances sharing one code collapses into a single
+/// table update instead of `n` Emit calls.
 struct PackedTableSink {
   PackedMotifTable* table;
   void Emit(const EventIndex*, int, std::uint64_t packed, const NodeId*,
             int) {
     table->Add(packed);
+  }
+  void EmitBatch(std::uint64_t packed, std::uint64_t n) {
+    table->Add(packed, n);
   }
 };
 

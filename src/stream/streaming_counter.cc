@@ -1,13 +1,16 @@
 #include "stream/streaming_counter.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <map>
+#include <thread>
 #include <unordered_set>
 
 #include "algorithms/parallel.h"
 #include "common/check.h"
 #include "core/enumerate_core.h"
+#include "core/fast_paths/fast_path.h"
 #include "core/packed_table.h"
 
 namespace tmotif {
@@ -223,19 +226,25 @@ StreamingMotifCounter::StreamingMotifCounter(const StreamConfig& config)
                   config_.options.inducedness != Inducedness::kNone;
   uses_static_inducedness_ =
       config_.options.inducedness == Inducedness::kStatic;
-  // The store factorization needs validity = candidate-predicate AND static
-  // coverage with a purely instance-local candidate predicate, so any other
-  // non-local predicate keeps the scoped-recount machinery in charge. It
-  // also needs anchors (first events) strictly older than the trailing tie
-  // group a batch merge renumbers — true exactly when instances span at
-  // least two (strictly increasing) timestamps, i.e. k >= 2.
+  // The store factorizes validity into a purely instance-local candidate
+  // predicate (connectivity, node cap, timing) and cached per-entry flags
+  // for everything non-local: the static coverage check (re-evaluated per
+  // flipped pair via the node-pair buckets) and, when set, the
+  // consecutive/CDG order predicates (re-evaluated only at the window
+  // boundaries that can change them — see IngestOrdered's store path).
   store_active_ = uses_static_inducedness_ &&
-                  config_.static_flips == StaticFlipStrategy::kInstanceStore &&
-                  !config_.options.consecutive_events_restriction &&
-                  !config_.options.cdg_restriction &&
-                  config_.options.num_events >= 2;
+                  config_.static_flips == StaticFlipStrategy::kInstanceStore;
+  track_tails_ = store_active_ &&
+                 (config_.options.consecutive_events_restriction ||
+                  config_.options.cdg_restriction) &&
+                 config_.options.num_events >= 2;
   candidate_options_ = config_.options;
-  if (store_active_) candidate_options_.inducedness = Inducedness::kNone;
+  if (store_active_) {
+    candidate_options_.inducedness = Inducedness::kNone;
+    candidate_options_.consecutive_events_restriction = false;
+    candidate_options_.cdg_restriction = false;
+    store_.SetTrackTails(track_tails_);
+  }
 }
 
 std::vector<std::pair<MotifCode, std::uint64_t>>
@@ -395,6 +404,11 @@ void StreamingMotifCounter::RecountWindow() {
   ++stats_.full_recounts;
   if (store_active_) {
     RebuildStore();
+  } else if (internal::fast_paths::FastPathSupported(config_.options)) {
+    internal::PackedMotifTable table;
+    internal::fast_paths::CountRangeInto(live_, config_.options, 0,
+                                         live_.num_events(), &table);
+    AddTable(table, &counts_);
   } else {
     AddTable(internal::CountPackedSharded(live_, config_.options, 0,
                                           live_.num_events(),
@@ -413,11 +427,33 @@ void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
 }
 
 void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
-  const internal::PackedMotifTable added = internal::CountPackedShardedWith(
-      live_, config_.options, begin, live_.num_events(), config_.num_threads,
-      [this](internal::PackedMotifTable* table) {
-        return NewInstanceSink{&is_new_, table};
-      });
+  internal::PackedMotifTable added;
+  if (internal::fast_paths::FastPathSupported(config_.options)) {
+    // Suffix difference with an exclude-new filter: every instance that
+    // contains a new event ends in one (no old event follows a new one in
+    // time), so [begin, N) counted over all events minus the same window
+    // counted over old events only is exactly the arrivals, per code.
+    const EventIndex n = live_.num_events();
+    const auto all = [](EventIndex) { return true; };
+    const auto old_only = [this](EventIndex i) {
+      return is_new_[static_cast<std::size_t>(i)] == 0;
+    };
+    internal::fast_paths::CodeDeltas deltas;
+    internal::fast_paths::AccumulateWindow(live_, config_.options, begin, n,
+                                           all, +1, &deltas);
+    internal::fast_paths::AccumulateWindow(live_, config_.options, begin, n,
+                                           old_only, -1, &deltas);
+    for (const auto& [code, delta] : deltas) {
+      TMOTIF_CHECK(delta >= 0);
+      if (delta > 0) added.Add(code, static_cast<std::uint64_t>(delta));
+    }
+  } else {
+    added = internal::CountPackedShardedWith(
+        live_, config_.options, begin, live_.num_events(),
+        config_.num_threads, [this](internal::PackedMotifTable* table) {
+          return NewInstanceSink{&is_new_, table};
+        });
+  }
   stats_.instances_added += added.total();
   AddTable(added, &counts_);
 }
@@ -436,19 +472,79 @@ void StreamingMotifCounter::RebuildStore() {
 template <typename Keep>
 void StreamingMotifCounter::StoreAddCandidates(EventIndex lo, EventIndex hi,
                                                Keep keep, bool count_churn) {
-  internal::PackedMotifTable added;
-  auto sink = MakeNodeFnSink([&](const EventIndex* chosen, int k,
-                                 std::uint64_t packed, const NodeId* nodes,
-                                 int num_nodes) {
-    if (!keep(chosen, k)) return;
+  struct Candidate {
+    std::array<std::uint64_t, internal::kMaxCoreEvents> ids;
+    std::array<NodeId, internal::kMaxCoreNodes> nodes;
+    std::uint64_t packed;
+    std::int8_t num_events;
+    std::int8_t num_nodes;
+    std::int8_t distinct_pairs;
+    bool covered;
+    bool order_valid;
+  };
+  // All validity flags are evaluated here, against the quiescent live
+  // indices — read-only, so workers can evaluate concurrently.
+  const auto evaluate = [this](const EventIndex* chosen, int k,
+                               std::uint64_t packed, const NodeId* nodes,
+                               int num_nodes, Candidate* c) {
+    for (int i = 0; i < k; ++i) {
+      c->ids[static_cast<std::size_t>(i)] =
+          id_offset_ + static_cast<std::uint64_t>(chosen[i]);
+    }
+    for (int d = 0; d < num_nodes; ++d) {
+      c->nodes[static_cast<std::size_t>(d)] = nodes[d];
+    }
+    c->packed = packed;
+    c->num_events = static_cast<std::int8_t>(k);
+    c->num_nodes = static_cast<std::int8_t>(num_nodes);
     const int distinct = internal::PackedDistinctPairCount(packed, k);
-    const bool counted =
-        distinct == ScopeStaticEdges(live_, nodes, num_nodes);
-    store_.Insert(id_offset_ + static_cast<std::uint64_t>(chosen[0]), packed,
-                  nodes, num_nodes, distinct, counted);
-    if (counted) added.Add(packed);
-  });
-  internal::EnumerateCore(live_, candidate_options_, lo, hi, sink);
+    c->distinct_pairs = static_cast<std::int8_t>(distinct);
+    c->covered = distinct == ScopeStaticEdges(live_, nodes, num_nodes);
+    c->order_valid =
+        !track_tails_ || OrderValidAt(chosen, k, nodes, num_nodes);
+  };
+  internal::PackedMotifTable added;
+  const auto insert = [&](const Candidate& c) {
+    store_.Insert(c.ids.data(), c.num_events, c.packed, c.nodes.data(),
+                  c.num_nodes, c.distinct_pairs, c.covered, c.order_valid);
+    if (c.covered && c.order_valid) added.Add(c.packed);
+  };
+  if (config_.num_threads > 1 && hi - lo >= 64) {
+    // Sharded population: workers enumerate disjoint first-event ranges and
+    // evaluate candidates; insertion stays serial, in shard order, so ids,
+    // slot order and bucket order are identical to a serial run.
+    const auto shards = MakeEventShards(lo, hi, config_.num_threads);
+    std::vector<std::vector<Candidate>> partials(shards.size());
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      workers.emplace_back([&, s] {
+        auto sink = MakeNodeFnSink([&, s](const EventIndex* chosen, int k,
+                                          std::uint64_t packed,
+                                          const NodeId* nodes, int num_nodes) {
+          if (!keep(chosen, k)) return;
+          partials[s].emplace_back();
+          evaluate(chosen, k, packed, nodes, num_nodes, &partials[s].back());
+        });
+        internal::EnumerateCore(live_, candidate_options_, shards[s].first,
+                                shards[s].second, sink);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const std::vector<Candidate>& partial : partials) {
+      for (const Candidate& c : partial) insert(c);
+    }
+  } else {
+    auto sink = MakeNodeFnSink([&](const EventIndex* chosen, int k,
+                                   std::uint64_t packed, const NodeId* nodes,
+                                   int num_nodes) {
+      if (!keep(chosen, k)) return;
+      Candidate c;
+      evaluate(chosen, k, packed, nodes, num_nodes, &c);
+      insert(c);
+    });
+    internal::EnumerateCore(live_, candidate_options_, lo, hi, sink);
+  }
   if (count_churn) stats_.instances_added += added.total();
   AddTable(added, &counts_);
 }
@@ -476,10 +572,13 @@ void StreamingMotifCounter::StoreProcessFlips(
       const bool covered =
           entry.distinct_pairs ==
           ScopeStaticEdges(live_, entry.nodes.data(), entry.num_nodes);
-      if (covered == entry.counted) return;
-      entry.counted = covered;
-      store_.NoteCountedChange(covered);
-      if (covered) {
+      if (covered == entry.covered) return;
+      entry.covered = covered;
+      const bool counted = covered && entry.order_valid;
+      if (counted == entry.counted) return;
+      entry.counted = counted;
+      store_.NoteCountedChange(counted);
+      if (counted) {
         admitted.Add(entry.packed);
       } else {
         retired.Add(entry.packed);
@@ -489,6 +588,116 @@ void StreamingMotifCounter::StoreProcessFlips(
   stats_.store_admitted += admitted.total();
   stats_.store_retired += retired.total();
   ++stats_.store_flip_batches;
+  AddTable(admitted, &counts_);
+  SubtractTable(retired, &counts_);
+}
+
+bool StreamingMotifCounter::OrderValidAt(const EventIndex* pos, int k,
+                                         const NodeId* nodes,
+                                         int num_nodes) const {
+  // Mirrors the enumeration core's per-candidate checks exactly
+  // (core/enumerate_core.h): CDG rejects another event on a gap's closing
+  // edge inside the closed gap interval (same-edge gaps exempt);
+  // consecutive rejects any interloper strictly between a node's successive
+  // instance touches.
+  if (config_.options.cdg_restriction) {
+    for (int i = 1; i < k; ++i) {
+      const EventIndex a = pos[i - 1];
+      const EventIndex b = pos[i];
+      if (live_.event_src(a) == live_.event_src(b) &&
+          live_.event_dst(a) == live_.event_dst(b)) {
+        continue;
+      }
+      if (live_.HasAdjacentEdgeEventInRange(b, live_.event_time(a),
+                                            live_.event_time(b))) {
+        return false;
+      }
+    }
+  }
+  if (config_.options.consecutive_events_restriction) {
+    for (int d = 0; d < num_nodes; ++d) {
+      const NodeId node = nodes[d];
+      EventIndex prev = -1;
+      for (int i = 0; i < k; ++i) {
+        const EventIndex p = pos[i];
+        if (live_.event_src(p) != node && live_.event_dst(p) != node) {
+          continue;
+        }
+        if (prev >= 0 && live_.HasIncidentInIndexRange(node, prev, p)) {
+          return false;
+        }
+        prev = p;
+      }
+    }
+  }
+  return true;
+}
+
+void StreamingMotifCounter::ReevaluateTailOrder(std::uint64_t id_begin,
+                                                std::uint64_t id_end) {
+  internal::PackedMotifTable admitted;
+  internal::PackedMotifTable retired;
+  store_.ForEachTailAnchored(
+      id_begin, id_end,
+      [&](LiveInstanceStore::Entry& entry, std::uint64_t tail_id) {
+        // The tail slot is positional truth: interleaved arrivals shifted
+        // this entry's last event in lockstep with the slot.
+        entry.event_ids[static_cast<std::size_t>(entry.num_events - 1)] =
+            tail_id;
+        ++stats_.store_order_rechecks;
+        EventIndex pos[internal::kMaxCoreEvents];
+        for (int i = 0; i < entry.num_events; ++i) {
+          pos[i] = static_cast<EventIndex>(
+              entry.event_ids[static_cast<std::size_t>(i)] - id_offset_);
+        }
+        const bool valid = OrderValidAt(pos, entry.num_events,
+                                        entry.nodes.data(), entry.num_nodes);
+        if (valid == entry.order_valid) return;
+        entry.order_valid = valid;
+        const bool counted = entry.covered && valid;
+        if (counted == entry.counted) return;
+        entry.counted = counted;
+        store_.NoteCountedChange(counted);
+        if (counted) {
+          admitted.Add(entry.packed);
+        } else {
+          retired.Add(entry.packed);
+        }
+      });
+  stats_.store_admitted += admitted.total();
+  stats_.store_retired += retired.total();
+  AddTable(admitted, &counts_);
+  SubtractTable(retired, &counts_);
+}
+
+void StreamingMotifCounter::ReevaluateAnchorOrder(std::uint64_t id_begin,
+                                                  std::uint64_t id_end) {
+  internal::PackedMotifTable admitted;
+  internal::PackedMotifTable retired;
+  store_.ForEachAnchoredInRange(
+      id_begin, id_end, [&](LiveInstanceStore::Entry& entry) {
+        ++stats_.store_order_rechecks;
+        EventIndex pos[internal::kMaxCoreEvents];
+        for (int i = 0; i < entry.num_events; ++i) {
+          pos[i] = static_cast<EventIndex>(
+              entry.event_ids[static_cast<std::size_t>(i)] - id_offset_);
+        }
+        const bool valid = OrderValidAt(pos, entry.num_events,
+                                        entry.nodes.data(), entry.num_nodes);
+        if (valid == entry.order_valid) return;
+        entry.order_valid = valid;
+        const bool counted = entry.covered && valid;
+        if (counted == entry.counted) return;
+        entry.counted = counted;
+        store_.NoteCountedChange(counted);
+        if (counted) {
+          admitted.Add(entry.packed);
+        } else {
+          retired.Add(entry.packed);
+        }
+      });
+  stats_.store_admitted += admitted.total();
+  stats_.store_retired += retired.total();
   AddTable(admitted, &counts_);
   SubtractTable(retired, &counts_);
 }
@@ -567,19 +776,52 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
 
   if (store_active_) {
     // Store path: candidate validity is instance-local, so survivors never
-    // flip as candidates — no boundary-tie corrections. The store absorbs
-    // every static-edge flip by retiring/admitting exactly the instances
-    // whose node set spans a flipped pair, and the only enumerations left
-    // are the same retract/add deltas every model pays.
+    // flip as candidates. The store absorbs every static-edge flip by
+    // retiring/admitting exactly the instances whose node set spans a
+    // flipped pair, and caches the order predicates (consecutive/CDG) per
+    // entry — those can only flip for entries whose first event ties the
+    // eviction boundary (an evicted same-time interloper can un-violate a
+    // CDG gap) or whose last event ties the arriving batch's earliest
+    // timestamp (an interleaving arrival can violate the final gap), so
+    // two boundary sweeps over the tie groups keep every flag exact. The
+    // only enumerations left are the same retract/add deltas every model
+    // pays.
     const std::vector<std::pair<NodeId, NodeId>> flips =
         CollectStaticEdgeFlips(plan.num_evict, batch, plan.batch_begin);
+    const bool evict_tie =
+        n_evict > 0 &&
+        live_.event_time(n_evict - 1) == live_.event_time(n_evict);
+    const Timestamp t_ev = n_evict > 0 ? live_.event_time(n_evict - 1) : 0;
+    const Timestamp old_surviving_max =
+        live_.event_time(static_cast<EventIndex>(old_size) - 1);
+    const bool append_tie =
+        num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
     if (n_evict > 0) StoreEvict(plan.num_evict);
     live_.BeginUpdate(plan, batch);
     window_.Apply(plan, batch, &new_positions_);
     live_.FinishUpdate();
     id_offset_ += plan.num_evict;
+    // Batch events interleaving within the trailing tie group renumber the
+    // resident tie-group events; opening store slots at the entered ids
+    // (ascending, so each insertion accounts for the previous) shifts the
+    // anchored entries in lockstep — anchors for k == 1, tails always.
+    for (const std::size_t p : new_positions_) {
+      store_.SpliceSlot(id_offset_ + p);
+    }
     InvalidateSnapshot();
     StoreProcessFlips(flips);  // Post-apply edge state.
+    if (track_tails_ && append_tie) {
+      ReevaluateTailOrder(
+          id_offset_ + static_cast<std::uint64_t>(
+                           live_.LowerBoundTime(old_surviving_max)),
+          id_offset_ + static_cast<std::uint64_t>(
+                           live_.UpperBoundTime(old_surviving_max)));
+    }
+    if (track_tails_ && config_.options.cdg_restriction && evict_tie) {
+      ReevaluateAnchorOrder(
+          id_offset_,
+          id_offset_ + static_cast<std::uint64_t>(live_.UpperBoundTime(t_ev)));
+    }
     if (num_new > 0) {
       is_new_.assign(window_.size(), 0);
       for (const std::size_t p : new_positions_) is_new_[p] = 1;
@@ -604,10 +846,9 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   const bool append_tie =
       num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
 
-  // Static inducedness without the store (scoped-recount strategy, or a
-  // config that also sets consecutive/CDG): when the window's static edge
-  // set changes, survivor instances whose node set spans a flipped pair
-  // change validity. The scoped correction subtracts exactly those
+  // Static inducedness without the store (scoped-recount strategy): when
+  // the window's static edge set changes, survivor instances whose node set
+  // spans a flipped pair change validity. The scoped correction subtracts exactly those
   // instances at pre-flip validity here and re-adds them at post-flip
   // validity after the window slides — a neighborhood-restricted recount.
   // The full-window fallback remains for batches where a flip coincides
@@ -644,8 +885,32 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   // when its first event is evicted. Runs on the live pre-update indices.
   if (n_evict > 0) {
     internal::PackedMotifTable retracted;
-    internal::PackedTableSink sink{&retracted};
-    internal::EnumerateCore(live_, config_.options, 0, n_evict, sink);
+    if (internal::fast_paths::FastPathSupported(config_.options)) {
+      // Prefix-window difference: every instance anchored in [0, n_evict)
+      // fits inside [0, hi1) (the span bound caps how far its last event
+      // can reach), so counting that window with and without the evicted
+      // prefix isolates exactly the retractions, per code.
+      const EventIndex hi1 =
+          span.has_value()
+              ? live_.UpperBoundTime(internal::fast_paths::detail::SatAdd(
+                    live_.event_time(n_evict - 1), *span))
+              : live_.num_events();
+      const auto all = [](EventIndex) { return true; };
+      internal::fast_paths::CodeDeltas deltas;
+      internal::fast_paths::AccumulateWindow(live_, config_.options, 0, hi1,
+                                             all, +1, &deltas);
+      internal::fast_paths::AccumulateWindow(live_, config_.options, n_evict,
+                                             hi1, all, -1, &deltas);
+      for (const auto& [code, delta] : deltas) {
+        TMOTIF_CHECK(delta >= 0);
+        if (delta > 0) {
+          retracted.Add(code, static_cast<std::uint64_t>(delta));
+        }
+      }
+    } else {
+      internal::PackedTableSink sink{&retracted};
+      internal::EnumerateCore(live_, config_.options, 0, n_evict, sink);
+    }
     stats_.instances_retracted += retracted.total();
     SubtractTable(retracted, &counts_);
   }
@@ -804,6 +1069,16 @@ void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
   };
 
   if (store_active_) {
+    if (track_tails_) {
+      // A spliced event lands between resident events in both index and
+      // time, so it can violate a consecutive/CDG gap of any entry in the
+      // window — no boundary to sweep. Recount (late events are the rare
+      // case the lateness horizon already bounds).
+      ApplySplice(plan.num_evict, late, plan.batch_begin);
+      RecountWindow();
+      ++stats_.late_recounts;
+      return;
+    }
     // Fully incremental: evict, splice (slots realign), absorb the static
     // flips through the store, then add the candidates that contain a
     // spliced event (the only new ones — existing candidates are immune to

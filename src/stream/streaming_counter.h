@@ -20,9 +20,10 @@ namespace tmotif {
 enum class StaticFlipStrategy {
   /// Node-pair live-instance store (stream/instance_store.h): every flip
   /// retires/admits exactly the affected instances, O(affected), at any
-  /// batch size — the default. Requires static inducedness to be the only
-  /// non-local predicate; configs that also set consecutive-events or CDG
-  /// fall back to the scoped-recount machinery automatically.
+  /// batch size — the default. Handles every static-inducedness config,
+  /// including ones that also set consecutive-events or CDG (order validity
+  /// is cached per stored candidate and re-evaluated only at the window
+  /// boundaries that can change it).
   kInstanceStore,
   /// Verification/debug mode: the pre-store scoped neighborhood recount
   /// (hop-ball root collection with full-window fallback). Slower on
@@ -82,6 +83,9 @@ struct IngestStats {
   std::uint64_t store_entries_touched = 0;
   std::uint64_t store_admitted = 0;
   std::uint64_t store_retired = 0;
+  /// Store entries whose consecutive/CDG verdict was re-evaluated at a
+  /// window boundary (store strategy with an order predicate).
+  std::uint64_t store_order_rechecks = 0;
   /// Out-of-order ingestion: late events spliced into the window, late
   /// events beyond the lateness horizon (dropped), late batches applied as
   /// delta corrections, and late batches that recounted the window.
@@ -158,7 +162,7 @@ class StreamingMotifCounter {
   const StreamConfig& config() const { return config_; }
   const IngestStats& stats() const { return stats_; }
   /// True when static flips are absorbed by the live-instance store (static
-  /// inducedness with no other non-local predicate, store strategy).
+  /// inducedness with the store strategy).
   bool store_active() const { return store_active_; }
   /// Live candidate instances held by the store (its memory driver; 0 when
   /// the store is inactive). See docs/STREAMING.md for the memory model.
@@ -204,12 +208,29 @@ class StreamingMotifCounter {
   void StoreProcessFlips(
       const std::vector<std::pair<NodeId, NodeId>>& flips);
   /// Enumerates candidates with first event in [lo, hi) accepted by
-  /// `keep(chosen, k)`, inserts them, and counts the covered ones.
+  /// `keep(chosen, k)`, inserts them, and counts the valid ones.
   /// `count_churn` feeds `instances_added` (false for rebuilds, which are
   /// recounts, matching the non-store recount path's stat semantics).
+  /// Sharded over `StreamConfig::num_threads` (evaluation in workers,
+  /// insertion serial in shard order, so ids and bucket order stay
+  /// deterministic).
   template <typename Keep>
   void StoreAddCandidates(EventIndex lo, EventIndex hi, Keep keep,
                           bool count_churn = true);
+  /// Order-predicate (consecutive/CDG) verdict of an instance given as
+  /// current window positions + digit-ordered nodes, evaluated against the
+  /// live indices — the cached-flag source of truth.
+  bool OrderValidAt(const EventIndex* pos, int k, const NodeId* nodes,
+                    int num_nodes) const;
+  /// Re-evaluates the order verdict of every store entry whose LAST event
+  /// id lies in [id_begin, id_end), re-syncing the stored last-event id
+  /// from the tail slot first (arrivals interleaving in the trailing tie
+  /// group are the only thing that shifts it). Admits/retires on change.
+  void ReevaluateTailOrder(std::uint64_t id_begin, std::uint64_t id_end);
+  /// Same for entries whose FIRST event id lies in the range (the eviction
+  /// boundary tie group, where an evicted same-time interloper can
+  /// un-violate a CDG gap).
+  void ReevaluateAnchorOrder(std::uint64_t id_begin, std::uint64_t id_end);
 
   // --- Scoped-recount (verification/debug) machinery. ---
 
@@ -259,11 +280,16 @@ class StreamingMotifCounter {
   StreamConfig config_;
   bool has_nonlocal_ = false;
   bool uses_static_inducedness_ = false;
-  /// Static flips handled by the live-instance store (static inducedness is
-  /// the only non-local predicate and the strategy selects the store).
+  /// Static flips handled by the live-instance store (static inducedness
+  /// with the store strategy — every config).
   bool store_active_ = false;
-  /// `options` with the static coverage check stripped — the candidate
-  /// predicate the store path enumerates with (purely instance-local).
+  /// Store path with an order predicate (consecutive/CDG, k >= 2): entries
+  /// carry event ids and the store maintains a last-event (tail) index so
+  /// order verdicts can be re-evaluated at the window boundaries.
+  bool track_tails_ = false;
+  /// `options` with the static coverage check and order predicates stripped
+  /// — the candidate predicate the store path enumerates with (purely
+  /// instance-local; the stripped parts are cached per entry).
   EnumerationOptions candidate_options_;
 
   StreamWindow window_;

@@ -1,0 +1,227 @@
+// Differential tests for the specialized k <= 3 counting fast paths
+// (core/fast_paths/): for every option combination the dispatcher routes to
+// the closed-form counters, the dispatched CountMotifs / CountInstances must
+// agree code-for-code with BOTH the brute-force reference oracle and the
+// generic DFS engine forced through internal::EnumerateCore — three
+// independent implementations, one answer. Range counting is checked the
+// same way on sub-ranges (the window-difference identity), and a dispatch
+// guard pins FastPathSupported itself so the grid cannot silently stop
+// exercising the specialized code.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/enumerate_core.h"
+#include "core/enumerator.h"
+#include "core/fast_paths/fast_path.h"
+#include "core/packed_table.h"
+#include "testing/random_graphs.h"
+#include "testing/reference_oracle.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+using testing::ReferenceCountMotifs;
+
+RandomGraphSpec TinySpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 5;
+  spec.num_events = 14;
+  spec.max_time = 20;
+  spec.prob_duplicate_time = 0.4;
+  return spec;
+}
+
+RandomGraphSpec WideSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_events = 16;
+  spec.max_time = 40;
+  spec.prob_duplicate_time = 0.25;
+  return spec;
+}
+
+EnumerationOptions Opts(int k, int max_nodes, TimingConstraints timing = {},
+                        Inducedness inducedness = Inducedness::kNone) {
+  EnumerationOptions o;
+  o.num_events = k;
+  o.max_nodes = max_nodes;
+  o.timing = timing;
+  o.inducedness = inducedness;
+  return o;
+}
+
+/// The generic engine with dispatch bypassed: always internal::EnumerateCore
+/// into a packed table, never the fast paths.
+MotifCounts ForcedGenericCount(const TemporalGraph& graph,
+                               const EnumerationOptions& options,
+                               EventIndex first_begin, EventIndex first_end) {
+  internal::PackedMotifTable table;
+  internal::PackedTableSink sink{&table};
+  internal::EnumerateCore(graph, options, first_begin, first_end, sink);
+  MotifCounts counts;
+  table.ForEach([&](std::uint64_t packed, std::uint64_t count) {
+    counts.Add(internal::PackedCodeToString(packed), count);
+  });
+  return counts;
+}
+
+std::string Describe(const MotifCounts& counts) {
+  std::string out;
+  for (const auto& [code, count] : counts.SortedByCode()) {
+    out += code + ":" + std::to_string(count) + " ";
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+struct FastPathCase {
+  const char* name;
+  EnumerationOptions options;
+};
+
+std::ostream& operator<<(std::ostream& os, const FastPathCase& c) {
+  return os << c.name;
+}
+
+/// Every combination FastPathSupported accepts, by counter family: the
+/// 2-node event-sequence DP (max_nodes == 2), the wedge/star/triangle
+/// counters (k == 3, max_nodes == 3), the k <= 2 closed forms, and the
+/// k == 1 trivial paths where even inducedness is a per-event lookup.
+const std::vector<FastPathCase> DispatchedCases() {
+  return {
+      {"k1_vanilla", Opts(1, 2)},
+      {"k1_static", Opts(1, 2, {}, Inducedness::kStatic)},
+      {"k1_temporal_window", Opts(1, 2, {}, Inducedness::kTemporalWindow)},
+      {"k2_pair_unbounded", Opts(2, 2)},
+      {"k2_pair_dw", Opts(2, 2, TimingConstraints::OnlyDeltaW(8))},
+      {"k2_pair_static", Opts(2, 2, {}, Inducedness::kStatic)},
+      {"k2_n3_unbounded", Opts(2, 3)},
+      {"k2_n3_dw", Opts(2, 3, TimingConstraints::OnlyDeltaW(10))},
+      {"k3_pair_unbounded", Opts(3, 2)},
+      {"k3_pair_dw", Opts(3, 2, TimingConstraints::OnlyDeltaW(8))},
+      {"k3_pair_static_dw",
+       Opts(3, 2, TimingConstraints::OnlyDeltaW(8), Inducedness::kStatic)},
+      {"k3_n3_unbounded", Opts(3, 3)},
+      {"k3_n3_dw_tight", Opts(3, 3, TimingConstraints::OnlyDeltaW(6))},
+      {"k3_n3_dw_loose", Opts(3, 3, TimingConstraints::OnlyDeltaW(25))},
+  };
+}
+
+class FastPathDifferentialTest
+    : public ::testing::TestWithParam<FastPathCase> {};
+
+// Three-way differential on full graphs: fast path == generic DFS ==
+// brute-force oracle, code for code, over both graph shapes.
+TEST_P(FastPathDifferentialTest, MatchesOracleAndGenericEngine) {
+  const FastPathCase& c = GetParam();
+  ASSERT_TRUE(internal::fast_paths::FastPathSupported(c.options)) << c.name;
+  int nonzero = 0;
+  for (const RandomGraphSpec& spec : {TinySpec(), WideSpec()}) {
+    ForEachRandomGraph(
+        0xfa57 + static_cast<std::uint64_t>(spec.num_nodes), 8, spec,
+        [&](std::uint64_t seed, const TemporalGraph& g) {
+          const MotifCounts fast = CountMotifs(g, c.options);
+          const MotifCounts generic =
+              ForcedGenericCount(g, c.options, 0, g.num_events());
+          const MotifCounts oracle = ReferenceCountMotifs(g, c.options);
+          const std::string label = std::string(c.name) + " seed=" +
+                                    std::to_string(seed) + " " +
+                                    spec.ToString();
+          ASSERT_EQ(fast.SortedByCode(), generic.SortedByCode())
+              << label << ": fast=" << Describe(fast)
+              << " generic=" << Describe(generic);
+          ASSERT_EQ(fast.SortedByCode(), oracle.SortedByCode())
+              << label << ": fast=" << Describe(fast)
+              << " oracle=" << Describe(oracle);
+          ASSERT_EQ(CountInstances(g, c.options), oracle.total()) << label;
+          if (fast.total() > 0) ++nonzero;
+        });
+  }
+  EXPECT_GT(nonzero, 0) << c.name;  // The case must count something.
+}
+
+// Range counting: the window-difference evaluation of
+// CountMotifsInRange(b, e) must agree with the generic engine restricted to
+// the same first-event range, and adjacent ranges must sum to the whole.
+TEST_P(FastPathDifferentialTest, RangeCountsMatchGenericAndCompose) {
+  const FastPathCase& c = GetParam();
+  ForEachRandomGraph(
+      0x4a6e5, 6, TinySpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        const EventIndex n = g.num_events();
+        const std::vector<std::pair<EventIndex, EventIndex>> ranges = {
+            {0, n}, {0, n / 2}, {n / 2, n}, {n / 3, (2 * n) / 3}, {n - 1, n}};
+        for (const auto& [begin, end] : ranges) {
+          const MotifCounts fast = CountMotifsInRange(g, c.options, begin, end);
+          const MotifCounts generic =
+              ForcedGenericCount(g, c.options, begin, end);
+          ASSERT_EQ(fast.SortedByCode(), generic.SortedByCode())
+              << c.name << " seed=" << seed << " range=[" << begin << ","
+              << end << "): fast=" << Describe(fast)
+              << " generic=" << Describe(generic);
+          ASSERT_EQ(CountInstancesInRange(g, c.options, begin, end),
+                    fast.total())
+              << c.name << " seed=" << seed;
+        }
+        // Split composition: counts partition by first-event index.
+        const MotifCounts whole = CountMotifsInRange(g, c.options, 0, n);
+        MotifCounts sum;
+        for (const auto& [code, count] :
+             CountMotifsInRange(g, c.options, 0, n / 2).SortedByCode()) {
+          sum.Add(code, count);
+        }
+        for (const auto& [code, count] :
+             CountMotifsInRange(g, c.options, n / 2, n).SortedByCode()) {
+          sum.Add(code, count);
+        }
+        ASSERT_EQ(sum.SortedByCode(), whole.SortedByCode())
+            << c.name << " seed=" << seed;
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FastPathDifferentialTest, ::testing::ValuesIn(DispatchedCases()),
+    [](const ::testing::TestParamInfo<FastPathCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Dispatch-coverage guard: the grid above is only meaningful while these
+// combinations actually route to the fast paths, and the generic engine
+// must keep owning everything the counters do not implement. A change to
+// FastPathSupported shows up here before it silently redirects the grid.
+TEST(FastPathDispatch, SupportedAndUnsupportedCombinations) {
+  for (const FastPathCase& c : DispatchedCases()) {
+    EXPECT_TRUE(internal::fast_paths::FastPathSupported(c.options)) << c.name;
+  }
+
+  // k >= 4 never dispatches.
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(Opts(4, 4)));
+  // dC gaps require the DFS gap pruning.
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(
+      Opts(3, 3, TimingConstraints::OnlyDeltaC(5))));
+  // Order predicates are DFS-only.
+  EnumerationOptions consec = Opts(3, 3);
+  consec.consecutive_events_restriction = true;
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(consec));
+  EnumerationOptions cdg = Opts(3, 3);
+  cdg.cdg_restriction = true;
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(cdg));
+  // Temporal-window inducedness is only trivial at k == 1.
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(
+      Opts(2, 2, {}, Inducedness::kTemporalWindow)));
+  // Static inducedness beyond node pairs needs the DFS scope checks.
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(
+      Opts(3, 3, {}, Inducedness::kStatic)));
+  // Instance caps imply early termination, which totals-only counters
+  // cannot honor.
+  EnumerationOptions capped = Opts(3, 3);
+  capped.max_instances = 10;
+  EXPECT_FALSE(internal::fast_paths::FastPathSupported(capped));
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -92,6 +92,7 @@ void AccumulateGridStats(const IngestStats& stats) {
   g_grid_stats.store_flip_batches += stats.store_flip_batches;
   g_grid_stats.store_admitted += stats.store_admitted;
   g_grid_stats.store_retired += stats.store_retired;
+  g_grid_stats.store_order_rechecks += stats.store_order_rechecks;
 }
 
 /// Replays `graph`'s events through a streaming counter and checks every
@@ -266,7 +267,21 @@ INSTANTIATE_TEST_SUITE_P(
                    DenseSpec(), 6},
         StreamCase{"k4_dw", Opts(4, 4, TimingConstraints::OnlyDeltaW(16)),
                    SmallSpec(), 4},
-        StreamCase{"k1", Opts(1, 2), DenseSpec(), 4}),
+        StreamCase{"k1", Opts(1, 2), DenseSpec(), 4},
+        // The formerly store-gated configurations, now store-active: k=1
+        // static inducedness (anchor-renumbering fix) and the order
+        // predicates combined with static inducedness (cached order_valid
+        // plus boundary revalidation sweeps).
+        StreamCase{"k1_static",
+                   Opts(1, 2, {}, false, false, Inducedness::kStatic),
+                   DenseSpec(), 4},
+        StreamCase{"static_consecutive",
+                   Opts(3, 3, {}, true, false, Inducedness::kStatic),
+                   DenseSpec(), 6},
+        StreamCase{"static_cdg",
+                   Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false, true,
+                        Inducedness::kStatic),
+                   DenseSpec(), 6}),
     [](const ::testing::TestParamInfo<StreamCase>& info) {
       return std::string(info.param.name);
     });
@@ -466,6 +481,74 @@ TEST(StreamingMotifCounter, StaticPresetsStreamWithoutRecountFallbacks) {
           }
         }
       });
+}
+
+// The lifted store gates: k=1 (whose tie-group anchor renumbering used to
+// force the scoped-recount fallback) and the consecutive/CDG + static
+// combinations (whose order predicates are now cached per candidate and
+// revalidated only at the window boundaries) must stream store-active with
+// ZERO recount fallbacks of any kind after startup, while staying exact on
+// every snapshot.
+TEST(StreamingMotifCounter, LiftedStoreGatesStreamWithoutFallbacks) {
+  struct LiftedCase {
+    const char* name;
+    EnumerationOptions options;
+    /// Order-predicate cases must actually revalidate at boundaries.
+    bool expect_order_rechecks;
+  };
+  const std::vector<LiftedCase> cases = {
+      {"k1_static", Opts(1, 2, {}, false, false, Inducedness::kStatic), false},
+      {"static_consecutive", Opts(3, 3, {}, true, false, Inducedness::kStatic),
+       true},
+      {"static_cdg",
+       Opts(3, 3, TimingConstraints::OnlyDeltaC(12), false, true,
+            Inducedness::kStatic),
+       true},
+  };
+  for (const LiftedCase& c : cases) {
+    IngestStats totals;
+    ForEachRandomGraph(
+        0x11f7ed, 6, DenseSpec(),
+        [&](std::uint64_t seed, const TemporalGraph& g) {
+          for (const std::size_t batch_size : {std::size_t{1}, std::size_t{3}}) {
+            StreamConfig config;
+            config.options = c.options;
+            config.window = WindowPolicy::CountBased(10);
+            StreamingMotifCounter counter(config);
+            ASSERT_TRUE(counter.store_active()) << c.name;
+            const std::vector<Event>& all = g.events();
+            for (std::size_t begin = 0; begin < all.size();
+                 begin += batch_size) {
+              const std::size_t end = std::min(all.size(), begin + batch_size);
+              counter.Ingest(std::vector<Event>(
+                  all.begin() + static_cast<std::ptrdiff_t>(begin),
+                  all.begin() + static_cast<std::ptrdiff_t>(end)));
+              const MotifCounts expected =
+                  CountMotifs(counter.window_graph(), c.options);
+              ASSERT_EQ(counter.counts().SortedByCode(),
+                        expected.SortedByCode())
+                  << c.name << " seed=" << seed << " after " << end
+                  << " events: streaming=" << DescribeCounts(counter.counts())
+                  << " batch=" << DescribeCounts(expected);
+            }
+            const std::string label = std::string(c.name) + " seed=" +
+                                      std::to_string(seed) + " batch=" +
+                                      std::to_string(batch_size);
+            const IngestStats& stats = counter.stats();
+            EXPECT_LE(stats.full_recounts, 1u) << label;  // Startup only.
+            EXPECT_EQ(stats.static_fallbacks, 0u) << label;
+            EXPECT_EQ(stats.scoped_static_recounts, 0u) << label;
+            totals.store_flip_batches += stats.store_flip_batches;
+            totals.store_order_rechecks += stats.store_order_rechecks;
+          }
+        });
+    EXPECT_GT(totals.store_flip_batches, 0u) << c.name;
+    if (c.expect_order_rechecks) {
+      EXPECT_GT(totals.store_order_rechecks, 0u) << c.name;
+    } else {
+      EXPECT_EQ(totals.store_order_rechecks, 0u) << c.name;
+    }
+  }
 }
 
 // The two static-flip strategies are differential twins: identical counts
@@ -693,13 +776,14 @@ class GridCoverageEnvironment : public ::testing::Environment {
     EXPECT_GT(g_grid_stats.tie_corrections, 0u);
     EXPECT_GT(g_grid_stats.full_recounts, 0u);
     // Static-edge flips must exercise every handling path: the
-    // live-instance store (both retire and admit directions), plus — via
-    // the scoped-strategy twin cases and the consecutive/CDG + static
-    // combos the store does not cover — the scoped neighborhood-restricted
-    // recount and its full-window fallback.
+    // live-instance store (both retire and admit directions, plus the
+    // boundary order-revalidation sweeps of the consecutive/CDG + static
+    // cases), and — via the scoped-strategy twin cases — the scoped
+    // neighborhood-restricted recount and its full-window fallback.
     EXPECT_GT(g_grid_stats.store_flip_batches, 0u);
     EXPECT_GT(g_grid_stats.store_retired, 0u);
     EXPECT_GT(g_grid_stats.store_admitted, 0u);
+    EXPECT_GT(g_grid_stats.store_order_rechecks, 0u);
     EXPECT_GT(g_grid_stats.static_fallbacks, 0u);
     EXPECT_GT(g_grid_stats.scoped_static_recounts, 0u);
   }

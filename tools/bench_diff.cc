@@ -22,6 +22,14 @@
 // JSON from bench_perf_counting) are skipped. Benches present on only one
 // side are reported but never fail the run (benches come and go across
 // PRs).
+//
+// Besides "seconds", a fixed set of gated THROUGHPUT fields (see
+// kGatedThroughputFields) is pulled out of specific records and compared as
+// its own "bench.field" row with the regression direction inverted — higher
+// is better, so the row regresses when the new value drops below
+// median / (1 + threshold). This is how the per-preset and fast-path
+// instances/s fields of counting_throughput are gated instead of just
+// recorded.
 
 #include <algorithm>
 #include <cctype>
@@ -121,8 +129,33 @@ std::optional<double> ExtractNumber(const std::string& json,
   return parsed;
 }
 
+/// Gated higher-is-better fields: each (bench, field) pair becomes its own
+/// "bench.field" record when the field is present in the bench's JSON.
+/// Absent fields are skipped, so baselines written before a field existed
+/// coexist with newer runs (one-sided rows never fail the gate).
+struct GatedField {
+  const char* bench;
+  const char* field;
+};
+constexpr GatedField kGatedThroughputFields[] = {
+    {"counting_throughput", "instances_per_sec"},
+    {"counting_throughput", "kovanen_instances_per_sec"},
+    {"counting_throughput", "song_instances_per_sec"},
+    {"counting_throughput", "hulovatyy_instances_per_sec"},
+    {"counting_throughput", "paranjape_instances_per_sec"},
+    {"counting_throughput", "fastpath_song_instances_per_sec"},
+    {"counting_throughput", "fastpath_vanilla_2node_instances_per_sec"},
+};
+
+/// True when a record name is a gated throughput row ("bench.field") rather
+/// than a seconds row; throughput rows compare in the opposite direction.
+bool IsThroughputRecord(const std::string& name) {
+  return name.find('.') != std::string::npos;
+}
+
 /// BENCH_<name>.json -> seconds, for every parsable record directly in
-/// `dir` (subdirectories are NOT descended into here).
+/// `dir` (subdirectories are NOT descended into here), plus one
+/// "bench.field" entry per present gated throughput field.
 std::map<std::string, double> LoadRecords(const std::string& dir) {
   std::map<std::string, double> records;
   if (!fs::is_directory(dir)) return records;
@@ -141,6 +174,14 @@ std::map<std::string, double> LoadRecords(const std::string& dir) {
     const std::string bench =
         name.substr(6, name.size() - 6 - std::strlen(".json"));
     records[bench] = *seconds;
+    for (const GatedField& gated : kGatedThroughputFields) {
+      if (bench != gated.bench) continue;
+      const std::optional<double> value =
+          ExtractNumber(content.str(), gated.field);
+      if (value.has_value()) {
+        records[bench + "." + gated.field] = *value;
+      }
+    }
   }
   return records;
 }
@@ -210,27 +251,38 @@ int Main(int argc, char** argv) {
     (void)unused;
     const auto old_it = baseline_runs.find(bench);
     const auto new_it = new_records.find(bench);
+    // Throughput rows ("bench.field") are higher-is-better values, not
+    // seconds: formatted without the unit and regressed in the opposite
+    // direction. The min-seconds noise gate does not apply to them (their
+    // parent bench's wall time already decides whether the run was real).
+    const bool throughput = IsThroughputRecord(bench);
+    const auto format_value = [&](char* buf, std::size_t size, double v) {
+      if (throughput) {
+        std::snprintf(buf, size, "%.3g", v);
+      } else {
+        std::snprintf(buf, size, "%.3fs", v);
+      }
+    };
     char old_cell[32] = "-";
     char runs_cell[16] = "-";
     char new_cell[32] = "-";
     char delta_cell[32] = "-";
     const char* status = "ok";
     if (old_it == baseline_runs.end()) {
-      std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_it->second);
+      format_value(new_cell, sizeof(new_cell), new_it->second);
       status = "new";
     } else if (new_it == new_records.end()) {
-      std::snprintf(old_cell, sizeof(old_cell), "%.3fs",
-                    Median(old_it->second));
+      format_value(old_cell, sizeof(old_cell), Median(old_it->second));
       std::snprintf(runs_cell, sizeof(runs_cell), "%zu",
                     old_it->second.size());
       status = "removed";
     } else {
       const double old_s = Median(old_it->second);
       const double new_s = new_it->second;
-      std::snprintf(old_cell, sizeof(old_cell), "%.3fs", old_s);
+      format_value(old_cell, sizeof(old_cell), old_s);
       std::snprintf(runs_cell, sizeof(runs_cell), "%zu",
                     old_it->second.size());
-      std::snprintf(new_cell, sizeof(new_cell), "%.3fs", new_s);
+      format_value(new_cell, sizeof(new_cell), new_s);
       if (old_s > 0) {
         std::snprintf(delta_cell, sizeof(delta_cell), "%+.1f%%",
                       100.0 * (new_s - old_s) / old_s);
@@ -240,11 +292,15 @@ int Main(int argc, char** argv) {
                                    ? override_it->second
                                    : args.threshold;
       const bool measurable =
-          old_s >= args.min_seconds || new_s >= args.min_seconds;
-      if (measurable && new_s > old_s * (1.0 + threshold)) {
+          throughput || old_s >= args.min_seconds || new_s >= args.min_seconds;
+      const bool worse = throughput ? new_s * (1.0 + threshold) < old_s
+                                    : new_s > old_s * (1.0 + threshold);
+      const bool better = throughput ? new_s > old_s * (1.0 + threshold)
+                                     : old_s > new_s * (1.0 + threshold);
+      if (measurable && worse) {
         status = "REGRESSED";
         ++regressions;
-      } else if (measurable && old_s > new_s * (1.0 + threshold)) {
+      } else if (measurable && better) {
         status = "faster";
       } else if (!measurable) {
         status = "noise";

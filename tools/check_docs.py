@@ -8,6 +8,11 @@ Two classes of rot are caught:
   2. Stale CLI flags — every `--flag` that appears in a code span or
      fenced block mentioning one of the CLI tools (tmotif_count,
      tmotif_stream, bench_diff) must appear in that tool's --help output.
+  3. Missing required sections — load-bearing doc sections that code or
+     tests reference by topic (the fast-path dispatch table, the batch
+     sink surface, the lifted store gates) must keep existing; a refactor
+     that drops one fails here instead of silently orphaning the
+     references.
 
 Usage:
   tools/check_docs.py [--repo-root DIR] [--bin-dir BUILDDIR]
@@ -24,6 +29,29 @@ import subprocess
 import sys
 
 TOOLS = ("tmotif_count", "tmotif_stream", "bench_diff")
+
+# Sections other artifacts depend on staying put, keyed by doc path
+# (relative to the repo root). Values are literal substrings that must
+# appear in the file — section headings plus the contract names the code
+# comments point readers at.
+REQUIRED_SECTIONS = {
+    "docs/PERFORMANCE.md": (
+        "## Specialized k ≤ 3 counting fast paths (core/fast_paths/)",
+        "### The dispatch table",
+        "batch sink surface",
+        "window-difference identity",
+        "fastpath_<workload>_instances_per_sec",
+    ),
+    "docs/ARCHITECTURE.md": (
+        "core/fast_paths",
+        "EmitBatch",
+    ),
+    "docs/STREAMING.md": (
+        "#### Lifted store gates: order predicates and k = 1",
+        "boundary revalidation",
+        "store_order_rechecks",
+    ),
+}
 
 # Relative markdown links/images: [text](target) where target is not a URL
 # or a pure intra-page anchor.
@@ -119,6 +147,21 @@ def check_flags(md_files, root, bin_dir, errors):
                         f"{flag} not in `{current_tool} --help` output")
 
 
+def check_required_sections(root, errors):
+    for rel_path, markers in REQUIRED_SECTIONS.items():
+        path = os.path.join(root, rel_path)
+        if not os.path.exists(path):
+            errors.append(f"{rel_path}: required doc is missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for marker in markers:
+            if marker not in text:
+                errors.append(
+                    f"{rel_path}: required section marker not found: "
+                    f"{marker!r}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo-root",
@@ -135,6 +178,7 @@ def main():
         return 1
     errors = []
     check_links(md_files, args.repo_root, errors)
+    check_required_sections(args.repo_root, errors)
     if args.bin_dir is not None:
         check_flags(md_files, args.repo_root, args.bin_dir, errors)
     if errors:
@@ -143,7 +187,8 @@ def main():
         print(f"check_docs: {len(errors)} finding(s) across "
               f"{len(md_files)} markdown files", file=sys.stderr)
         return 1
-    scope = "links + CLI flags" if args.bin_dir else "links"
+    scope = ("links + sections + CLI flags" if args.bin_dir
+             else "links + sections")
     print(f"check_docs: OK ({scope}; {len(md_files)} markdown files)")
     return 0
 
