@@ -1,0 +1,303 @@
+// bench_obs_overhead: proves the telemetry subsystem (src/obs/) stays
+// under its hot-path overhead bar. Two binaries are built from this one
+// source (CMakeLists.txt):
+//
+//   * bench_obs_overhead — the instrumented half, linked against the
+//     regular tmotif library. It times a counting workload and a streaming
+//     ingest workload, then spawns its sibling binary and compares.
+//   * bench_obs_overhead_baseline (TMOTIF_OBS_BASELINE_BINARY) — the same
+//     workloads linked against tmotif_nt, the TMOTIF_NO_TELEMETRY copy of
+//     the library where every metric and phase timer compiles to nothing.
+//     It prints its timings as one flat JSON line on stdout and exits; it
+//     is never run standalone (tools/run_benches.sh skips it).
+//
+// The recorded BENCH_obs_overhead.json carries both times and the
+// instrumented/compiled-out wall-time ratios (~1.0, lower is better);
+// tools/bench_diff gates `obs_overhead.counting_overhead_ratio` and
+// `obs_overhead.ingest_overhead_ratio` against the rolling baseline, so a
+// change that makes instrumentation expensive fails CI even though both
+// binaries individually still "work". The acceptance bar for the obs
+// subsystem is < 2% on a quiet machine (docs/OBSERVABILITY.md records the
+// reference numbers); the bench itself only hard-fails on a count
+// mismatch between the two library copies, since sub-millisecond timing
+// noise would make an absolute-ratio assertion flaky at CI scale.
+//
+// Deliberately does NOT use bench/bench_util: bench_util links the
+// instrumented tmotif library, which the baseline binary must not mix
+// with tmotif_nt. Both halves therefore share the small flag parser and
+// record writer below.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/models/model_info.h"
+#include "gen/presets.h"
+#include "stream/streaming_counter.h"
+
+namespace tmotif {
+namespace {
+
+constexpr std::size_t kBatchSize = 64;
+constexpr std::int64_t kWindowEvents = 2048;
+constexpr Timestamp kDeltaC = 900;
+constexpr Timestamp kDeltaW = 1800;
+// Best-of-N minimum: robust against one-off scheduler hiccups, which is
+// what makes a ~1.00 ratio reproducible at bench scale.
+constexpr int kCountingReps = 5;
+constexpr int kIngestReps = 3;
+
+struct Args {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  std::string out_dir = "bench_out";
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = value("--scale=")) {
+      args.scale = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out=")) {
+      args.out_dir = v;
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=X] [--seed=N] [--out=DIR]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timings {
+  double counting_seconds = 0.0;
+  double ingest_seconds = 0.0;
+  std::uint64_t counting_total = 0;
+  std::uint64_t ingest_total = 0;
+};
+
+/// The instrumented surfaces under test, identical in both binaries:
+/// counting covers fast-path and generic dispatch, the packed-table probe
+/// counters and the counting latency histograms; ingest covers the
+/// per-phase timers, the per-batch IngestStats delta-publish and the
+/// live-instance-store gauges.
+Timings RunWorkloads(const TemporalGraph& graph) {
+  Timings t;
+  const EnumerationOptions song =
+      OptionsForModel(ModelId::kSong, /*num_events=*/3, /*max_nodes=*/3,
+                      kDeltaC, kDeltaW);
+  const EnumerationOptions paranjape =
+      OptionsForModel(ModelId::kParanjape, /*num_events=*/3, /*max_nodes=*/3,
+                      kDeltaC, kDeltaW);
+  for (int rep = 0; rep < kCountingReps; ++rep) {
+    const double start = NowSeconds();
+    const std::uint64_t total =
+        CountMotifs(graph, song).total() + CountMotifs(graph, paranjape).total();
+    const double elapsed = NowSeconds() - start;
+    if (rep == 0 || elapsed < t.counting_seconds) {
+      t.counting_seconds = elapsed;
+    }
+    t.counting_total = total;
+  }
+
+  StreamConfig config;
+  config.options = paranjape;
+  config.window = WindowPolicy::CountBased(kWindowEvents);
+  config.static_flips = StaticFlipStrategy::kInstanceStore;
+  const std::vector<Event>& events = graph.events();
+  for (int rep = 0; rep < kIngestReps; ++rep) {
+    StreamingMotifCounter counter(config);
+    const double start = NowSeconds();
+    for (std::size_t begin = 0; begin < events.size(); begin += kBatchSize) {
+      const std::size_t end = std::min(events.size(), begin + kBatchSize);
+      counter.Ingest(std::vector<Event>(
+          events.begin() + static_cast<std::ptrdiff_t>(begin),
+          events.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+    const double elapsed = NowSeconds() - start;
+    if (rep == 0 || elapsed < t.ingest_seconds) {
+      t.ingest_seconds = elapsed;
+    }
+    t.ingest_total = counter.total();
+  }
+  return t;
+}
+
+TemporalGraph LoadGraph(const Args& args) {
+  const DatasetId dataset = DatasetId::kCollegeMsg;
+  // Same effective scale as bench_util's LoadBenchDataset, so the two
+  // binaries and the other benches all agree on the workload size.
+  return GenerateDataset(dataset, DefaultBenchScale(dataset) * args.scale,
+                         args.seed);
+}
+
+#ifdef TMOTIF_OBS_BASELINE_BINARY
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const Timings t = RunWorkloads(LoadGraph(args));
+  std::printf("{\"counting_seconds\": %.6f, \"ingest_seconds\": %.6f, "
+              "\"counting_total\": %llu, \"ingest_total\": %llu}\n",
+              t.counting_seconds, t.ingest_seconds,
+              static_cast<unsigned long long>(t.counting_total),
+              static_cast<unsigned long long>(t.ingest_total));
+  return 0;
+}
+
+#else  // !TMOTIF_OBS_BASELINE_BINARY
+
+/// Extracts the number following `"key":` from a flat JSON line (the
+/// baseline binary's stdout); nullopt when absent.
+std::optional<double> ExtractNumber(const std::string& json,
+                                    const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  char* parse_end = nullptr;
+  const char* start = json.c_str() + pos + needle.size();
+  const double parsed = std::strtod(start, &parse_end);
+  if (parse_end == start) return std::nullopt;
+  return parsed;
+}
+
+/// Runs the no-telemetry sibling (same directory as this binary) and
+/// returns its stdout, or nullopt when it cannot be spawned.
+std::optional<std::string> RunBaseline(const char* argv0, const Args& args) {
+  std::string dir(argv0);
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+  char cmd[1024];
+  std::snprintf(cmd, sizeof(cmd),
+                "\"%s/bench_obs_overhead_baseline\" --scale=%.17g --seed=%llu",
+                dir.c_str(), args.scale,
+                static_cast<unsigned long long>(args.seed));
+  std::FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) return std::nullopt;
+  std::string out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::fprintf(stderr, "baseline exited with %d\n", rc);
+    return std::nullopt;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Telemetry overhead: instrumented vs TMOTIF_NO_TELEMETRY\n");
+  std::printf("(CollegeMsg preset, counting best of %d, ingest best of %d, "
+              "batch %zu, window %lld events)\n\n",
+              kCountingReps, kIngestReps, kBatchSize,
+              static_cast<long long>(kWindowEvents));
+
+  const TemporalGraph graph = LoadGraph(args);
+  const Timings instrumented = RunWorkloads(graph);
+
+  const std::optional<std::string> baseline_out = RunBaseline(argv[0], args);
+  if (!baseline_out.has_value()) {
+    std::fprintf(stderr,
+                 "FATAL: could not run bench_obs_overhead_baseline (build "
+                 "the `bench` target)\n");
+    return 1;
+  }
+  Timings baseline;
+  const auto require = [&](const char* key) {
+    const std::optional<double> v = ExtractNumber(*baseline_out, key);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "FATAL: baseline output lacks \"%s\": %s\n", key,
+                   baseline_out->c_str());
+      std::exit(1);
+    }
+    return *v;
+  };
+  baseline.counting_seconds = require("counting_seconds");
+  baseline.ingest_seconds = require("ingest_seconds");
+  baseline.counting_total = static_cast<std::uint64_t>(
+      require("counting_total"));
+  baseline.ingest_total = static_cast<std::uint64_t>(require("ingest_total"));
+
+  // Both binaries compile the same library sources; diverging counts mean
+  // TMOTIF_NO_TELEMETRY changed behavior, not just cost.
+  if (baseline.counting_total != instrumented.counting_total ||
+      baseline.ingest_total != instrumented.ingest_total) {
+    std::fprintf(stderr,
+                 "FATAL: instrumented and no-telemetry counts disagree "
+                 "(counting %llu vs %llu, ingest %llu vs %llu)\n",
+                 static_cast<unsigned long long>(instrumented.counting_total),
+                 static_cast<unsigned long long>(baseline.counting_total),
+                 static_cast<unsigned long long>(instrumented.ingest_total),
+                 static_cast<unsigned long long>(baseline.ingest_total));
+    return 1;
+  }
+
+  const auto ratio = [](double instr, double base) {
+    return base > 0 ? instr / base : 0.0;
+  };
+  const double counting_ratio =
+      ratio(instrumented.counting_seconds, baseline.counting_seconds);
+  const double ingest_ratio =
+      ratio(instrumented.ingest_seconds, baseline.ingest_seconds);
+  std::printf("counting: %.4fs instrumented vs %.4fs compiled-out -> "
+              "ratio %.3f\n",
+              instrumented.counting_seconds, baseline.counting_seconds,
+              counting_ratio);
+  std::printf("ingest:   %.4fs instrumented vs %.4fs compiled-out -> "
+              "ratio %.3f\n",
+              instrumented.ingest_seconds, baseline.ingest_seconds,
+              ingest_ratio);
+  std::printf("\ntarget: <= 1.02 on a quiet machine; tools/bench_diff gates "
+              "drift of both ratios against the rolling baseline.\n");
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  const std::string path = args.out_dir + "/BENCH_obs_overhead.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\"bench\": \"obs_overhead\", \"scale\": %.4f, \"seed\": %llu, "
+      "\"seconds\": %.6f, \"counting_seconds\": %.6f, "
+      "\"baseline_counting_seconds\": %.6f, "
+      "\"counting_overhead_ratio\": %.6f, \"ingest_seconds\": %.6f, "
+      "\"baseline_ingest_seconds\": %.6f, \"ingest_overhead_ratio\": %.6f}\n",
+      args.scale, static_cast<unsigned long long>(args.seed),
+      instrumented.counting_seconds + instrumented.ingest_seconds,
+      instrumented.counting_seconds, baseline.counting_seconds,
+      counting_ratio, instrumented.ingest_seconds, baseline.ingest_seconds,
+      ingest_ratio);
+  std::fclose(f);
+  return 0;
+}
+
+#endif  // TMOTIF_OBS_BASELINE_BINARY
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Main(argc, argv); }

@@ -26,13 +26,51 @@
 #include "bench_util.h"
 #include "core/counter.h"
 #include "core/enumerate_core.h"
-#include "core/fast_paths/fast_path.h"
 #include "core/models/model_info.h"
 #include "core/models/song.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
 
 namespace tmotif {
 namespace {
+
+// Engine attribution via the obs dispatch counters
+// (counting.dispatch_fastpath / counting.dispatch_generic): the dispatcher
+// itself, not a bench-side re-derivation of its predicate, says which
+// counting engine served a timed run. Under TMOTIF_NO_TELEMETRY both
+// counters read 0 and the label degrades to "untracked".
+struct DispatchDelta {
+  std::uint64_t fastpath = 0;
+  std::uint64_t generic = 0;
+  const char* Engine() const {
+    if (fastpath == 0 && generic == 0) return "untracked";
+    if (generic == 0) return "fastpath";
+    if (fastpath == 0) return "generic";
+    return "mixed";
+  }
+};
+
+class DispatchSampler {
+ public:
+  DispatchSampler()
+      : fastpath_(
+            obs::GlobalMetrics().GetCounter("counting.dispatch_fastpath")),
+        generic_(
+            obs::GlobalMetrics().GetCounter("counting.dispatch_generic")),
+        fastpath_start_(fastpath_->Value()),
+        generic_start_(generic_->Value()) {}
+
+  DispatchDelta Delta() const {
+    return {fastpath_->Value() - fastpath_start_,
+            generic_->Value() - generic_start_};
+  }
+
+ private:
+  obs::Counter* fastpath_;
+  obs::Counter* generic_;
+  std::uint64_t fastpath_start_;
+  std::uint64_t generic_start_;
+};
 
 TemporalGraph MakeGraph(int num_events) {
   GeneratorConfig c;
@@ -189,6 +227,7 @@ void WriteThroughputRecord(const BenchArgs& args) {
   // Best-of-N wall time (N sized so the record costs well under a second).
   double best_seconds = 0.0;
   std::uint64_t instances = 0;
+  DispatchSampler headline_sampler;
   for (int rep = 0; rep < 5; ++rep) {
     WallTimer timer;
     instances = CountInstances(graph, o);
@@ -202,9 +241,10 @@ void WriteThroughputRecord(const BenchArgs& args) {
                        : 0.0;
   std::printf(
       "\ncounting throughput record: %.4fs, %.0f instances/s, "
-      "%.2fx vs seed baseline\n",
+      "%.2fx vs seed baseline, engine=%s\n",
       best_seconds, instances_per_sec,
-      instances_per_sec / kSeedInstancesPerSec);
+      instances_per_sec / kSeedInstancesPerSec,
+      headline_sampler.Delta().Engine());
 
   // Per-preset predicate-path throughput: the model presets differ mainly
   // in how much per-instance graph querying (HasStaticEdge,
@@ -220,6 +260,7 @@ void WriteThroughputRecord(const BenchArgs& args) {
         OptionsForModel(preset.model, 3, 3, 1500, 3000);
     double preset_best = 0.0;
     std::uint64_t preset_instances = 0;
+    DispatchSampler preset_sampler;
     for (int rep = 0; rep < 5; ++rep) {
       WallTimer timer;
       preset_instances = CountInstances(graph, po);
@@ -229,9 +270,11 @@ void WriteThroughputRecord(const BenchArgs& args) {
     const double ips =
         preset_best > 0 ? static_cast<double>(preset_instances) / preset_best
                         : 0.0;
-    std::printf("%s preset: %.4fs, %.0f instances/s, %.2fx vs PR3\n",
+    std::printf("%s preset: %.4fs, %.0f instances/s, %.2fx vs PR3, "
+                "engine=%s\n",
                 preset.key, preset_best, ips,
-                ips / preset.pr3_instances_per_sec);
+                ips / preset.pr3_instances_per_sec,
+                preset_sampler.Delta().Engine());
     fields.emplace_back(std::string(preset.key) + "_instances_per_sec", ips);
     fields.emplace_back(std::string(preset.key) + "_speedup_vs_pr3",
                         ips / preset.pr3_instances_per_sec);
@@ -262,15 +305,22 @@ void WriteThroughputRecord(const BenchArgs& args) {
     fast_workloads.push_back({"vanilla_2node", vanilla_2node});
   }
   for (const FastPathWorkload& w : fast_workloads) {
-    TMOTIF_CHECK(internal::fast_paths::FastPathSupported(w.options));
     double fast_best = 0.0;
     std::uint64_t fast_instances = 0;
+    DispatchSampler fast_sampler;
     for (int rep = 0; rep < 5; ++rep) {
       WallTimer timer;
       fast_instances = CountInstances(graph, w.options);
       const double seconds = timer.Seconds();
       if (rep == 0 || seconds < fast_best) fast_best = seconds;
     }
+    // The dispatch counters, not a bench-side FastPathSupported call, are
+    // the authority on what served the runs: every timed rep must have
+    // dispatched to a fast path. (Both deltas read 0 only under
+    // TMOTIF_NO_TELEMETRY, where attribution is unavailable.)
+    const DispatchDelta fast_delta = fast_sampler.Delta();
+    TMOTIF_CHECK(fast_delta.generic == 0);
+    TMOTIF_CHECK(fast_delta.fastpath == 5 || fast_delta.fastpath == 0);
     double generic_best = 0.0;
     std::uint64_t generic_instances = 0;
     for (int rep = 0; rep < 5; ++rep) {
@@ -290,8 +340,9 @@ void WriteThroughputRecord(const BenchArgs& args) {
             : 0.0;
     const double speedup = generic_ips > 0 ? fast_ips / generic_ips : 0.0;
     std::printf("fastpath %s: %.4fs vs generic %.4fs, %.0f instances/s, "
-                "%.2fx vs generic\n",
-                w.key, fast_best, generic_best, fast_ips, speedup);
+                "%.2fx vs generic, engine=%s\n",
+                w.key, fast_best, generic_best, fast_ips, speedup,
+                fast_delta.Engine());
     fields.emplace_back(
         std::string("fastpath_") + w.key + "_instances_per_sec", fast_ips);
     fields.emplace_back(

@@ -79,4 +79,32 @@ std::uint64_t CountInstancesParallel(const TemporalGraph& graph,
   return total;
 }
 
+namespace internal {
+
+void RecordShardBalance(const std::vector<PackedMotifTable>& partials) {
+  static obs::Histogram* const shard_instances =
+      obs::GlobalMetrics().GetHistogram("parallel.shard_instances");
+  static obs::Gauge* const imbalance =
+      obs::GlobalMetrics().GetGauge("parallel.shard_imbalance_pct");
+  if (partials.empty()) return;
+  std::uint64_t max_total = 0;
+  std::uint64_t sum = 0;
+  for (const PackedMotifTable& partial : partials) {
+    const std::uint64_t total = partial.total();
+    shard_instances->Record(total);
+    max_total = std::max(max_total, total);
+    sum += total;
+  }
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(partials.size());
+  if (mean > 0.0) {
+    imbalance->Set(static_cast<std::int64_t>(
+        100.0 * (static_cast<double>(max_total) - mean) / mean));
+  } else {
+    imbalance->Set(0);
+  }
+}
+
+}  // namespace internal
+
 }  // namespace tmotif

@@ -8,6 +8,7 @@
 #include "core/counter.h"
 #include "core/enumerator.h"
 #include "core/packed_table.h"
+#include "obs/metrics.h"
 
 namespace tmotif {
 
@@ -38,6 +39,13 @@ std::vector<std::pair<EventIndex, EventIndex>> MakeEventShards(
     EventIndex begin, EventIndex end, int num_threads);
 
 namespace internal {
+
+/// Telemetry for one sharded count: records every shard's instance total
+/// into the parallel.shard_instances histogram and sets the
+/// parallel.shard_imbalance_pct gauge to (max - mean) / mean of the shard
+/// totals (0 for a perfectly balanced run). No-op under
+/// TMOTIF_NO_TELEMETRY.
+void RecordShardBalance(const std::vector<PackedMotifTable>& partials);
 
 /// Sharded packed-code enumeration over any enumeration-core graph:
 /// partitions [begin, end) by first event, runs one sink per shard writing
@@ -72,7 +80,9 @@ PackedMotifTable CountPackedShardedWith(const Graph& graph,
     });
   }
   for (std::thread& worker : workers) worker.join();
+  RecordShardBalance(partials);
   for (const PackedMotifTable& partial : partials) merged.MergeFrom(partial);
+  merged.PublishTelemetry();
   return merged;
 }
 

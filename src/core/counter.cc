@@ -6,6 +6,7 @@
 #include "core/enumerate_core.h"
 #include "core/fast_paths/fast_path.h"
 #include "core/packed_table.h"
+#include "obs/trace.h"
 
 namespace tmotif {
 
@@ -67,14 +68,23 @@ MotifCounts CountMotifsInRange(const TemporalGraph& graph,
   first_end = std::min<EventIndex>(first_end, graph.num_events());
   MotifCounts counts;
   if (first_begin >= first_end) return counts;
+  static obs::Histogram* const fastpath_latency =
+      obs::GlobalMetrics().GetHistogram("counting.fastpath_latency_ns");
+  static obs::Histogram* const enumerate_latency =
+      obs::GlobalMetrics().GetHistogram("counting.enumerate_latency_ns");
   internal::PackedMotifTable table;
   if (internal::fast_paths::FastPathSupported(options)) {
+    internal::fast_paths::NoteDispatch(true);
+    obs::PhaseTimer span(fastpath_latency, "counting.fastpath");
     internal::fast_paths::CountRangeInto(graph, options, first_begin,
                                          first_end, &table);
   } else {
+    internal::fast_paths::NoteDispatch(false);
+    obs::PhaseTimer span(enumerate_latency, "counting.enumerate");
     internal::PackedTableSink sink{&table};
     internal::EnumerateCore(graph, options, first_begin, first_end, sink);
   }
+  table.PublishTelemetry();
   table.ForEach([&](std::uint64_t packed, std::uint64_t count) {
     counts.Add(internal::PackedCodeToString(packed), count);
   });

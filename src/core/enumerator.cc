@@ -79,9 +79,11 @@ std::uint64_t CountInstancesInRange(const TemporalGraph& graph,
   first_end = std::min<EventIndex>(first_end, graph.num_events());
   if (first_begin >= first_end) return 0;
   if (internal::fast_paths::FastPathSupported(options)) {
+    internal::fast_paths::NoteDispatch(true);
     return internal::fast_paths::CountRange(graph, options, first_begin,
                                             first_end);
   }
+  internal::fast_paths::NoteDispatch(false);
   internal::CountOnlySink sink;
   return internal::EnumerateCore(graph, options, first_begin, first_end, sink);
 }

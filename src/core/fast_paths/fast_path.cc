@@ -1,5 +1,7 @@
 #include "core/fast_paths/fast_path.h"
 
+#include "obs/metrics.h"
+
 namespace tmotif {
 namespace internal {
 namespace fast_paths {
@@ -24,6 +26,14 @@ bool FastPathSupported(const EnumerationOptions& options) {
   if (options.max_nodes == 2) return true;
   if (k == 2) return true;
   return k == 3 && options.max_nodes == 3;
+}
+
+void NoteDispatch(bool fastpath) {
+  static obs::Counter* const fast =
+      obs::GlobalMetrics().GetCounter("counting.dispatch_fastpath");
+  static obs::Counter* const generic =
+      obs::GlobalMetrics().GetCounter("counting.dispatch_generic");
+  (fastpath ? fast : generic)->Increment();
 }
 
 }  // namespace fast_paths

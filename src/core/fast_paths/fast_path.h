@@ -57,6 +57,13 @@ namespace fast_paths {
 /// always supported (every predicate is trivial or a per-event lookup).
 bool FastPathSupported(const EnumerationOptions& options);
 
+/// Telemetry: records which engine a counting call dispatched to, bumping
+/// counting.dispatch_fastpath or counting.dispatch_generic (obs/metrics.h;
+/// no-op under TMOTIF_NO_TELEMETRY). One call per dispatch decision — the
+/// batch entry points and the streaming delta phases — so benches and the
+/// exporters can attribute work to the engine that actually served it.
+void NoteDispatch(bool fastpath);
+
 /// Signed per-code accumulator for window differences.
 using CodeDeltas = std::unordered_map<std::uint64_t, std::int64_t>;
 

@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "core/enumerate_core.h"
 #include "core/motif_code.h"
+#include "obs/metrics.h"
 
 namespace tmotif {
 namespace internal {
@@ -48,6 +49,9 @@ class PackedMotifTable {
         if (4 * size_ > 3 * keys_.size()) Grow();
         return;
       }
+#ifndef TMOTIF_NO_TELEMETRY
+      ++probe_steps_;  // Collision step; plain member, flushed in bulk.
+#endif
       i = (i + 1) & mask_;
     }
   }
@@ -56,6 +60,35 @@ class PackedMotifTable {
     other.ForEach([this](std::uint64_t packed, std::uint64_t n) {
       Add(packed, n);
     });
+#ifndef TMOTIF_NO_TELEMETRY
+    // Absorb the (possibly worker-thread) source's probe telemetry so one
+    // flush of the merged table covers the whole sharded count.
+    probe_steps_ += other.probe_steps_;
+    resizes_ += other.resizes_;
+    other.probe_steps_ = 0;
+    other.resizes_ = 0;
+#endif
+  }
+
+  /// Flushes the accumulated probe/resize telemetry into the process-wide
+  /// core.table_probe_steps / core.table_resizes counters and zeroes the
+  /// local tally. Called at table-consumption funnels (CountMotifsInRange,
+  /// the sharded merge, the streaming Add/SubtractTable helpers) — never
+  /// per Add, so the hot loop stays increment-only. Deliberately NOT
+  /// destructor-based: tables are moved and copied in worker vectors, and
+  /// a destructor flush would double-count.
+  void PublishTelemetry() const {
+#ifndef TMOTIF_NO_TELEMETRY
+    if (probe_steps_ == 0 && resizes_ == 0) return;
+    static obs::Counter* const probes =
+        obs::GlobalMetrics().GetCounter("core.table_probe_steps");
+    static obs::Counter* const resizes =
+        obs::GlobalMetrics().GetCounter("core.table_resizes");
+    probes->Add(probe_steps_);
+    resizes->Add(resizes_);
+    probe_steps_ = 0;
+    resizes_ = 0;
+#endif
   }
 
   /// Invokes `fn(packed, count)` for every occupied slot (table order,
@@ -93,6 +126,9 @@ class PackedMotifTable {
   }
 
   void Grow() {
+#ifndef TMOTIF_NO_TELEMETRY
+    ++resizes_;
+#endif
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint64_t> old_values = std::move(values_);
     keys_.assign(old_keys.size() * 2, 0);
@@ -112,6 +148,12 @@ class PackedMotifTable {
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
+#ifndef TMOTIF_NO_TELEMETRY
+  /// Collision probes / grows since the last PublishTelemetry (mutable so
+  /// the flush can run from the const consumption helpers).
+  mutable std::uint64_t probe_steps_ = 0;
+  mutable std::uint64_t resizes_ = 0;
+#endif
 };
 
 /// Sink accumulating every emitted instance into a PackedMotifTable.

@@ -1,0 +1,89 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace tmotif {
+namespace obs {
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "tmotif_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Exported `le` ladder: powers of four 4^0 .. 4^16 (the bound is the
+// exclusive upper edge of log2 bucket 2k), then +Inf.
+constexpr int kPromLadder = 17;
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = PromName(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = PromName(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g.value << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    std::size_t next_bucket = 0;
+    for (int k = 0; k < kPromLadder; ++k) {
+      // Buckets 0..2k hold values < 4^k; fold them into the cumulative
+      // count before printing the bound.
+      const std::size_t upto = static_cast<std::size_t>(2 * k);
+      while (next_bucket <= upto && next_bucket < h.buckets.size()) {
+        cumulative += h.buckets[next_bucket++];
+      }
+      out << name << "_bucket{le=\"" << (std::uint64_t{1} << (2 * k))
+          << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string ToJsonLines(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    out << "{\"metric\":\"" << c.name << "\",\"type\":\"counter\",\"value\":"
+        << c.value << "}\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    out << "{\"metric\":\"" << g.name << "\",\"type\":\"gauge\",\"value\":"
+        << g.value << "}\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "{\"metric\":\"" << h.name << "\",\"type\":\"histogram\""
+        << ",\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"mean\":" << FormatDouble(h.Mean())
+        << ",\"p50\":" << FormatDouble(h.Quantile(0.5))
+        << ",\"p99\":" << FormatDouble(h.Quantile(0.99)) << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace tmotif

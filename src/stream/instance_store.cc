@@ -11,6 +11,7 @@ void LiveInstanceStore::Reset(std::uint64_t first_id_base) {
   base_ = first_id_base;
   live_ = 0;
   num_counted_ = 0;
+  live_pair_refs_ = 0;
   dead_bucket_slots_ = 0;
 }
 
@@ -52,6 +53,8 @@ LiveInstanceStore::Entry& LiveInstanceStore::Insert(
   entry.alive = true;
   ++live_;
   if (entry.counted) ++num_counted_;
+  live_pair_refs_ +=
+      static_cast<std::size_t>(num_nodes * (num_nodes - 1) / 2);
 
   const std::uint64_t tagged = Tagged(index, entry.generation);
   slots_[slot].push_back(tagged);
@@ -93,7 +96,10 @@ void LiveInstanceStore::Free(Entry* entry, std::uint32_t index) {
   // Its bucket references go stale; they are dropped lazily on the next
   // scan of each bucket, or wholesale by CompactIfNeeded.
   const int n = entry->num_nodes;
-  dead_bucket_slots_ += static_cast<std::size_t>(n * (n - 1) / 2);
+  const std::size_t pair_refs = static_cast<std::size_t>(n * (n - 1) / 2);
+  TMOTIF_CHECK(live_pair_refs_ >= pair_refs);
+  live_pair_refs_ -= pair_refs;
+  dead_bucket_slots_ += pair_refs;
   free_list_.push_back(index);
 }
 
@@ -109,6 +115,26 @@ void LiveInstanceStore::CompactIfNeeded() {
       buckets_[key].push_back(tagged);
     });
   }
+}
+
+std::size_t LiveInstanceStore::ApproxBytes() const {
+  // Logical sizes only — capacities and the hash map's real node layout
+  // vary by allocator and libstdc++ version, and the gauge must stay
+  // deterministic for golden-tested replays. 48 bytes approximates a
+  // bucket hash node: 8B key + 24B vector header + bookkeeping.
+  constexpr std::size_t kBucketNodeBytes = 48;
+  constexpr std::size_t kRefBytes = sizeof(std::uint64_t);
+  std::size_t bytes = pool_.size() * sizeof(Entry);
+  bytes += free_list_.size() * sizeof(std::uint32_t);
+  bytes += (slots_.size() + tail_slots_.size()) *
+           sizeof(std::vector<std::uint64_t>);
+  bytes += live_ * kRefBytes;  // Anchor refs: exactly one per live entry.
+  if (track_tails_) {
+    bytes += live_ * kRefBytes;  // Tail refs; stale ones are ignored.
+  }
+  bytes += (live_pair_refs_ + dead_bucket_slots_) * kRefBytes;
+  bytes += buckets_.size() * kBucketNodeBytes;
+  return bytes;
 }
 
 }  // namespace tmotif

@@ -203,6 +203,12 @@ class LiveInstanceStore {
 
   /// Live candidate instances (the store's memory footprint driver).
   std::size_t size() const { return live_; }
+  /// Approximate resident bytes: entry pool + free list + anchor/tail slot
+  /// deques + bucket references + a fixed per-bucket hash-node estimate.
+  /// Computed from logical element counts (not allocator capacities), so
+  /// the number is deterministic for a given stream replay — it feeds the
+  /// stream.store_bytes gauge and tmotif_stream's final stats line.
+  std::size_t ApproxBytes() const;
   /// Live candidates currently passing the coverage check.
   std::size_t num_counted() const { return num_counted_; }
   /// Maintained by callers flipping Entry::counted in place.
@@ -256,6 +262,8 @@ class LiveInstanceStore {
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> buckets_;
   std::size_t live_ = 0;
   std::size_t num_counted_ = 0;
+  /// Bucket references held by live entries (sum of their scope pairs).
+  std::size_t live_pair_refs_ = 0;
   /// Bucket slots pointing at freed entries, not yet lazily removed.
   std::size_t dead_bucket_slots_ = 0;
   std::uint64_t visit_counter_ = 0;

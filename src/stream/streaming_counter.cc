@@ -12,10 +12,106 @@
 #include "core/enumerate_core.h"
 #include "core/fast_paths/fast_path.h"
 #include "core/packed_table.h"
+#include "obs/trace.h"
 
 namespace tmotif {
 
 namespace {
+
+/// Cached registry handles for the streaming instrumentation. Looked up
+/// once per process; the increments themselves are relaxed atomic adds
+/// (and no-ops entirely under TMOTIF_NO_TELEMETRY).
+struct StreamMetrics {
+  // Whole-batch + per-phase latency histograms (nanoseconds).
+  obs::Histogram* ingest_latency;
+  obs::Histogram* phase1_retract;
+  obs::Histogram* phase2_evict_tie;
+  obs::Histogram* phase3_append_tie;
+  obs::Histogram* phase4_apply;
+  obs::Histogram* phase5_append_add;
+  obs::Histogram* phase6_arrivals;
+  obs::Histogram* store_flips;
+  obs::Histogram* splice_apply;
+  obs::Histogram* late_ingest;
+  obs::Histogram* recount;
+  /// Batch sizes (events per Ingest call).
+  obs::Histogram* batch_events;
+  // Point-in-time window/store levels, refreshed once per batch.
+  obs::Gauge* window_events;
+  obs::Gauge* store_entries;
+  obs::Gauge* store_bytes;
+  // One counter per IngestStats field (mirrored as deltas per batch).
+  obs::Counter* batches;
+  obs::Counter* events_ingested;
+  obs::Counter* events_dropped;
+  obs::Counter* events_evicted;
+  obs::Counter* instances_added;
+  obs::Counter* instances_retracted;
+  obs::Counter* tie_corrections;
+  obs::Counter* full_recounts;
+  obs::Counter* static_fallbacks;
+  obs::Counter* scoped_static_recounts;
+  obs::Counter* scoped_recount_roots;
+  obs::Counter* store_flip_batches;
+  obs::Counter* store_entries_touched;
+  obs::Counter* store_admitted;
+  obs::Counter* store_retired;
+  obs::Counter* store_order_rechecks;
+  obs::Counter* late_events;
+  obs::Counter* late_dropped;
+  obs::Counter* late_splices;
+  obs::Counter* late_recounts;
+
+  static StreamMetrics& Get() {
+    static StreamMetrics m = [] {
+      obs::MetricsRegistry& r = obs::GlobalMetrics();
+      StreamMetrics n;
+      n.ingest_latency = r.GetHistogram("stream.ingest_latency_ns");
+      n.phase1_retract = r.GetHistogram("stream.phase1_retract_latency_ns");
+      n.phase2_evict_tie =
+          r.GetHistogram("stream.phase2_evict_tie_latency_ns");
+      n.phase3_append_tie =
+          r.GetHistogram("stream.phase3_append_tie_latency_ns");
+      n.phase4_apply = r.GetHistogram("stream.phase4_apply_latency_ns");
+      n.phase5_append_add =
+          r.GetHistogram("stream.phase5_append_add_latency_ns");
+      n.phase6_arrivals =
+          r.GetHistogram("stream.phase6_arrivals_latency_ns");
+      n.store_flips = r.GetHistogram("stream.store_flips_latency_ns");
+      n.splice_apply = r.GetHistogram("stream.splice_apply_latency_ns");
+      n.late_ingest = r.GetHistogram("stream.late_ingest_latency_ns");
+      n.recount = r.GetHistogram("stream.recount_latency_ns");
+      n.batch_events = r.GetHistogram("stream.batch_events");
+      n.window_events = r.GetGauge("stream.window_events");
+      n.store_entries = r.GetGauge("stream.store_entries");
+      n.store_bytes = r.GetGauge("stream.store_bytes");
+      n.batches = r.GetCounter("stream.batches");
+      n.events_ingested = r.GetCounter("stream.events_ingested");
+      n.events_dropped = r.GetCounter("stream.events_dropped");
+      n.events_evicted = r.GetCounter("stream.events_evicted");
+      n.instances_added = r.GetCounter("stream.instances_added");
+      n.instances_retracted = r.GetCounter("stream.instances_retracted");
+      n.tie_corrections = r.GetCounter("stream.tie_corrections");
+      n.full_recounts = r.GetCounter("stream.full_recounts");
+      n.static_fallbacks = r.GetCounter("stream.static_fallbacks");
+      n.scoped_static_recounts =
+          r.GetCounter("stream.scoped_static_recounts");
+      n.scoped_recount_roots = r.GetCounter("stream.scoped_recount_roots");
+      n.store_flip_batches = r.GetCounter("stream.store_flip_batches");
+      n.store_entries_touched =
+          r.GetCounter("stream.store_entries_touched");
+      n.store_admitted = r.GetCounter("stream.store_admitted");
+      n.store_retired = r.GetCounter("stream.store_retired");
+      n.store_order_rechecks = r.GetCounter("stream.store_order_rechecks");
+      n.late_events = r.GetCounter("stream.late_events");
+      n.late_dropped = r.GetCounter("stream.late_dropped");
+      n.late_splices = r.GetCounter("stream.late_splices");
+      n.late_recounts = r.GetCounter("stream.late_recounts");
+      return n;
+    }();
+    return m;
+  }
+};
 
 /// First event position from which an instance whose last event is at or
 /// after `last_time` can start (0 when timing imposes no timespan bound).
@@ -26,15 +122,18 @@ EventIndex FirstPossibleStart(const Graph& graph, Timestamp last_time,
   return graph.LowerBoundTime(SaturatingSubtract(last_time, *span));
 }
 
-/// Applies a packed table of retracted instances to `counts`.
+/// Applies a packed table of retracted instances to `counts` (and flushes
+/// the table's probe telemetry — this is a consumption funnel).
 void SubtractTable(const internal::PackedMotifTable& table,
                    MotifCounts* counts) {
+  table.PublishTelemetry();
   table.ForEach([&](std::uint64_t packed, std::uint64_t n) {
     counts->Sub(internal::PackedCodeToString(packed), n);
   });
 }
 
 void AddTable(const internal::PackedMotifTable& table, MotifCounts* counts) {
+  table.PublishTelemetry();
   table.ForEach([&](std::uint64_t packed, std::uint64_t n) {
     counts->Add(internal::PackedCodeToString(packed), n);
   });
@@ -398,6 +497,7 @@ bool StreamingMotifCounter::AddFlipAffected(
 }
 
 void StreamingMotifCounter::RecountWindow() {
+  obs::PhaseTimer span(StreamMetrics::Get().recount, "stream.recount");
   live_.Reset();
   id_offset_ = 0;
   counts_ = MotifCounts();
@@ -405,6 +505,7 @@ void StreamingMotifCounter::RecountWindow() {
   if (store_active_) {
     RebuildStore();
   } else if (internal::fast_paths::FastPathSupported(config_.options)) {
+    internal::fast_paths::NoteDispatch(true);
     internal::PackedMotifTable table;
     internal::fast_paths::CountRangeInto(live_, config_.options, 0,
                                          live_.num_events(), &table);
@@ -429,6 +530,7 @@ void StreamingMotifCounter::ApplyAndRecount(const IngestPlan& plan,
 void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
   internal::PackedMotifTable added;
   if (internal::fast_paths::FastPathSupported(config_.options)) {
+    internal::fast_paths::NoteDispatch(true);
     // Suffix difference with an exclude-new filter: every instance that
     // contains a new event ends in one (no old event follows a new one in
     // time), so [begin, N) counted over all events minus the same window
@@ -448,6 +550,7 @@ void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
       if (delta > 0) added.Add(code, static_cast<std::uint64_t>(delta));
     }
   } else {
+    internal::fast_paths::NoteDispatch(false);
     added = internal::CountPackedShardedWith(
         live_, config_.options, begin, live_.num_events(),
         config_.num_threads, [this](internal::PackedMotifTable* table) {
@@ -705,6 +808,9 @@ void StreamingMotifCounter::ReevaluateAnchorOrder(std::uint64_t id_begin,
 // --- Ingestion. ---
 
 void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
+  StreamMetrics& metrics = StreamMetrics::Get();
+  metrics.batch_events->Record(batch.size());
+  obs::PhaseTimer ingest_span(metrics.ingest_latency, "stream.ingest");
   std::stable_sort(batch.begin(), batch.end(), EventTimeLess);
   for (const Event& e : batch) {
     TMOTIF_CHECK_MSG(e.src != e.dst,
@@ -745,9 +851,43 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
         batch.begin() + static_cast<std::ptrdiff_t>(ordered_begin),
         batch.end()));
   }
+  PublishTelemetry();
+}
+
+void StreamingMotifCounter::PublishTelemetry() {
+  StreamMetrics& metrics = StreamMetrics::Get();
+#define TMOTIF_PUBLISH_FIELD(field) \
+  metrics.field->Add(stats_.field - published_stats_.field)
+  TMOTIF_PUBLISH_FIELD(batches);
+  TMOTIF_PUBLISH_FIELD(events_ingested);
+  TMOTIF_PUBLISH_FIELD(events_dropped);
+  TMOTIF_PUBLISH_FIELD(events_evicted);
+  TMOTIF_PUBLISH_FIELD(instances_added);
+  TMOTIF_PUBLISH_FIELD(instances_retracted);
+  TMOTIF_PUBLISH_FIELD(tie_corrections);
+  TMOTIF_PUBLISH_FIELD(full_recounts);
+  TMOTIF_PUBLISH_FIELD(static_fallbacks);
+  TMOTIF_PUBLISH_FIELD(scoped_static_recounts);
+  TMOTIF_PUBLISH_FIELD(scoped_recount_roots);
+  TMOTIF_PUBLISH_FIELD(store_flip_batches);
+  TMOTIF_PUBLISH_FIELD(store_entries_touched);
+  TMOTIF_PUBLISH_FIELD(store_admitted);
+  TMOTIF_PUBLISH_FIELD(store_retired);
+  TMOTIF_PUBLISH_FIELD(store_order_rechecks);
+  TMOTIF_PUBLISH_FIELD(late_events);
+  TMOTIF_PUBLISH_FIELD(late_dropped);
+  TMOTIF_PUBLISH_FIELD(late_splices);
+  TMOTIF_PUBLISH_FIELD(late_recounts);
+#undef TMOTIF_PUBLISH_FIELD
+  published_stats_ = stats_;
+  metrics.window_events->Set(static_cast<std::int64_t>(window_.size()));
+  metrics.store_entries->Set(static_cast<std::int64_t>(store_.size()));
+  metrics.store_bytes->Set(
+      static_cast<std::int64_t>(store_active_ ? store_.ApproxBytes() : 0));
 }
 
 void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
+  StreamMetrics& metrics = StreamMetrics::Get();
   const IngestPlan plan = window_.PlanIngest(batch);
   const std::size_t old_size = window_.size();
   const std::size_t num_new = batch.size() - plan.batch_begin;
@@ -797,9 +937,12 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
     const bool append_tie =
         num_new > 0 && batch[plan.batch_begin].time == old_surviving_max;
     if (n_evict > 0) StoreEvict(plan.num_evict);
-    live_.BeginUpdate(plan, batch);
-    window_.Apply(plan, batch, &new_positions_);
-    live_.FinishUpdate();
+    {
+      obs::PhaseTimer span(metrics.phase4_apply, "stream.phase4_apply");
+      live_.BeginUpdate(plan, batch);
+      window_.Apply(plan, batch, &new_positions_);
+      live_.FinishUpdate();
+    }
     id_offset_ += plan.num_evict;
     // Batch events interleaving within the trailing tie group renumber the
     // resident tie-group events; opening store slots at the entered ids
@@ -809,7 +952,10 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
       store_.SpliceSlot(id_offset_ + p);
     }
     InvalidateSnapshot();
-    StoreProcessFlips(flips);  // Post-apply edge state.
+    {
+      obs::PhaseTimer span(metrics.store_flips, "stream.store_flips");
+      StoreProcessFlips(flips);  // Post-apply edge state.
+    }
     if (track_tails_ && append_tie) {
       ReevaluateTailOrder(
           id_offset_ + static_cast<std::uint64_t>(
@@ -823,6 +969,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
           id_offset_ + static_cast<std::uint64_t>(live_.UpperBoundTime(t_ev)));
     }
     if (num_new > 0) {
+      obs::PhaseTimer phase_span(metrics.phase6_arrivals,
+                                 "stream.phase6_arrivals");
       is_new_.assign(window_.size(), 0);
       for (const std::size_t p : new_positions_) is_new_[p] = 1;
       const Timestamp min_new_time = batch[plan.batch_begin].time;
@@ -884,8 +1032,11 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   // events form a canonical prefix, so an instance loses an event exactly
   // when its first event is evicted. Runs on the live pre-update indices.
   if (n_evict > 0) {
+    obs::PhaseTimer phase_span(metrics.phase1_retract,
+                               "stream.phase1_retract");
     internal::PackedMotifTable retracted;
     if (internal::fast_paths::FastPathSupported(config_.options)) {
+      internal::fast_paths::NoteDispatch(true);
       // Prefix-window difference: every instance anchored in [0, n_evict)
       // fits inside [0, hi1) (the span bound caps how far its last event
       // can reach), so counting that window with and without the evicted
@@ -921,6 +1072,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   TemporalGraph mid;  // Survivor-only graph, built only when needed (rare).
   bool use_mid = false;
   if (has_nonlocal_ && evict_tie) {
+    obs::PhaseTimer phase_span(metrics.phase2_evict_tie,
+                               "stream.phase2_evict_tie");
     const Timestamp t_ev = live_.event_time(n_evict - 1);
     const EventIndex tie_end = live_.UpperBoundTime(t_ev);
     {
@@ -950,6 +1103,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   // removed at their pre-append validity (re-added at post-append validity
   // in phase 5). Timing bounds the first-event range.
   if (has_nonlocal_ && append_tie) {
+    obs::PhaseTimer phase_span(metrics.phase3_append_tie,
+                               "stream.phase3_append_tie");
     const Timestamp t_b = old_surviving_max;
     if (use_mid) {
       const EventIndex lo = FirstPossibleStart(mid, t_b, span);
@@ -964,9 +1119,12 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
 
   // Phase 4 — slide the window and update the live indices incrementally
   // (O(evicted + tie group + entered); no window-graph rebuild).
-  live_.BeginUpdate(plan, batch);
-  window_.Apply(plan, batch, &new_positions_);
-  live_.FinishUpdate();
+  {
+    obs::PhaseTimer phase_span(metrics.phase4_apply, "stream.phase4_apply");
+    live_.BeginUpdate(plan, batch);
+    window_.Apply(plan, batch, &new_positions_);
+    live_.FinishUpdate();
+  }
   id_offset_ += plan.num_evict;
   InvalidateSnapshot();
   is_new_.assign(window_.size(), 0);
@@ -996,6 +1154,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   // new event at all (no old event can follow a new one in time), so these
   // are exactly the survivors the subtract half removed.
   if (has_nonlocal_ && append_tie) {
+    obs::PhaseTimer phase_span(metrics.phase5_append_add,
+                               "stream.phase5_append_add");
     const Timestamp t_b = old_surviving_max;
     const EventIndex lo = FirstPossibleStart(live_, t_b, span);
     const EventIndex hi = live_.UpperBoundTime(t_b);
@@ -1015,6 +1175,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   // event is new are exactly the additions; timing bounds how far back
   // their first events can reach.
   if (num_new > 0) {
+    obs::PhaseTimer phase_span(metrics.phase6_arrivals,
+                               "stream.phase6_arrivals");
     const Timestamp min_new_time = batch[plan.batch_begin].time;
     AddNewInstances(FirstPossibleStart(live_, min_new_time, span));
   }
@@ -1023,6 +1185,8 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
 void StreamingMotifCounter::ApplySplice(std::size_t num_evict,
                                         const std::vector<Event>& late,
                                         std::size_t late_begin) {
+  obs::PhaseTimer span(StreamMetrics::Get().splice_apply,
+                       "stream.splice_apply");
   IngestPlan plan;
   plan.num_evict = num_evict;
   plan.batch_begin = late_begin;
@@ -1042,6 +1206,8 @@ void StreamingMotifCounter::ApplySplice(std::size_t num_evict,
 }
 
 void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
+  obs::PhaseTimer late_span(StreamMetrics::Get().late_ingest,
+                            "stream.late_ingest");
   const IngestPlan plan = window_.PlanSplice(late);
   stats_.events_dropped += plan.batch_begin;
   const std::size_t num_spliced = late.size() - plan.batch_begin;
@@ -1087,7 +1253,11 @@ void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
         CollectStaticEdgeFlips(plan.num_evict, late, plan.batch_begin);
     if (plan.num_evict > 0) StoreEvict(plan.num_evict);
     ApplySplice(plan.num_evict, late, plan.batch_begin);
-    StoreProcessFlips(flips);
+    {
+      obs::PhaseTimer span(StreamMetrics::Get().store_flips,
+                           "stream.store_flips");
+      StoreProcessFlips(flips);
+    }
     const EventIndex max_pos = mark_spliced();
     StoreAddCandidates(FirstPossibleStart(live_, min_late_time, span),
                        max_pos + 1,

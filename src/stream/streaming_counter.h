@@ -167,6 +167,11 @@ class StreamingMotifCounter {
   /// Live candidate instances held by the store (its memory driver; 0 when
   /// the store is inactive). See docs/STREAMING.md for the memory model.
   std::size_t store_size() const { return store_.size(); }
+  /// Approximate resident bytes of the live-instance store (0 when
+  /// inactive); see LiveInstanceStore::ApproxBytes.
+  std::size_t store_approx_bytes() const {
+    return store_active_ ? store_.ApproxBytes() : 0;
+  }
 
  private:
   /// Upper bound on instance timespans implied by the timing constraints
@@ -275,6 +280,13 @@ class StreamingMotifCounter {
   /// Marks the lazy TemporalGraph snapshot stale (under snapshot_mutex_).
   void InvalidateSnapshot();
 
+  /// Mirrors the IngestStats deltas since the last publish into the
+  /// process-wide metrics registry (stream.* counters) and refreshes the
+  /// window/store gauges. Runs once per Ingest; compiles away under
+  /// TMOTIF_NO_TELEMETRY. The struct stays the authoritative per-stream
+  /// snapshot (callers hold references to it across batches).
+  void PublishTelemetry();
+
   const EnumerationOptions& options() const { return config_.options; }
 
   StreamConfig config_;
@@ -304,6 +316,8 @@ class StreamingMotifCounter {
   std::uint64_t id_offset_ = 0;
   MotifCounts counts_;
   IngestStats stats_;
+  /// Value of stats_ at the last PublishTelemetry (delta mirroring).
+  IngestStats published_stats_;
   /// Lazily materialized TemporalGraph of the window for snapshot APIs.
   /// The mutex makes concurrent const readers safe with each other and
   /// covers the validity flag; it does NOT make readers safe against a

@@ -1,0 +1,306 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace tmotif {
+namespace obs {
+namespace {
+
+TEST(HistogramBucketOf, BucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(HistogramBucketOf(0), 0);
+  EXPECT_EQ(HistogramBucketOf(1), 1);
+  EXPECT_EQ(HistogramBucketOf(2), 2);
+  EXPECT_EQ(HistogramBucketOf(3), 2);
+  EXPECT_EQ(HistogramBucketOf(4), 3);
+  EXPECT_EQ(HistogramBucketOf(7), 3);
+  EXPECT_EQ(HistogramBucketOf(8), 4);
+  for (int k = 1; k < 63; ++k) {
+    const std::uint64_t pow = std::uint64_t{1} << k;
+    EXPECT_EQ(HistogramBucketOf(pow - 1), k) << "below 2^" << k;
+    EXPECT_EQ(HistogramBucketOf(pow), k + 1) << "at 2^" << k;
+  }
+  EXPECT_EQ(HistogramBucketOf(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(Counter, ConcurrentIncrementsMatchSerialTotal) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        counter->Add(3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread * 4);
+}
+
+TEST(Histogram, ConcurrentRecordsMatchSerialTotals) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.dist");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (std::uint64_t v = 0; v < kPerThread; ++v) histogram->Record(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  EXPECT_EQ(snapshot.sum, kThreads * (kPerThread * (kPerThread - 1) / 2));
+}
+
+TEST(Histogram, SnapshotPlacesValuesInLogBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.buckets");
+  for (std::uint64_t v : {0, 1, 2, 3, 4}) histogram->Record(v);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  ASSERT_EQ(static_cast<int>(snapshot.buckets.size()), kHistogramBuckets);
+  EXPECT_EQ(snapshot.buckets[0], 1u);  // 0
+  EXPECT_EQ(snapshot.buckets[1], 1u);  // 1
+  EXPECT_EQ(snapshot.buckets[2], 2u);  // 2, 3
+  EXPECT_EQ(snapshot.buckets[3], 1u);  // 4
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_EQ(snapshot.sum, 10u);
+}
+
+TEST(Histogram, QuantilesLandInsideTheirBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.quantiles");
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram->Record(v);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  // The true p50 (~500) lies in bucket [256, 512), p99 (~990) in
+  // [512, 1024); interpolation cannot leave the bucket.
+  const double p50 = snapshot.Quantile(0.5);
+  const double p99 = snapshot.Quantile(0.99);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(snapshot.Quantile(0.1), p50);
+  EXPECT_LE(p50, snapshot.Quantile(0.9));
+  EXPECT_LE(snapshot.Quantile(0.9), p99);
+  // q outside [0, 1] clamps, mirroring common/stats Quantile; the maximum
+  // stays inside the last non-empty bucket.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(2.0), snapshot.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(-1.0), snapshot.Quantile(0.0));
+  EXPECT_GE(snapshot.Quantile(1.0), 512.0);
+  EXPECT_LE(snapshot.Quantile(1.0), 1024.0);
+}
+
+TEST(Histogram, QuantileMatchesSharedHistogramQuantile) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.sharedq");
+  for (std::uint64_t v : {3, 9, 100, 2000, 2000, 65000}) {
+    histogram->Record(v);
+  }
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  std::vector<double> edges(static_cast<std::size_t>(kHistogramBuckets) + 1);
+  edges[0] = 0.0;
+  for (int i = 1; i <= kHistogramBuckets; ++i) {
+    edges[static_cast<std::size_t>(i)] = std::ldexp(1.0, i - 1);
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snapshot.Quantile(q),
+                     HistogramQuantile(snapshot.buckets, edges, q))
+        << "q = " << q;
+  }
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  MetricsRegistry registry;
+  const HistogramSnapshot snapshot =
+      registry.GetHistogram("test.empty")->Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 0.0);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.level");
+  gauge->Set(42);
+  EXPECT_EQ(gauge->Value(), 42);
+  gauge->Add(-50);
+  EXPECT_EQ(gauge->Value(), -8);
+  gauge->Set(7);
+  EXPECT_EQ(gauge->Value(), 7);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSnapshotIsSorted) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("zeta");
+  Counter* c2 = registry.GetCounter("alpha");
+  EXPECT_EQ(registry.GetCounter("zeta"), c1);
+  EXPECT_EQ(registry.GetCounter("alpha"), c2);
+  // Registering more metrics must not invalidate earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  c1->Increment();
+  EXPECT_EQ(c1->Value(), 1u);
+
+  registry.GetGauge("mid");
+  registry.GetHistogram("hist.b");
+  registry.GetHistogram("hist.a");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 102u);
+  EXPECT_EQ(snapshot.counters.front().name, "alpha");
+  EXPECT_EQ(snapshot.counters.back().name, "zeta");
+  EXPECT_EQ(snapshot.counters.back().value, 1u);
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  ASSERT_EQ(snapshot.histograms.size(), 2u);
+  EXPECT_EQ(snapshot.histograms[0].name, "hist.a");
+  EXPECT_EQ(snapshot.histograms[1].name, "hist.b");
+}
+
+TEST(Exporters, PrometheusLineCountIsOccupancyIndependent) {
+  // The fixed le ladder makes the exported line count a function of the
+  // metric set only, never of which buckets are occupied — the property
+  // the masked goldens rely on.
+  const auto histogram_lines = [](std::uint64_t value) {
+    MetricsRegistry registry;
+    registry.GetHistogram("probe")->Record(value);
+    const std::string text = ToPrometheusText(registry.Snapshot());
+    std::size_t lines = 0;
+    for (char c : text) lines += c == '\n';
+    return lines;
+  };
+  const std::size_t small = histogram_lines(1);
+  // 1 TYPE + 17 finite le bounds + +Inf + _sum + _count.
+  EXPECT_EQ(small, 21u);
+  EXPECT_EQ(histogram_lines(std::uint64_t{1} << 40), small);
+}
+
+TEST(Exporters, PrometheusSanitizesNamesAndCountsCumulatively) {
+  MetricsRegistry registry;
+  registry.GetCounter("stream.events_ingested")->Add(16);
+  registry.GetGauge("stream.window_events")->Set(8);
+  Histogram* histogram = registry.GetHistogram("stream.batch_events");
+  histogram->Record(2);
+  histogram->Record(3);
+  histogram->Record(300);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE tmotif_stream_events_ingested counter\n"
+                      "tmotif_stream_events_ingested 16\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tmotif_stream_window_events 8"), std::string::npos);
+  // le="4" covers values < 4 (buckets 0..2): the 2 and the 3.
+  EXPECT_NE(text.find("tmotif_stream_batch_events_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tmotif_stream_batch_events_bucket{le=\"1024\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tmotif_stream_batch_events_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tmotif_stream_batch_events_sum 305"),
+            std::string::npos);
+}
+
+TEST(Exporters, JsonLinesAreWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(5);
+  registry.GetGauge("b.level")->Set(-3);
+  registry.GetHistogram("c.dist")->Record(10);
+  const std::string text = ToJsonLines(registry.Snapshot());
+  std::size_t lines = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"metric\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(text.find("{\"metric\":\"a.count\",\"type\":\"counter\","
+                      "\"value\":5}"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"metric\":\"b.level\",\"type\":\"gauge\","
+                      "\"value\":-3}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"metric\":\"c.dist\",\"type\":\"histogram\","
+                      "\"count\":1,\"sum\":10"),
+            std::string::npos);
+}
+
+// Structural well-formedness: balanced braces/brackets outside strings.
+void ExpectBalancedJson(const std::string& text) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, PhaseTimerSpansProduceWellFormedChromeJson) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("trace.test_latency_ns");
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  {
+    PhaseTimer outer(histogram, "outer_phase");
+    for (int i = 0; i < 3; ++i) {
+      PhaseTimer inner(histogram, "inner_phase");
+    }
+  }
+  EXPECT_EQ(histogram->Snapshot().count, 4u);
+
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  const std::string json = out.str();
+  ExpectBalancedJson(json);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tmotif

@@ -23,13 +23,15 @@
 // side are reported but never fail the run (benches come and go across
 // PRs).
 //
-// Besides "seconds", a fixed set of gated THROUGHPUT fields (see
-// kGatedThroughputFields) is pulled out of specific records and compared as
-// its own "bench.field" row with the regression direction inverted — higher
-// is better, so the row regresses when the new value drops below
-// median / (1 + threshold). This is how the per-preset and fast-path
-// instances/s fields of counting_throughput are gated instead of just
-// recorded.
+// Besides "seconds", a fixed set of gated fields (see kGatedFields) is
+// pulled out of specific records and compared as its own "bench.field" row
+// with a per-field direction. Throughput fields (instances/s) are
+// higher-is-better: the row regresses when the new value drops below
+// median / (1 + threshold). Ratio fields like bench_obs_overhead's
+// instrumented/compiled-out overhead ratios are lower-is-better, gated
+// like seconds but formatted unitless. This is how the per-preset and
+// fast-path instances/s fields of counting_throughput and the telemetry
+// overhead ratios are gated instead of just recorded.
 
 #include <algorithm>
 #include <cctype>
@@ -129,28 +131,45 @@ std::optional<double> ExtractNumber(const std::string& json,
   return parsed;
 }
 
-/// Gated higher-is-better fields: each (bench, field) pair becomes its own
-/// "bench.field" record when the field is present in the bench's JSON.
-/// Absent fields are skipped, so baselines written before a field existed
-/// coexist with newer runs (one-sided rows never fail the gate).
+/// Gated fields: each (bench, field) pair becomes its own "bench.field"
+/// record when the field is present in the bench's JSON. Absent fields are
+/// skipped, so baselines written before a field existed coexist with newer
+/// runs (one-sided rows never fail the gate). `higher_is_better` picks the
+/// regression direction: true for throughputs, false for overhead ratios.
 struct GatedField {
   const char* bench;
   const char* field;
+  bool higher_is_better;
 };
-constexpr GatedField kGatedThroughputFields[] = {
-    {"counting_throughput", "instances_per_sec"},
-    {"counting_throughput", "kovanen_instances_per_sec"},
-    {"counting_throughput", "song_instances_per_sec"},
-    {"counting_throughput", "hulovatyy_instances_per_sec"},
-    {"counting_throughput", "paranjape_instances_per_sec"},
-    {"counting_throughput", "fastpath_song_instances_per_sec"},
-    {"counting_throughput", "fastpath_vanilla_2node_instances_per_sec"},
+constexpr GatedField kGatedFields[] = {
+    {"counting_throughput", "instances_per_sec", true},
+    {"counting_throughput", "kovanen_instances_per_sec", true},
+    {"counting_throughput", "song_instances_per_sec", true},
+    {"counting_throughput", "hulovatyy_instances_per_sec", true},
+    {"counting_throughput", "paranjape_instances_per_sec", true},
+    {"counting_throughput", "fastpath_song_instances_per_sec", true},
+    {"counting_throughput", "fastpath_vanilla_2node_instances_per_sec",
+     true},
+    {"obs_overhead", "counting_overhead_ratio", false},
+    {"obs_overhead", "ingest_overhead_ratio", false},
 };
 
-/// True when a record name is a gated throughput row ("bench.field") rather
-/// than a seconds row; throughput rows compare in the opposite direction.
-bool IsThroughputRecord(const std::string& name) {
+/// True when a record name is a gated-field row ("bench.field") rather
+/// than a seconds row; gated rows are formatted unitless and exempt from
+/// the min-seconds noise gate.
+bool IsGatedFieldRecord(const std::string& name) {
   return name.find('.') != std::string::npos;
+}
+
+/// Regression direction of a record. Seconds rows and lower-is-better
+/// gated rows regress upward; throughput rows regress downward.
+bool IsHigherBetter(const std::string& name) {
+  for (const GatedField& gated : kGatedFields) {
+    if (name == std::string(gated.bench) + "." + gated.field) {
+      return gated.higher_is_better;
+    }
+  }
+  return false;
 }
 
 /// BENCH_<name>.json -> seconds, for every parsable record directly in
@@ -174,7 +193,7 @@ std::map<std::string, double> LoadRecords(const std::string& dir) {
     const std::string bench =
         name.substr(6, name.size() - 6 - std::strlen(".json"));
     records[bench] = *seconds;
-    for (const GatedField& gated : kGatedThroughputFields) {
+    for (const GatedField& gated : kGatedFields) {
       if (bench != gated.bench) continue;
       const std::optional<double> value =
           ExtractNumber(content.str(), gated.field);
@@ -251,13 +270,15 @@ int Main(int argc, char** argv) {
     (void)unused;
     const auto old_it = baseline_runs.find(bench);
     const auto new_it = new_records.find(bench);
-    // Throughput rows ("bench.field") are higher-is-better values, not
-    // seconds: formatted without the unit and regressed in the opposite
-    // direction. The min-seconds noise gate does not apply to them (their
-    // parent bench's wall time already decides whether the run was real).
-    const bool throughput = IsThroughputRecord(bench);
+    // Gated-field rows ("bench.field") are unitless values, not seconds:
+    // formatted without the unit and regressed in their field's direction
+    // (throughputs invert, overhead ratios don't). The min-seconds noise
+    // gate does not apply to them (their parent bench's wall time already
+    // decides whether the run was real).
+    const bool gated_row = IsGatedFieldRecord(bench);
+    const bool higher_better = gated_row && IsHigherBetter(bench);
     const auto format_value = [&](char* buf, std::size_t size, double v) {
-      if (throughput) {
+      if (gated_row) {
         std::snprintf(buf, size, "%.3g", v);
       } else {
         std::snprintf(buf, size, "%.3fs", v);
@@ -292,11 +313,11 @@ int Main(int argc, char** argv) {
                                    ? override_it->second
                                    : args.threshold;
       const bool measurable =
-          throughput || old_s >= args.min_seconds || new_s >= args.min_seconds;
-      const bool worse = throughput ? new_s * (1.0 + threshold) < old_s
-                                    : new_s > old_s * (1.0 + threshold);
-      const bool better = throughput ? new_s > old_s * (1.0 + threshold)
-                                     : old_s > new_s * (1.0 + threshold);
+          gated_row || old_s >= args.min_seconds || new_s >= args.min_seconds;
+      const bool worse = higher_better ? new_s * (1.0 + threshold) < old_s
+                                       : new_s > old_s * (1.0 + threshold);
+      const bool better = higher_better ? new_s > old_s * (1.0 + threshold)
+                                        : old_s > new_s * (1.0 + threshold);
       if (measurable && worse) {
         status = "REGRESSED";
         ++regressions;

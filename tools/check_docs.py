@@ -51,6 +51,14 @@ REQUIRED_SECTIONS = {
         "boundary revalidation",
         "store_order_rechecks",
     ),
+    "docs/OBSERVABILITY.md": (
+        "## Metric catalog",
+        "## Phase tracing",
+        "## Exporters",
+        "## Overhead budget (TMOTIF_NO_TELEMETRY)",
+        "latency_ns",
+        "MASK_TIMING",
+    ),
 }
 
 # Relative markdown links/images: [text](target) where target is not a URL

@@ -37,6 +37,9 @@ for bin in "${BUILD_DIR}"/bench_*; do
   case "${name}" in
     *.json | *.csv) continue ;;
     bench_diff) continue ;;  # The record-comparison tool, not a bench.
+    # The no-telemetry half of bench_obs_overhead: spawned by the
+    # instrumented binary itself, never run standalone.
+    bench_obs_overhead_baseline) continue ;;
     bench_perf_counting)
       # Runs the Google Benchmark suite AND writes the
       # BENCH_counting_throughput.json trajectory record (the binary

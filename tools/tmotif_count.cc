@@ -22,6 +22,7 @@
 #include "core/models/model_info.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "obs/export.h"
 
 namespace tmotif {
 namespace {
@@ -40,6 +41,7 @@ struct CliArgs {
   int threads = 1;
   std::string csv_out;
   bool compact_ids = true;
+  std::string metrics_out;  // Empty = no metrics dump.
 };
 
 void Usage(const char* argv0, std::FILE* out = stderr) {
@@ -58,7 +60,9 @@ void Usage(const char* argv0, std::FILE* out = stderr) {
       "  --top=N          rows to print (default 25, 0 = all)\n"
       "  --threads=N      parallel counting shards (default 1)\n"
       "  --csv=FILE       also write full counts as CSV\n"
-      "  --raw-ids        node ids are already dense (skip remapping)\n",
+      "  --raw-ids        node ids are already dense (skip remapping)\n"
+      "  --metrics-out=FILE  dump a Prometheus-text metrics snapshot at "
+      "exit ('-' = stdout)\n",
       argv0);
 }
 
@@ -82,6 +86,7 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value("--threads=")) args->threads = std::atoi(v);
     else if (const char* v = value("--csv=")) args->csv_out = v;
     else if (std::strcmp(a, "--raw-ids") == 0) args->compact_ids = false;
+    else if (const char* v = value("--metrics-out=")) args->metrics_out = v;
     else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       Usage(argv[0], stdout);
       std::exit(0);
@@ -216,6 +221,20 @@ int Main(int argc, char** argv) {
       csv.WriteRow({code, std::to_string(count)});
     }
     std::printf("\nfull counts written to %s\n", args.csv_out.c_str());
+  }
+
+  if (!args.metrics_out.empty()) {
+    const std::string text =
+        obs::ToPrometheusText(obs::GlobalMetrics().Snapshot());
+    std::FILE* out = args.metrics_out == "-"
+                         ? stdout
+                         : std::fopen(args.metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    if (out != stdout) std::fclose(out);
   }
   return 0;
 }

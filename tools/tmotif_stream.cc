@@ -14,12 +14,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.h"
 #include "core/models/model_info.h"
 #include "graph/graph_io.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "stream/streaming_counter.h"
 
 namespace tmotif {
@@ -46,6 +50,10 @@ struct CliArgs {
   int top = 10;
   int threads = 1;
   bool compact_ids = true;
+  std::string metrics_out;            // Empty = no metrics dump.
+  std::string metrics_format = "prom";  // prom|jsonl.
+  int metrics_interval = 0;  // Batches between metric dumps; 0 = final only.
+  std::string trace_out;     // Empty = tracing off.
 };
 
 void Usage(const char* argv0, std::FILE* out = stderr) {
@@ -73,7 +81,13 @@ void Usage(const char* argv0, std::FILE* out = stderr) {
       "only)\n"
       "  --top=N             motif rows per report (default 10, 0 = all)\n"
       "  --threads=N         delta-ingestion shards (default 1)\n"
-      "  --raw-ids           node ids are already dense (skip remapping)\n",
+      "  --raw-ids           node ids are already dense (skip remapping)\n"
+      "  --metrics-out=FILE  dump a registry snapshot at exit "
+      "('-' = stdout)\n"
+      "  --metrics-format=F  prom|jsonl exporter format (default prom)\n"
+      "  --metrics-interval=N  also dump every N batches (0 = final only)\n"
+      "  --trace-out=FILE    record phase spans; dump chrome://tracing "
+      "JSON ('-' = stdout)\n",
       argv0);
 }
 
@@ -108,6 +122,10 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value("--top=")) args->top = std::atoi(v);
     else if (const char* v = value("--threads=")) args->threads = std::atoi(v);
     else if (std::strcmp(a, "--raw-ids") == 0) args->compact_ids = false;
+    else if (const char* v = value("--metrics-out=")) args->metrics_out = v;
+    else if (const char* v = value("--metrics-format=")) args->metrics_format = v;
+    else if (const char* v = value("--metrics-interval=")) args->metrics_interval = std::atoi(v);
+    else if (const char* v = value("--trace-out=")) args->trace_out = v;
     else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       Usage(argv[0], stdout);
       std::exit(0);
@@ -151,7 +169,28 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     std::fprintf(stderr, "--batch must be >= 1\n");
     return false;
   }
+  if (args->metrics_format != "prom" && args->metrics_format != "jsonl") {
+    std::fprintf(stderr, "--metrics-format must be prom or jsonl\n");
+    return false;
+  }
+  if (args->metrics_interval < 0) {
+    std::fprintf(stderr, "--metrics-interval must be >= 0\n");
+    return false;
+  }
+  if (args->metrics_interval > 0 && args->metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics-out\n");
+    return false;
+  }
   return true;
+}
+
+/// Writes one registry snapshot to `out` in the configured format.
+void DumpMetrics(const CliArgs& args, std::FILE* out) {
+  const obs::MetricsSnapshot snap = obs::GlobalMetrics().Snapshot();
+  const std::string text = args.metrics_format == "jsonl"
+                               ? obs::ToJsonLines(snap)
+                               : obs::ToPrometheusText(snap);
+  std::fwrite(text.data(), 1, text.size(), out);
 }
 
 bool BuildOptions(const CliArgs& args, EnumerationOptions* options) {
@@ -268,6 +307,18 @@ int Main(int argc, char** argv) {
                          ? ", static-induced"
                          : ", window-induced"));
 
+  if (!args.trace_out.empty()) obs::TraceRecorder::Global().Enable();
+  std::FILE* metrics_file = nullptr;
+  if (!args.metrics_out.empty()) {
+    metrics_file = args.metrics_out == "-"
+                       ? stdout
+                       : std::fopen(args.metrics_out.c_str(), "w");
+    if (metrics_file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+  }
+
   StreamingMotifCounter counter(config);
   const auto start = std::chrono::steady_clock::now();
   std::size_t batch_index = 0;
@@ -284,6 +335,19 @@ int Main(int argc, char** argv) {
       std::printf("[batch %zu, %zu events in]\n", batch_index, end);
       PrintSnapshot(counter, args.top);
       std::printf("\n");
+    }
+    if (args.metrics_interval > 0 && metrics_file != nullptr &&
+        batch_index % static_cast<std::size_t>(args.metrics_interval) == 0) {
+      if (args.metrics_format == "jsonl") {
+        std::fprintf(metrics_file,
+                     "{\"metric\":\"snapshot.batch\",\"type\":\"gauge\","
+                     "\"value\":%zu}\n",
+                     batch_index);
+      } else {
+        std::fprintf(metrics_file, "# snapshot after batch %zu\n",
+                     batch_index);
+      }
+      DumpMetrics(args, metrics_file);
     }
   }
 
@@ -305,9 +369,10 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.static_fallbacks));
   if (counter.store_active()) {
     std::printf(
-        "instance store: %zu live candidates; %llu flip batches touched "
-        "%llu entries (%llu admitted, %llu retired)\n",
+        "instance store: %zu live candidates (~%llu bytes resident); %llu "
+        "flip batches touched %llu entries (%llu admitted, %llu retired)\n",
         counter.store_size(),
+        static_cast<unsigned long long>(counter.store_approx_bytes()),
         static_cast<unsigned long long>(stats.store_flip_batches),
         static_cast<unsigned long long>(stats.store_entries_touched),
         static_cast<unsigned long long>(stats.store_admitted),
@@ -322,6 +387,24 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.late_recounts),
         static_cast<unsigned long long>(stats.late_dropped),
         static_cast<long long>(config.lateness));
+  }
+  if (metrics_file != nullptr) {
+    DumpMetrics(args, metrics_file);
+    if (metrics_file != stdout) std::fclose(metrics_file);
+  }
+  if (!args.trace_out.empty()) {
+    if (args.trace_out == "-") {
+      std::ostringstream trace_json;
+      obs::TraceRecorder::Global().WriteJson(trace_json);
+      std::fputs(trace_json.str().c_str(), stdout);
+    } else {
+      std::ofstream trace_file(args.trace_out);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot write %s\n", args.trace_out.c_str());
+        return 1;
+      }
+      obs::TraceRecorder::Global().WriteJson(trace_file);
+    }
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
