@@ -1,0 +1,187 @@
+// Checkpoint/restore and memory-budget degradation costs for the streaming
+// counter (stream/checkpoint.h, StreamConfig::store_budget_bytes).
+//
+// Three recorded figures, all gated by tools/bench_diff:
+//   checkpoint_write_mbps    in-memory EncodeCheckpoint throughput
+//   checkpoint_restore_mbps  DecodeCheckpoint-into-fresh-counter throughput
+//   degraded_ingest_ratio    budget-capped ingest events/s over unlimited
+//
+// The write/restore figures use the in-memory codec so they measure the
+// serialization cost, not the disk; one WriteCheckpoint/RestoreCheckpoint
+// round through the out directory proves the durable path end to end.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/text_table.h"
+#include "core/models/model_info.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_counter.h"
+
+namespace tmotif {
+namespace {
+
+constexpr std::size_t kBatchSize = 64;
+constexpr std::int64_t kWindowEvents = 2048;
+constexpr Timestamp kDeltaC = 900;
+constexpr Timestamp kDeltaW = 1800;
+constexpr int kCodecIters = 50;
+
+// Paranjape (static-induced) keeps the live-instance store active, so the
+// checkpoint carries the representative state shape: window events, counts,
+// and a store that restore must regenerate and cross-check.
+StreamConfig BenchConfig() {
+  StreamConfig config;
+  config.options = OptionsForModel(ModelId::kParanjape, /*num_events=*/3,
+                                   /*max_nodes=*/3, kDeltaC, kDeltaW);
+  config.window = WindowPolicy::CountBased(kWindowEvents);
+  return config;
+}
+
+/// Ingests `events` in kBatchSize batches; returns ingest wall seconds.
+double IngestAll(StreamingMotifCounter* counter,
+                 const std::vector<Event>& events) {
+  WallTimer timer;
+  for (std::size_t begin = 0; begin < events.size(); begin += kBatchSize) {
+    const std::size_t end = std::min(events.size(), begin + kBatchSize);
+    counter->Ingest(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(begin),
+        events.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  return timer.Seconds();
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBenchHeader(
+      "Checkpoint/restore and budget-degradation costs",
+      "resilience subsystem (stream/checkpoint.h), Paranjape 3n3e, window " +
+          std::to_string(kWindowEvents) + " events, batch " +
+          std::to_string(kBatchSize),
+      args);
+
+  const DatasetId dataset = DatasetId::kCollegeMsg;
+  const TemporalGraph graph = LoadBenchDataset(dataset, args);
+  std::printf("%s: %d events\n\n", DatasetName(dataset), graph.num_events());
+
+  const StreamConfig config = BenchConfig();
+  StreamingMotifCounter counter(config);
+  const double unlimited_seconds = IngestAll(&counter, graph.events());
+
+  // Codec throughput over the fully-warmed state.
+  const std::string encoded = EncodeCheckpoint(counter);
+  const double checkpoint_mb = static_cast<double>(encoded.size()) / 1e6;
+  double encode_seconds = 0.0;
+  {
+    WallTimer timer;
+    for (int i = 0; i < kCodecIters; ++i) {
+      const std::string bytes = EncodeCheckpoint(counter);
+      if (bytes.size() != encoded.size()) {
+        std::fprintf(stderr, "FATAL: encode size drifted across runs\n");
+        return 1;
+      }
+    }
+    encode_seconds = timer.Seconds();
+  }
+  double decode_seconds = 0.0;
+  for (int i = 0; i < kCodecIters; ++i) {
+    StreamingMotifCounter restored(config);
+    WallTimer timer;
+    const CheckpointResult result = DecodeCheckpoint(encoded, &restored);
+    decode_seconds += timer.Seconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: decode failed: %s\n",
+                   result.message.c_str());
+      return 1;
+    }
+    if (restored.counts().SortedByCode() != counter.counts().SortedByCode()) {
+      std::fprintf(stderr, "FATAL: restored counts disagree\n");
+      return 1;
+    }
+  }
+  const double write_mbps =
+      encode_seconds > 0 ? checkpoint_mb * kCodecIters / encode_seconds : 0.0;
+  const double restore_mbps =
+      decode_seconds > 0 ? checkpoint_mb * kCodecIters / decode_seconds : 0.0;
+
+  // One durable round proves the atomic file path (and its fsync cost is
+  // visible in stdout, though only the codec figures are gated).
+  const std::string path =
+      BenchOutputPath(args.out_dir, "bench_checkpoint.tmck");
+  double file_round_seconds = 0.0;
+  {
+    WallTimer timer;
+    const CheckpointResult written = WriteCheckpoint(counter, path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "FATAL: WriteCheckpoint: %s\n",
+                   written.message.c_str());
+      return 1;
+    }
+    StreamingMotifCounter restored(config);
+    const CheckpointResult read = RestoreCheckpoint(path, &restored);
+    if (!read.ok()) {
+      std::fprintf(stderr, "FATAL: RestoreCheckpoint: %s\n",
+                   read.message.c_str());
+      return 1;
+    }
+    file_round_seconds = timer.Seconds();
+  }
+  std::remove(path.c_str());
+
+  // Degraded ingest: an impossible budget pins the counter on the bottom
+  // rung (scoped recount) for the whole replay — the worst case the
+  // degradation ladder can impose. The ratio to the unlimited run is the
+  // price of staying within budget; higher (closer to 1) is better.
+  StreamConfig degraded_config = config;
+  degraded_config.store_budget_bytes = 1;
+  StreamingMotifCounter degraded(degraded_config);
+  const double degraded_seconds = IngestAll(&degraded, graph.events());
+  if (degraded.counts().SortedByCode() != counter.counts().SortedByCode()) {
+    std::fprintf(stderr, "FATAL: degraded run changed the counts\n");
+    return 1;
+  }
+  const double events = static_cast<double>(graph.num_events());
+  const double unlimited_eps =
+      unlimited_seconds > 0 ? events / unlimited_seconds : 0.0;
+  const double degraded_eps =
+      degraded_seconds > 0 ? events / degraded_seconds : 0.0;
+  const double degraded_ratio =
+      unlimited_eps > 0 ? degraded_eps / unlimited_eps : 0.0;
+
+  TextTable table({"Figure", "Value"});
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), "%.3f MB", checkpoint_mb);
+  table.AddRow().AddCell("Checkpoint size").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.1f MB/s", write_mbps);
+  table.AddRow().AddCell("Encode throughput").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.1f MB/s", restore_mbps);
+  table.AddRow().AddCell("Restore throughput").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.3fs", file_round_seconds);
+  table.AddRow().AddCell("Durable write+restore round").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.0f ev/s", unlimited_eps);
+  table.AddRow().AddCell("Ingest, unlimited store").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.0f ev/s", degraded_eps);
+  table.AddRow().AddCell("Ingest, 1-byte budget").AddCell(cell);
+  std::snprintf(cell, sizeof(cell), "%.2fx", degraded_ratio);
+  table.AddRow().AddCell("Degraded/unlimited ratio").AddCell(cell);
+  std::printf("%s\n", table.Render().c_str());
+
+  WriteBenchResult(args, "checkpoint", encode_seconds + decode_seconds,
+                   {{"checkpoint_mb", checkpoint_mb},
+                    {"checkpoint_write_mbps", write_mbps},
+                    {"checkpoint_restore_mbps", restore_mbps},
+                    {"file_round_seconds", file_round_seconds},
+                    {"unlimited_events_per_sec", unlimited_eps},
+                    {"degraded_events_per_sec", degraded_eps},
+                    {"degraded_ingest_ratio", degraded_ratio}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace tmotif
+
+int main(int argc, char** argv) { return tmotif::Run(argc, argv); }

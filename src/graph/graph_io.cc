@@ -1,38 +1,59 @@
 #include "graph/graph_io.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 namespace tmotif {
 namespace {
 
 /// Parses up to 5 whitespace-separated integer fields from `line`.
-/// Returns the number of fields parsed, or -1 on any malformed token.
-int ParseFields(const std::string& line, long long out[5]) {
+/// Returns the number of fields parsed, or -1 with `*why` set on any
+/// malformed token (non-numeric, out of long-long range, or trailing
+/// garbage after the fifth field). A trailing '\r' (CRLF files) is
+/// tolerated.
+int ParseFields(const std::string& line, long long out[5], const char** why) {
   int count = 0;
   const char* p = line.c_str();
   while (*p != '\0' && count < 5) {
-    while (*p == ' ' || *p == '\t') ++p;
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
     if (*p == '\0') break;
     char* end = nullptr;
+    errno = 0;
     const long long value = std::strtoll(p, &end, 10);
-    if (end == p) return -1;
+    if (end == p) {
+      *why = "non-numeric field";
+      return -1;
+    }
+    if (errno == ERANGE) {
+      *why = "integer field out of range";
+      return -1;
+    }
     out[count++] = value;
     p = end;
   }
   // Trailing garbage check.
-  while (*p == ' ' || *p == '\t') ++p;
-  if (*p != '\0' && count == 5) return -1;
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  if (*p != '\0' && count == 5) {
+    *why = "trailing garbage after 5 fields";
+    return -1;
+  }
   return count;
 }
 
 }  // namespace
 
 std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
-                                           const EdgeListOptions& options) {
+                                           const EdgeListOptions& options,
+                                           std::string* error) {
   std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return std::nullopt;
+  if (file == nullptr) {
+    if (error != nullptr) *error = path + ": " + std::strerror(errno);
+    return std::nullopt;
+  }
 
   EdgeListResult result;
   TemporalGraphBuilder builder;
@@ -47,25 +68,54 @@ std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
 
   std::string line;
   int ch;
+  std::size_t physical_line = 0;
+  const auto record_error = [&](const char* message) {
+    ++result.num_bad_lines;
+    if (result.errors.size() < kMaxEdgeListErrors) {
+      result.errors.push_back(EdgeListError{physical_line, message});
+    }
+  };
   const auto process_line = [&]() {
-    if (line.empty()) return;
+    ++physical_line;
+    if (line.empty() || line == "\r") return;
     ++result.num_lines;
     if (line[0] == '#' || line[0] == '%') return;
     long long fields[5] = {0, 0, 0, 0, 0};
-    const int n = ParseFields(line, fields);
-    if (n < 3) {
-      ++result.num_bad_lines;
+    const char* why = "";
+    const int n = ParseFields(line, fields, &why);
+    if (n < 0) {
+      record_error(why);
       return;
     }
-    if (fields[0] < 0 || fields[1] < 0 || (n >= 4 && fields[3] < 0)) {
-      ++result.num_bad_lines;
+    if (n < 3) {
+      record_error("expected at least 3 fields (src dst time)");
+      return;
+    }
+    if (fields[0] < 0 || fields[1] < 0) {
+      record_error("negative node id");
+      return;
+    }
+    if (!options.compact_node_ids &&
+        (fields[0] > static_cast<long long>(INT32_MAX) ||
+         fields[1] > static_cast<long long>(INT32_MAX))) {
+      record_error("node id exceeds the 32-bit id space "
+                   "(enable compact_node_ids to remap)");
+      return;
+    }
+    if (n >= 4 && fields[3] < 0) {
+      record_error("negative duration");
+      return;
+    }
+    if (n >= 5 && (fields[4] < static_cast<long long>(INT32_MIN) ||
+                   fields[4] > static_cast<long long>(INT32_MAX))) {
+      record_error("label exceeds the 32-bit label space");
       return;
     }
     if (fields[0] == fields[1]) {
       if (options.skip_self_loops) {
         ++result.num_skipped_self_loops;
       } else {
-        ++result.num_bad_lines;
+        record_error("self-loop event");
       }
       return;
     }

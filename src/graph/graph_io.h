@@ -24,6 +24,19 @@ struct EdgeListOptions {
   bool keep_arrival_order = false;
 };
 
+/// One rejected input line, with enough context to point a user at it.
+struct EdgeListError {
+  /// 1-based physical line number in the file (blank and comment lines
+  /// count, exactly as an editor numbers them).
+  std::size_t line = 0;
+  /// What was wrong ("non-numeric field", "negative node id", ...).
+  std::string message;
+};
+
+/// Cap on retained EdgeListError records per load; `num_bad_lines` keeps
+/// the full count regardless.
+inline constexpr std::size_t kMaxEdgeListErrors = 8;
+
 struct EdgeListResult {
   TemporalGraph graph;
   /// Accepted events in file order (only when keep_arrival_order is set).
@@ -32,12 +45,18 @@ struct EdgeListResult {
   std::size_t num_events = 0;
   std::size_t num_skipped_self_loops = 0;
   std::size_t num_bad_lines = 0;
+  /// The first kMaxEdgeListErrors rejected lines, in file order, each with
+  /// its physical line number and a structured reason.
+  std::vector<EdgeListError> errors;
 };
 
-/// Loads a temporal edge list; returns nullopt when the file cannot be read.
-/// Malformed lines are counted and skipped, never fatal.
+/// Loads a temporal edge list; returns nullopt when the file cannot be read
+/// (when `error` is non-null it receives "path: strerror" detail).
+/// Malformed lines are counted, described in `errors`, and skipped — never
+/// fatal.
 std::optional<EdgeListResult> LoadEdgeList(const std::string& path,
-                                           const EdgeListOptions& options = {});
+                                           const EdgeListOptions& options = {},
+                                           std::string* error = nullptr);
 
 /// Writes `graph` as "src dst time duration label" lines. Returns false on
 /// I/O failure.

@@ -85,6 +85,48 @@ void LiveInstanceStore::SpliceSlot(std::uint64_t first_id) {
   }
 }
 
+std::size_t LiveInstanceStore::PurgeUncounted() {
+  // Rebuild the pool around the counted survivors instead of Free()ing the
+  // rest in place: freed slots would stay in pool_, and the demotion is a
+  // memory-pressure response measured through pool-driven ApproxBytes.
+  // Walking slots_ in anchor order keeps the rebuilt layout (and thus every
+  // downstream replay) deterministic.
+  std::vector<Entry> kept;
+  kept.reserve(num_counted_);
+  for (const std::vector<std::uint64_t>& slot : slots_) {
+    for (const std::uint64_t tagged : slot) {
+      const Entry& entry = pool_[SlotIndex(tagged)];
+      TMOTIF_CHECK(entry.alive && entry.generation == SlotTag(tagged));
+      if (entry.counted) kept.push_back(entry);
+    }
+  }
+  const std::size_t removed = live_ - kept.size();
+  Reset(base_);
+  for (const Entry& entry : kept) {
+    Insert(entry.event_ids.data(), entry.num_events, entry.packed,
+           entry.nodes.data(), entry.num_nodes, entry.distinct_pairs,
+           entry.covered, entry.order_valid);
+  }
+  return removed;
+}
+
+void LiveInstanceStore::EraseAnchorRef(const Entry& entry,
+                                       std::uint64_t tagged) {
+  const std::uint64_t first_id = entry.event_ids[0];
+  TMOTIF_CHECK(first_id >= base_);
+  const std::size_t slot = static_cast<std::size_t>(first_id - base_);
+  TMOTIF_CHECK(slot < slots_.size());
+  std::vector<std::uint64_t>& refs = slots_[slot];
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i] == tagged) {
+      refs[i] = refs.back();
+      refs.pop_back();
+      return;
+    }
+  }
+  TMOTIF_CHECK_MSG(false, "anchor slot is missing a live entry's reference");
+}
+
 void LiveInstanceStore::Free(Entry* entry, std::uint32_t index) {
   entry->alive = false;
   if (entry->counted) {
@@ -104,7 +146,8 @@ void LiveInstanceStore::Free(Entry* entry, std::uint32_t index) {
 }
 
 void LiveInstanceStore::CompactIfNeeded() {
-  if (dead_bucket_slots_ <= live_ + 64) return;
+  if (dead_bucket_slots_ <= live_ + compaction_slack_) return;
+  ++compactions_;
   buckets_.clear();
   dead_bucket_slots_ = 0;
   for (std::uint32_t index = 0; index < pool_.size(); ++index) {

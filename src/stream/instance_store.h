@@ -87,6 +87,14 @@ class LiveInstanceStore {
   /// Insert after a Reset; the flag itself survives Reset.
   void SetTrackTails(bool track) { track_tails_ = track; }
 
+  /// Dead-bucket-slot debt tolerated beyond the live population before a
+  /// global bucket rebuild runs (default 64). The knob survives Reset;
+  /// tests lower it to force compaction deterministically
+  /// (StreamConfig::store_compaction_slack).
+  void SetCompactionSlack(std::size_t slack) { compaction_slack_ = slack; }
+  /// Global bucket rebuilds performed so far (stream.store_compactions).
+  std::uint64_t compactions() const { return compactions_; }
+
   /// Drops everything and restarts the anchor id space at `first_id_base`
   /// (the full-recount path re-populates via Insert).
   void Reset(std::uint64_t first_id_base);
@@ -152,6 +160,46 @@ class LiveInstanceStore {
     }
     if (bucket.empty()) buckets_.erase(it);
   }
+
+  /// Removes every live entry whose node set contains both `u` and `v`,
+  /// invoking `fn(const Entry&)` just before each removal. Unlike
+  /// ForEachTouching this is *physical* removal — anchor reference, bucket
+  /// reference and pool slot are all released — so scanning another flipped
+  /// pair's bucket afterwards can never surface the entry again. The
+  /// counted-only degraded mode (docs/RESILIENCE.md) relies on this to
+  /// extract-and-rederive flip-spanning instances without identity checks.
+  /// Stale references to *other* entries are dropped on the way; tail
+  /// references (if any) go stale and are skipped lazily as usual.
+  template <typename Fn>
+  void ExtractTouching(NodeId u, NodeId v, Fn fn) {
+    const auto it = buckets_.find(UnorderedPairKey(u, v));
+    if (it == buckets_.end()) return;
+    std::vector<std::uint64_t>& bucket = it->second;
+    for (std::size_t i = 0; i < bucket.size();) {
+      const std::uint64_t tagged = bucket[i];
+      Entry& entry = pool_[SlotIndex(tagged)];
+      if (entry.alive && entry.generation == SlotTag(tagged)) {
+        fn(const_cast<const Entry&>(entry));
+        EraseAnchorRef(entry, tagged);
+        Free(&entry, SlotIndex(tagged));
+        // Free() just booked this very reference as debt; settle it by
+        // removing the slot eagerly (its other buckets stay lazy).
+      }
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      TMOTIF_CHECK(dead_bucket_slots_ > 0);
+      --dead_bucket_slots_;
+    }
+    if (bucket.empty()) buckets_.erase(it);
+  }
+
+  /// Removes every entry that is not currently counted and rebuilds the
+  /// pool around the survivors. A plain Free would keep the purged entries'
+  /// pool slots allocated, so it would not shed the logical footprint that
+  /// drives ApproxBytes — and shedding bytes is the point: this is the
+  /// demotion step into the counted-only degraded mode. Returns the number
+  /// of entries removed.
+  std::size_t PurgeUncounted();
 
   /// Invokes `fn(Entry&)` for every live entry whose first event's id lies
   /// in [id_begin, id_end). Anchor slots are authoritative (entries only
@@ -247,6 +295,9 @@ class LiveInstanceStore {
   }
 
   void Free(Entry* entry, std::uint32_t index);
+  /// Removes `tagged` from `entry`'s anchor slot. Physical removal must
+  /// keep the (authoritative) anchor index exact.
+  void EraseAnchorRef(const Entry& entry, std::uint64_t tagged);
   void CompactIfNeeded();
 
   std::vector<Entry> pool_;
@@ -266,6 +317,10 @@ class LiveInstanceStore {
   std::size_t live_pair_refs_ = 0;
   /// Bucket slots pointing at freed entries, not yet lazily removed.
   std::size_t dead_bucket_slots_ = 0;
+  /// See SetCompactionSlack.
+  std::size_t compaction_slack_ = 64;
+  /// Monotone count of global bucket rebuilds (survives Reset).
+  std::uint64_t compactions_ = 0;
   std::uint64_t visit_counter_ = 0;
 };
 

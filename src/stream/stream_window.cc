@@ -228,4 +228,11 @@ void StreamWindow::Apply(const IngestPlan& plan,
 
 void StreamWindow::Clear() { events_.clear(); }
 
+void StreamWindow::Restore(const std::vector<Event>& events,
+                           Timestamp max_time_seen, bool saw_any_event) {
+  events_.assign(events.begin(), events.end());
+  max_time_seen_ = max_time_seen;
+  saw_any_event_ = saw_any_event;
+}
+
 }  // namespace tmotif

@@ -117,6 +117,14 @@ class StreamWindow {
   /// Drops every event (the policy and max_time_seen are kept).
   void Clear();
 
+  /// Replaces the window contents wholesale — the checkpoint-restore path
+  /// (stream/checkpoint.h). `events` must be canonically ordered and
+  /// policy-consistent, and `max_time_seen`/`saw_any_event` must describe
+  /// the stream they were captured from; the decoder validates all of this
+  /// before calling.
+  void Restore(const std::vector<Event>& events, Timestamp max_time_seen,
+               bool saw_any_event);
+
  private:
   WindowPolicy policy_;
   std::deque<Event> events_;

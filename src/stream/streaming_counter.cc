@@ -9,6 +9,7 @@
 
 #include "algorithms/parallel.h"
 #include "common/check.h"
+#include "common/fault_points.h"
 #include "core/enumerate_core.h"
 #include "core/fast_paths/fast_path.h"
 #include "core/packed_table.h"
@@ -40,6 +41,9 @@ struct StreamMetrics {
   obs::Gauge* window_events;
   obs::Gauge* store_entries;
   obs::Gauge* store_bytes;
+  /// Degradation-ladder rung (StoreMode numeric value: 0 full,
+  /// 1 counted-only, 2 scoped-recount).
+  obs::Gauge* store_mode;
   // One counter per IngestStats field (mirrored as deltas per batch).
   obs::Counter* batches;
   obs::Counter* events_ingested;
@@ -57,6 +61,12 @@ struct StreamMetrics {
   obs::Counter* store_admitted;
   obs::Counter* store_retired;
   obs::Counter* store_order_rechecks;
+  obs::Counter* store_demotions_counted;
+  obs::Counter* store_demotions_recount;
+  obs::Counter* store_promotions_counted;
+  obs::Counter* store_promotions_full;
+  /// Mirrors LiveInstanceStore::compactions() (not an IngestStats field).
+  obs::Counter* store_compactions;
   obs::Counter* late_events;
   obs::Counter* late_dropped;
   obs::Counter* late_splices;
@@ -85,6 +95,7 @@ struct StreamMetrics {
       n.window_events = r.GetGauge("stream.window_events");
       n.store_entries = r.GetGauge("stream.store_entries");
       n.store_bytes = r.GetGauge("stream.store_bytes");
+      n.store_mode = r.GetGauge("stream.store_mode");
       n.batches = r.GetCounter("stream.batches");
       n.events_ingested = r.GetCounter("stream.events_ingested");
       n.events_dropped = r.GetCounter("stream.events_dropped");
@@ -103,6 +114,14 @@ struct StreamMetrics {
       n.store_admitted = r.GetCounter("stream.store_admitted");
       n.store_retired = r.GetCounter("stream.store_retired");
       n.store_order_rechecks = r.GetCounter("stream.store_order_rechecks");
+      n.store_demotions_counted =
+          r.GetCounter("stream.store_demotions_counted");
+      n.store_demotions_recount =
+          r.GetCounter("stream.store_demotions_recount");
+      n.store_promotions_counted =
+          r.GetCounter("stream.store_promotions_counted");
+      n.store_promotions_full = r.GetCounter("stream.store_promotions_full");
+      n.store_compactions = r.GetCounter("stream.store_compactions");
       n.late_events = r.GetCounter("stream.late_events");
       n.late_dropped = r.GetCounter("stream.late_dropped");
       n.late_splices = r.GetCounter("stream.late_splices");
@@ -331,18 +350,26 @@ StreamingMotifCounter::StreamingMotifCounter(const StreamConfig& config)
   // flipped pair via the node-pair buckets) and, when set, the
   // consecutive/CDG order predicates (re-evaluated only at the window
   // boundaries that can change them — see IngestOrdered's store path).
-  store_active_ = uses_static_inducedness_ &&
-                  config_.static_flips == StaticFlipStrategy::kInstanceStore;
-  track_tails_ = store_active_ &&
+  store_eligible_ = uses_static_inducedness_ &&
+                    config_.static_flips == StaticFlipStrategy::kInstanceStore;
+  track_tails_ = store_eligible_ &&
                  (config_.options.consecutive_events_restriction ||
                   config_.options.cdg_restriction) &&
                  config_.options.num_events >= 2;
   candidate_options_ = config_.options;
-  if (store_active_) {
+  if (store_eligible_) {
     candidate_options_.inducedness = Inducedness::kNone;
     candidate_options_.consecutive_events_restriction = false;
     candidate_options_.cdg_restriction = false;
     store_.SetTrackTails(track_tails_);
+    store_.SetCompactionSlack(config_.store_compaction_slack);
+  }
+  if (config_.store_budget_bytes > 0) {
+    TMOTIF_CHECK_MSG(config_.store_promote_fraction > 0.0 &&
+                         config_.store_promote_fraction <= 1.0,
+                     "store_promote_fraction must be in (0, 1]");
+    TMOTIF_CHECK_MSG(config_.store_promote_batches >= 1,
+                     "store_promote_batches must be >= 1");
   }
 }
 
@@ -502,7 +529,7 @@ void StreamingMotifCounter::RecountWindow() {
   id_offset_ = 0;
   counts_ = MotifCounts();
   ++stats_.full_recounts;
-  if (store_active_) {
+  if (store_active()) {
     RebuildStore();
   } else if (internal::fast_paths::FastPathSupported(config_.options)) {
     internal::fast_paths::NoteDispatch(true);
@@ -564,7 +591,9 @@ void StreamingMotifCounter::AddNewInstances(EventIndex begin) {
 // --- Live-instance store path. ---
 
 void StreamingMotifCounter::RebuildStore() {
-  store_.Reset(0);
+  // Anchors restart at the current id base (zero on the recount path; the
+  // live offset on promotion/restore rebuilds, where the window survives).
+  store_.Reset(id_offset_);
   // A rebuild is a recount, not delta churn: instances_added stays
   // untouched, matching the non-store recount path.
   StoreAddCandidates(0, live_.num_events(),
@@ -608,9 +637,13 @@ void StreamingMotifCounter::StoreAddCandidates(EventIndex lo, EventIndex hi,
   };
   internal::PackedMotifTable added;
   const auto insert = [&](const Candidate& c) {
+    const bool counted = c.covered && c.order_valid;
+    // Counted-only degraded mode: uncounted candidates stay out of the
+    // store (a later flip re-derives them from its scope on admission).
+    if (store_mode_ == StoreMode::kCountedOnly && !counted) return;
     store_.Insert(c.ids.data(), c.num_events, c.packed, c.nodes.data(),
                   c.num_nodes, c.distinct_pairs, c.covered, c.order_valid);
-    if (c.covered && c.order_valid) added.Add(c.packed);
+    if (counted) added.Add(c.packed);
   };
   if (config_.num_threads > 1 && hi - lo >= 64) {
     // Sharded population: workers enumerate disjoint first-event ranges and
@@ -693,6 +726,76 @@ void StreamingMotifCounter::StoreProcessFlips(
   ++stats_.store_flip_batches;
   AddTable(admitted, &counts_);
   SubtractTable(retired, &counts_);
+}
+
+template <typename Skip>
+bool StreamingMotifCounter::StoreProcessFlipsCountedOnly(
+    const std::vector<std::pair<NodeId, NodeId>>& flips, Skip skip) {
+  if (flips.empty()) return true;
+  // Extraction half: every stored entry spanning a flipped pair comes out
+  // wholesale (the store holds only counted entries in this mode). The same
+  // population re-enters below at post-flip validity, so physical removal
+  // means the re-derivation never needs an identity check against the
+  // store — a spanning candidate is re-derived exactly once, even when it
+  // spans several flipped pairs.
+  internal::PackedMotifTable retired;
+  for (const auto& [u, v] : flips) {
+    store_.ExtractTouching(u, v, [&](const LiveInstanceStore::Entry& entry) {
+      ++stats_.store_entries_touched;
+      if (entry.counted) retired.Add(entry.packed);
+    });
+  }
+  // Re-derivation half borrows the scoped-recount root machinery: every
+  // candidate whose node set can span a flipped pair starts at an event
+  // inside the intersected hop-balls of the pair's endpoints.
+  std::int64_t budget = ScopedWorkBudget(window_.size());
+  std::vector<EventIndex> roots;
+  if (!CollectFlipRoots(flips, 0, live_.num_events(), &budget, &roots) ||
+      2 * roots.size() >= window_.size()) {
+    // Localization failed; the caller recounts the window, which rebuilds
+    // the store and counts from scratch — the half-applied extraction above
+    // is discarded wholesale, so nothing needs undoing here.
+    return false;
+  }
+  stats_.scoped_recount_roots += roots.size();
+  SubtractTable(retired, &counts_);
+  internal::PackedMotifTable admitted;
+  auto sink = MakeNodeFnSink([&](const EventIndex* chosen, int k,
+                                 std::uint64_t packed, const NodeId* nodes,
+                                 int num_nodes) {
+    if (skip(chosen, k)) return;  // Another phase owns these instances.
+    bool spans = false;
+    for (const auto& [u, v] : flips) {
+      bool has_u = false;
+      bool has_v = false;
+      for (int j = 0; j < num_nodes; ++j) {
+        has_u = has_u || nodes[j] == u;
+        has_v = has_v || nodes[j] == v;
+      }
+      if (has_u && has_v) {
+        spans = true;
+        break;
+      }
+    }
+    if (!spans) return;
+    const int distinct = internal::PackedDistinctPairCount(packed, k);
+    if (distinct != ScopeStaticEdges(live_, nodes, num_nodes)) return;
+    std::uint64_t ids[internal::kMaxCoreEvents];
+    for (int i = 0; i < k; ++i) {
+      ids[i] = id_offset_ + static_cast<std::uint64_t>(chosen[i]);
+    }
+    // Counted-only never runs with tail tracking (order predicates demote
+    // straight past this rung), so order validity is vacuously true.
+    store_.Insert(ids, k, packed, nodes, num_nodes, distinct,
+                  /*covered=*/true, /*order_valid=*/true);
+    admitted.Add(packed);
+  });
+  internal::EnumerateCoreAtRoots(live_, candidate_options_, roots, sink);
+  stats_.store_admitted += admitted.total();
+  stats_.store_retired += retired.total();
+  ++stats_.store_flip_batches;
+  AddTable(admitted, &counts_);
+  return true;
 }
 
 bool StreamingMotifCounter::OrderValidAt(const EventIndex* pos, int k,
@@ -851,6 +954,7 @@ void StreamingMotifCounter::Ingest(std::vector<Event> batch) {
         batch.begin() + static_cast<std::ptrdiff_t>(ordered_begin),
         batch.end()));
   }
+  EnforceStoreBudget();
   PublishTelemetry();
 }
 
@@ -874,16 +978,24 @@ void StreamingMotifCounter::PublishTelemetry() {
   TMOTIF_PUBLISH_FIELD(store_admitted);
   TMOTIF_PUBLISH_FIELD(store_retired);
   TMOTIF_PUBLISH_FIELD(store_order_rechecks);
+  TMOTIF_PUBLISH_FIELD(store_demotions_counted);
+  TMOTIF_PUBLISH_FIELD(store_demotions_recount);
+  TMOTIF_PUBLISH_FIELD(store_promotions_counted);
+  TMOTIF_PUBLISH_FIELD(store_promotions_full);
   TMOTIF_PUBLISH_FIELD(late_events);
   TMOTIF_PUBLISH_FIELD(late_dropped);
   TMOTIF_PUBLISH_FIELD(late_splices);
   TMOTIF_PUBLISH_FIELD(late_recounts);
 #undef TMOTIF_PUBLISH_FIELD
   published_stats_ = stats_;
+  metrics.store_compactions->Add(store_.compactions() -
+                                 published_store_compactions_);
+  published_store_compactions_ = store_.compactions();
   metrics.window_events->Set(static_cast<std::int64_t>(window_.size()));
   metrics.store_entries->Set(static_cast<std::int64_t>(store_.size()));
   metrics.store_bytes->Set(
-      static_cast<std::int64_t>(store_active_ ? store_.ApproxBytes() : 0));
+      static_cast<std::int64_t>(store_active() ? store_.ApproxBytes() : 0));
+  metrics.store_mode->Set(static_cast<std::int64_t>(store_mode_));
 }
 
 void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
@@ -914,7 +1026,7 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
   const std::optional<Timestamp> span = SpanBound();
   const EventIndex n_evict = static_cast<EventIndex>(plan.num_evict);
 
-  if (store_active_) {
+  if (store_active()) {
     // Store path: candidate validity is instance-local, so survivors never
     // flip as candidates. The store absorbs every static-edge flip by
     // retiring/admitting exactly the instances whose node set spans a
@@ -952,9 +1064,24 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
       store_.SpliceSlot(id_offset_ + p);
     }
     InvalidateSnapshot();
+    is_new_.assign(window_.size(), 0);
+    for (const std::size_t p : new_positions_) is_new_[p] = 1;
     {
       obs::PhaseTimer span(metrics.store_flips, "stream.store_flips");
-      StoreProcessFlips(flips);  // Post-apply edge state.
+      if (store_mode_ == StoreMode::kCountedOnly) {
+        // Post-apply edge state; instances ending in a new event are
+        // phase 6's either way, so the re-derivation skips them.
+        if (!StoreProcessFlipsCountedOnly(
+                flips, [this](const EventIndex* chosen, int k) {
+                  return is_new_[static_cast<std::size_t>(chosen[k - 1])] != 0;
+                })) {
+          RecountWindow();
+          ++stats_.static_fallbacks;
+          return;
+        }
+      } else {
+        StoreProcessFlips(flips);  // Post-apply edge state.
+      }
     }
     if (track_tails_ && append_tie) {
       ReevaluateTailOrder(
@@ -971,8 +1098,6 @@ void StreamingMotifCounter::IngestOrdered(const std::vector<Event>& batch) {
     if (num_new > 0) {
       obs::PhaseTimer phase_span(metrics.phase6_arrivals,
                                  "stream.phase6_arrivals");
-      is_new_.assign(window_.size(), 0);
-      for (const std::size_t p : new_positions_) is_new_[p] = 1;
       const Timestamp min_new_time = batch[plan.batch_begin].time;
       StoreAddCandidates(
           FirstPossibleStart(live_, min_new_time, span), live_.num_events(),
@@ -1195,7 +1320,7 @@ void StreamingMotifCounter::ApplySplice(std::size_t num_evict,
   window_.Splice(plan, late, &spliced_positions_);
   live_.FinishUpdate();
   id_offset_ += num_evict;
-  if (store_active_) {
+  if (store_active()) {
     // Anchor slots shift in lockstep with the id renumbering (ascending
     // final positions: each insertion already accounts for the previous).
     for (const std::size_t p : spliced_positions_) {
@@ -1234,7 +1359,7 @@ void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
     return max_pos;
   };
 
-  if (store_active_) {
+  if (store_active()) {
     if (track_tails_) {
       // A spliced event lands between resident events in both index and
       // time, so it can violate a consecutive/CDG gap of any entry in the
@@ -1253,12 +1378,29 @@ void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
         CollectStaticEdgeFlips(plan.num_evict, late, plan.batch_begin);
     if (plan.num_evict > 0) StoreEvict(plan.num_evict);
     ApplySplice(plan.num_evict, late, plan.batch_begin);
+    const EventIndex max_pos = mark_spliced();
     {
       obs::PhaseTimer span(StreamMetrics::Get().store_flips,
                            "stream.store_flips");
-      StoreProcessFlips(flips);
+      if (store_mode_ == StoreMode::kCountedOnly) {
+        // Instances containing a spliced event are the add pass's below.
+        if (!StoreProcessFlipsCountedOnly(
+                flips, [this](const EventIndex* chosen, int k) {
+                  for (int i = 0; i < k; ++i) {
+                    if (is_late_[static_cast<std::size_t>(chosen[i])]) {
+                      return true;
+                    }
+                  }
+                  return false;
+                })) {
+          RecountWindow();
+          ++stats_.late_recounts;
+          return;
+        }
+      } else {
+        StoreProcessFlips(flips);
+      }
     }
-    const EventIndex max_pos = mark_spliced();
     StoreAddCandidates(FirstPossibleStart(live_, min_late_time, span),
                        max_pos + 1,
                        [this](const EventIndex* chosen, int k) {
@@ -1347,6 +1489,162 @@ void StreamingMotifCounter::IngestLate(const std::vector<Event>& late) {
     AddTable(added, &counts_);
   }
   ++stats_.late_splices;
+}
+
+// --- Memory-budget degradation ladder. ---
+
+void StreamingMotifCounter::EnforceStoreBudget() {
+  if (!store_eligible_ || config_.store_budget_bytes == 0) return;
+  std::size_t pressure = 0;
+  if (config_.budget_pressure_for_test) {
+    pressure += config_.budget_pressure_for_test();
+  }
+  if (const auto injected = fault::Consume("stream.budget_pressure")) {
+    if (*injected > 0) pressure += static_cast<std::size_t>(*injected);
+  }
+  const std::size_t budget = config_.store_budget_bytes;
+  const auto footprint = [&] {
+    return (store_active() ? store_.ApproxBytes() : 0) + pressure;
+  };
+  const double per_window_event =
+      static_cast<double>(std::max<std::size_t>(window_.size(), 1));
+
+  // Demotions are immediate: a batch must never end over budget. Each
+  // demotion first records the observed bytes-per-event of the mode being
+  // left, so re-promotion can estimate its cost without re-entering it.
+  const auto demote_until_fits = [&] {
+    while (store_mode_ != StoreMode::kRecount && footprint() > budget) {
+      promote_streak_ = 0;
+      if (store_mode_ == StoreMode::kFull) {
+        full_bytes_per_event_ =
+            static_cast<double>(store_.ApproxBytes()) / per_window_event;
+        if (track_tails_) {
+          // Order predicates need the uncounted entries for boundary
+          // sweeps, so counted-only is not a coherent middle rung here:
+          // drop straight to scoped recount.
+          store_.Reset(id_offset_);
+          store_mode_ = StoreMode::kRecount;
+          ++stats_.store_demotions_recount;
+        } else {
+          store_.PurgeUncounted();
+          store_mode_ = StoreMode::kCountedOnly;
+          ++stats_.store_demotions_counted;
+        }
+      } else {  // kCountedOnly
+        counted_bytes_per_event_ =
+            static_cast<double>(store_.ApproxBytes()) / per_window_event;
+        store_.Reset(id_offset_);
+        store_mode_ = StoreMode::kRecount;
+        ++stats_.store_demotions_recount;
+      }
+    }
+  };
+  demote_until_fits();
+  if (store_mode_ == StoreMode::kFull) return;
+
+  // Promotion hysteresis: the estimated cost of the next-richer mode must
+  // fit under store_promote_fraction of the budget for
+  // store_promote_batches consecutive batches.
+  if (footprint() > budget) {
+    promote_streak_ = 0;
+    return;
+  }
+  const StoreMode target =
+      (store_mode_ == StoreMode::kCountedOnly || track_tails_)
+          ? StoreMode::kFull
+          : StoreMode::kCountedOnly;
+  const double per_event = target == StoreMode::kFull
+                               ? full_bytes_per_event_
+                               : counted_bytes_per_event_;
+  const double estimate =
+      per_event * per_window_event + static_cast<double>(pressure);
+  if (estimate > config_.store_promote_fraction *
+                     static_cast<double>(budget)) {
+    promote_streak_ = 0;
+    return;
+  }
+  if (++promote_streak_ < config_.store_promote_batches) return;
+  promote_streak_ = 0;
+  PromoteStore(target);
+  if (target == StoreMode::kFull) {
+    ++stats_.store_promotions_full;
+  } else {
+    ++stats_.store_promotions_counted;
+  }
+  // The per-event estimate can be stale (denser window than when it was
+  // recorded); the invariant that a batch never ends over budget wins, so
+  // re-check and fall back down if the promotion overshot.
+  demote_until_fits();
+}
+
+void StreamingMotifCounter::PromoteStore(StoreMode target) {
+  store_mode_ = target;
+  // Rebuilding the store re-derives the counted set from scratch; the
+  // counts were exact before the promotion, so the rebuild must reproduce
+  // them bit-for-bit.
+  MotifCounts saved = std::move(counts_);
+  counts_ = MotifCounts();
+  RebuildStore();
+  TMOTIF_CHECK_MSG(counts_.SortedByCode() == saved.SortedByCode(),
+                   "store promotion derived different counts");
+}
+
+// --- Checkpoint capture / restore. ---
+
+StreamCheckpointState StreamingMotifCounter::CaptureCheckpointState() const {
+  StreamCheckpointState state;
+  state.window_events.assign(window_.events().begin(),
+                             window_.events().end());
+  state.max_time_seen = window_.max_time_seen();
+  state.saw_any_event = window_.saw_any_event();
+  state.max_duration_seen = max_duration_seen_;
+  state.stats = stats_;
+  state.counts = counts_.SortedByCode();
+  state.store_mode = store_mode_;
+  state.promote_streak = promote_streak_;
+  state.full_bytes_per_event = full_bytes_per_event_;
+  state.counted_bytes_per_event = counted_bytes_per_event_;
+  return state;
+}
+
+bool StreamingMotifCounter::RestoreCheckpointState(
+    const StreamCheckpointState& state, std::string* error) {
+  const auto fail = [&](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (state.store_mode == StoreMode::kCountedOnly && track_tails_) {
+    return fail("counted-only store mode is invalid under order predicates");
+  }
+  window_.Restore(state.window_events, state.max_time_seen,
+                  state.saw_any_event);
+  live_.Reset();
+  id_offset_ = 0;
+  max_duration_seen_ = state.max_duration_seen;
+  stats_ = state.stats;
+  // Exported metrics are deltas against published_stats_; after a restore
+  // they must reflect post-restore activity only, not replay history.
+  published_stats_ = stats_;
+  store_mode_ = store_eligible_ ? state.store_mode : StoreMode::kFull;
+  promote_streak_ = state.promote_streak;
+  full_bytes_per_event_ = state.full_bytes_per_event;
+  counted_bytes_per_event_ = state.counted_bytes_per_event;
+  counts_ = MotifCounts();
+  for (const auto& [code, n] : state.counts) counts_.Add(code, n);
+  store_.Reset(0);
+  if (store_active()) {
+    // The store is not serialized; regenerate it from the window and
+    // cross-check the re-derived counted set against the checkpoint.
+    counts_ = MotifCounts();
+    RebuildStore();
+    if (counts_.SortedByCode() != state.counts) {
+      return fail(
+          "regenerated instance store disagrees with the checkpointed "
+          "counts");
+    }
+  }
+  InvalidateSnapshot();
+  return true;
 }
 
 }  // namespace tmotif

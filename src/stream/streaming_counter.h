@@ -1,9 +1,13 @@
 #ifndef TMOTIF_STREAM_STREAMING_COUNTER_H_
 #define TMOTIF_STREAM_STREAMING_COUNTER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/timespan_analysis.h"
@@ -32,6 +36,18 @@ enum class StaticFlipStrategy {
   kScopedRecount,
 };
 
+/// Current rung of the memory-budget degradation ladder (store strategy
+/// under static inducedness; see docs/RESILIENCE.md). `kFull` is the
+/// normal live-instance store; `kCountedOnly` keeps only the counted
+/// entries (uncounted candidates are re-derived from flip scopes on
+/// admission); `kRecount` drops the store entirely and falls back to the
+/// scoped-recount strategy until pressure clears.
+enum class StoreMode : std::uint8_t {
+  kFull = 0,
+  kCountedOnly = 1,
+  kRecount = 2,
+};
+
 /// Configuration of a streaming motif counter.
 struct StreamConfig {
   /// Motif model of the maintained counts. Any option set the batch stack
@@ -49,6 +65,29 @@ struct StreamConfig {
   /// dropped and counted in `IngestStats::late_dropped`. 0 (the default)
   /// accepts only in-order streams — late events are dropped, not fatal.
   Timestamp lateness = 0;
+  /// Memory budget for the live-instance store, in approximate resident
+  /// bytes (LiveInstanceStore::ApproxBytes). 0 (the default) = unlimited.
+  /// When a batch leaves the store over budget the counter degrades the
+  /// store mode (full -> counted-only -> scoped recount) instead of
+  /// growing without bound, and re-promotes once the estimated cost of the
+  /// richer mode fits back under `store_promote_fraction` of the budget
+  /// for `store_promote_batches` consecutive batches. Counts are exact in
+  /// every mode. Not part of the checkpoint config fingerprint
+  /// (operational, restorable across budget changes).
+  std::size_t store_budget_bytes = 0;
+  /// Hysteresis: re-promotion requires the estimated bytes of the richer
+  /// mode to fit under this fraction of the budget...
+  double store_promote_fraction = 0.5;
+  /// ...for this many consecutive batches.
+  std::uint32_t store_promote_batches = 4;
+  /// Lazy bucket-compaction slack of the live-instance store: compaction
+  /// runs when dead bucket slots exceed live entries by more than this.
+  /// Exposed so tests can force compaction deterministically.
+  std::size_t store_compaction_slack = 64;
+  /// Test hook: extra bytes of simulated external pressure added to the
+  /// store footprint when enforcing the budget (fault injection of
+  /// allocation-budget trips). Null in production.
+  std::function<std::size_t()> budget_pressure_for_test;
 };
 
 /// Per-stream ingestion counters, exposed for tools and benchmarks.
@@ -68,8 +107,10 @@ struct IngestStats {
   /// only — a static-edge flip that coincided with a boundary tie or
   /// resisted localization).
   std::uint64_t full_recounts = 0;
-  /// Static-edge flips that forced a full-window recount (never incremented
-  /// while the live-instance store is active).
+  /// Static-edge flips that forced a full-window recount (with the store
+  /// strategy, only possible in the counted-only degraded mode, whose
+  /// scoped re-derivation can fail to localize like the scoped-recount
+  /// strategy it borrows from).
   std::uint64_t static_fallbacks = 0;
   /// Static-edge flips handled by the scoped, neighborhood-restricted
   /// recount (verification/debug strategy; see docs/STREAMING.md).
@@ -86,6 +127,13 @@ struct IngestStats {
   /// Store entries whose consecutive/CDG verdict was re-evaluated at a
   /// window boundary (store strategy with an order predicate).
   std::uint64_t store_order_rechecks = 0;
+  /// Memory-budget degradation ladder transitions (see
+  /// docs/RESILIENCE.md): demotions into counted-only / scoped-recount
+  /// mode and promotions back out of them.
+  std::uint64_t store_demotions_counted = 0;
+  std::uint64_t store_demotions_recount = 0;
+  std::uint64_t store_promotions_counted = 0;
+  std::uint64_t store_promotions_full = 0;
   /// Out-of-order ingestion: late events spliced into the window, late
   /// events beyond the lateness horizon (dropped), late batches applied as
   /// delta corrections, and late batches that recounted the window.
@@ -93,6 +141,30 @@ struct IngestStats {
   std::uint64_t late_dropped = 0;
   std::uint64_t late_splices = 0;
   std::uint64_t late_recounts = 0;
+};
+
+/// Complete restorable state of a StreamingMotifCounter, as captured by
+/// CaptureCheckpointState() — the in-memory form of the durable checkpoint
+/// (stream/checkpoint.h owns the byte encoding and the file I/O). The live
+/// window indices and the instance store are deliberately NOT part of the
+/// state: both are regenerated from the window events on restore. The
+/// monotone-id space restarts at zero then, which is unobservable — ids
+/// only ever relate store entries to window positions.
+struct StreamCheckpointState {
+  /// The window, in canonical order (StreamWindow::events()).
+  std::vector<Event> window_events;
+  Timestamp max_time_seen = 0;
+  bool saw_any_event = false;
+  Duration max_duration_seen = 0;
+  IngestStats stats;
+  /// counts() as (code, count) pairs sorted by code.
+  std::vector<std::pair<MotifCode, std::uint64_t>> counts;
+  /// Degradation-ladder position and hysteresis state (meaningful only for
+  /// store-eligible configs; defaults otherwise).
+  StoreMode store_mode = StoreMode::kFull;
+  std::uint32_t promote_streak = 0;
+  double full_bytes_per_event = 0.0;
+  double counted_bytes_per_event = 0.0;
 };
 
 /// Maintains exact per-motif counts over a sliding window of an event
@@ -162,16 +234,38 @@ class StreamingMotifCounter {
   const StreamConfig& config() const { return config_; }
   const IngestStats& stats() const { return stats_; }
   /// True when static flips are absorbed by the live-instance store (static
-  /// inducedness with the store strategy).
-  bool store_active() const { return store_active_; }
+  /// inducedness with the store strategy, not degraded to kRecount).
+  bool store_active() const {
+    return store_eligible_ && store_mode_ != StoreMode::kRecount;
+  }
+  /// Current rung of the memory-budget degradation ladder (kFull unless a
+  /// `store_budget_bytes` enforcement pass moved it).
+  StoreMode store_mode() const { return store_mode_; }
   /// Live candidate instances held by the store (its memory driver; 0 when
   /// the store is inactive). See docs/STREAMING.md for the memory model.
   std::size_t store_size() const { return store_.size(); }
   /// Approximate resident bytes of the live-instance store (0 when
   /// inactive); see LiveInstanceStore::ApproxBytes.
   std::size_t store_approx_bytes() const {
-    return store_active_ ? store_.ApproxBytes() : 0;
+    return store_active() ? store_.ApproxBytes() : 0;
   }
+  /// Global bucket rebuilds the store has performed (compaction-slack knob
+  /// observability; see StreamConfig::store_compaction_slack).
+  std::uint64_t store_compactions() const { return store_.compactions(); }
+
+  /// Captures the complete restorable state (see StreamCheckpointState).
+  /// Call only between batches.
+  StreamCheckpointState CaptureCheckpointState() const;
+
+  /// Restores captured state into this counter, which must have been
+  /// constructed with an equivalent config (stream/checkpoint.h enforces
+  /// that via the config fingerprint). The window is reloaded, the live
+  /// indices and — when active — the instance store are regenerated, and
+  /// the regenerated counted set is cross-checked against the checkpointed
+  /// counts. Returns false (with `error` set, if non-null) when the state
+  /// is internally inconsistent; the counter must then be discarded.
+  bool RestoreCheckpointState(const StreamCheckpointState& state,
+                              std::string* error);
 
  private:
   /// Upper bound on instance timespans implied by the timing constraints
@@ -202,7 +296,7 @@ class StreamingMotifCounter {
   void ApplySplice(std::size_t num_evict, const std::vector<Event>& late,
                    std::size_t late_begin);
 
-  // --- Live-instance store path (store_active_). ---
+  // --- Live-instance store path (store_active()). ---
 
   /// Re-populates the store and counts from scratch on the live indices.
   void RebuildStore();
@@ -236,6 +330,29 @@ class StreamingMotifCounter {
   /// boundary tie group, where an evicted same-time interloper can
   /// un-violate a CDG gap).
   void ReevaluateAnchorOrder(std::uint64_t id_begin, std::uint64_t id_end);
+
+  // --- Memory-budget degradation ladder (docs/RESILIENCE.md). ---
+
+  /// Counted-only replacement for StoreProcessFlips: physically extracts
+  /// every stored entry spanning a flipped pair, then re-derives all
+  /// flip-spanning candidates (except those `skip` claims for another
+  /// phase) at post-flip validity over the scoped-recount root machinery,
+  /// re-inserting and counting the covered ones. Returns false when root
+  /// collection fails to localize — the caller must recount the window,
+  /// which discards the half-applied extraction wholesale.
+  template <typename Skip>
+  bool StoreProcessFlipsCountedOnly(
+      const std::vector<std::pair<NodeId, NodeId>>& flips, Skip skip);
+  /// End-of-batch budget enforcement: demotes the store mode rung by rung
+  /// while the footprint exceeds `store_budget_bytes`, and re-promotes
+  /// (with hysteresis) once the richer rung's estimated footprint fits
+  /// under `store_promote_fraction` of the budget for
+  /// `store_promote_batches` consecutive batches. No-op without a budget.
+  void EnforceStoreBudget();
+  /// Re-enters `target` mode by rebuilding the store from the live indices
+  /// on a scratch counts table and cross-checking it against the
+  /// maintained counts (promotion must never change a count).
+  void PromoteStore(StoreMode target);
 
   // --- Scoped-recount (verification/debug) machinery. ---
 
@@ -292,9 +409,22 @@ class StreamingMotifCounter {
   StreamConfig config_;
   bool has_nonlocal_ = false;
   bool uses_static_inducedness_ = false;
-  /// Static flips handled by the live-instance store (static inducedness
-  /// with the store strategy — every config).
-  bool store_active_ = false;
+  /// Static inducedness with the store strategy — the store handles flips
+  /// whenever the degradation ladder has not demoted it to kRecount
+  /// (store_active()).
+  bool store_eligible_ = false;
+  /// Degradation-ladder rung; only EnforceStoreBudget and checkpoint
+  /// restore move it, so it is stable within a batch.
+  StoreMode store_mode_ = StoreMode::kFull;
+  /// Consecutive batches the promotion estimate fit under the hysteresis
+  /// threshold.
+  std::uint32_t promote_streak_ = 0;
+  /// Store bytes per window event observed at the last demotion out of the
+  /// respective rung — the re-promotion cost estimates.
+  double full_bytes_per_event_ = 0.0;
+  double counted_bytes_per_event_ = 0.0;
+  /// store_.compactions() at the last PublishTelemetry (delta mirroring).
+  std::uint64_t published_store_compactions_ = 0;
   /// Store path with an order predicate (consecutive/CDG, k >= 2): entries
   /// carry event ids and the store maintains a last-event (tail) index so
   /// order verdicts can be re-evaluated at the window boundaries.

@@ -1,0 +1,38 @@
+#include "testing/fault_injection.h"
+
+#include "common/check.h"
+
+namespace tmotif {
+namespace testing {
+
+fault::FaultSpec FailOnce(std::int64_t payload) { return FailNth(1, payload); }
+
+fault::FaultSpec FailNth(std::uint64_t n, std::int64_t payload) {
+  TMOTIF_CHECK(n >= 1);
+  fault::FaultSpec spec;
+  spec.skip_hits = n - 1;
+  spec.max_fires = 1;
+  spec.payload = payload;
+  return spec;
+}
+
+fault::FaultSpec FailAlways(std::int64_t payload) {
+  fault::FaultSpec spec;
+  spec.max_fires = -1;
+  spec.payload = payload;
+  return spec;
+}
+
+fault::FaultSpec FailWithProbability(double p, std::uint64_t seed,
+                                     std::int64_t payload) {
+  TMOTIF_CHECK(p >= 0.0 && p <= 1.0);
+  fault::FaultSpec spec;
+  spec.max_fires = -1;
+  spec.payload = payload;
+  spec.probability = p;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace testing
+}  // namespace tmotif

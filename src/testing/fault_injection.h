@@ -1,0 +1,68 @@
+#ifndef TMOTIF_TESTING_FAULT_INJECTION_H_
+#define TMOTIF_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/fault_points.h"
+
+// Test-side fault-injection harness over the common/fault_points.h
+// registry. Tests arm named fault points with RAII scopes so a failing
+// assertion can never leave a point armed for the next test; the spec
+// builders cover the common shapes (fail the nth hit, fail always, fail
+// with a seeded probability). The fault-point catalog is in
+// docs/RESILIENCE.md.
+
+namespace tmotif {
+namespace testing {
+
+/// Arms one fault point for the lifetime of the scope and disarms it on
+/// destruction. Counters (hits/fires) read through the live registry, so
+/// query them before the scope ends.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, const fault::FaultSpec& spec)
+      : point_(std::move(point)) {
+    fault::Arm(point_, spec);
+  }
+  ~ScopedFault() { fault::Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+  std::uint64_t hits() const { return fault::HitCount(point_); }
+  std::uint64_t fires() const { return fault::FireCount(point_); }
+
+ private:
+  std::string point_;
+};
+
+/// Safety net for tests that arm points manually: disarms everything on
+/// destruction.
+class FaultInjectionGuard {
+ public:
+  FaultInjectionGuard() = default;
+  ~FaultInjectionGuard() { fault::DisarmAll(); }
+  FaultInjectionGuard(const FaultInjectionGuard&) = delete;
+  FaultInjectionGuard& operator=(const FaultInjectionGuard&) = delete;
+};
+
+/// The first hit fires, once.
+fault::FaultSpec FailOnce(std::int64_t payload = 0);
+
+/// The nth hit (1-based) fires, once.
+fault::FaultSpec FailNth(std::uint64_t n, std::int64_t payload = 0);
+
+/// Every hit fires.
+fault::FaultSpec FailAlways(std::int64_t payload = 0);
+
+/// Every hit fires independently with probability `p`, deterministically
+/// derived from `seed` and the hit index.
+fault::FaultSpec FailWithProbability(double p, std::uint64_t seed,
+                                     std::int64_t payload = 0);
+
+}  // namespace testing
+}  // namespace tmotif
+
+#endif  // TMOTIF_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,481 @@
+// Checkpoint/restore tests: kill-and-restore differential replays (a
+// restored counter must continue exactly like one that never stopped),
+// byte-format corruption fixtures (every corruption mode maps to its own
+// CheckpointStatus), and fault-injected write paths (short writes and
+// crashes around the atomic rename must never leave a torn checkpoint
+// under the final name).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/models/model_info.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_counter.h"
+#include "testing/fault_injection.h"
+#include "testing/random_graphs.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+RandomGraphSpec CheckpointSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_events = 24;
+  spec.max_time = 60;
+  spec.prob_duplicate_time = 0.3;
+  return spec;
+}
+
+StreamConfig MakeConfig(const EnumerationOptions& options,
+                        const WindowPolicy& policy) {
+  StreamConfig config;
+  config.options = options;
+  config.window = policy;
+  return config;
+}
+
+void IngestRange(StreamingMotifCounter* counter,
+                 const std::vector<Event>& events, std::size_t begin,
+                 std::size_t end, std::size_t batch_size) {
+  for (std::size_t b = begin; b < end; b += batch_size) {
+    const std::size_t e = std::min(end, b + batch_size);
+    counter->Ingest(std::vector<Event>(
+        events.begin() + static_cast<std::ptrdiff_t>(b),
+        events.begin() + static_cast<std::ptrdiff_t>(e)));
+  }
+}
+
+/// The kill-and-restore differential: replay continuously recording counts
+/// after every batch, then for each checkpoint cut re-run to the cut,
+/// round-trip through the byte format into a fresh counter, replay the
+/// remainder, and demand bit-identical counts at every subsequent batch.
+void KillAndRestoreCheck(const TemporalGraph& graph,
+                         const EnumerationOptions& options,
+                         const WindowPolicy& policy, std::size_t batch_size,
+                         const std::string& label) {
+  const std::vector<Event>& all = graph.events();
+  const StreamConfig config = MakeConfig(options, policy);
+
+  // Continuous reference: counts after every batch boundary.
+  std::vector<std::vector<std::pair<MotifCode, std::uint64_t>>> reference;
+  std::vector<std::size_t> boundaries;
+  {
+    StreamingMotifCounter continuous(config);
+    for (std::size_t b = 0; b < all.size(); b += batch_size) {
+      const std::size_t e = std::min(all.size(), b + batch_size);
+      continuous.Ingest(std::vector<Event>(
+          all.begin() + static_cast<std::ptrdiff_t>(b),
+          all.begin() + static_cast<std::ptrdiff_t>(e)));
+      reference.push_back(continuous.counts().SortedByCode());
+      boundaries.push_back(e);
+    }
+  }
+
+  for (const double frac : {1.0 / 3.0, 2.0 / 3.0}) {
+    const std::size_t cut_batch =
+        std::min(reference.size() - 1,
+                 static_cast<std::size_t>(
+                     static_cast<double>(reference.size()) * frac));
+    const std::size_t cut = boundaries[cut_batch];
+
+    StreamingMotifCounter writer(config);
+    IngestRange(&writer, all, 0, cut, batch_size);
+    ASSERT_EQ(writer.counts().SortedByCode(), reference[cut_batch]) << label;
+    const std::string bytes = EncodeCheckpoint(writer);
+
+    StreamingMotifCounter restored(config);
+    const CheckpointResult decoded = DecodeCheckpoint(bytes, &restored);
+    ASSERT_TRUE(decoded.ok())
+        << label << ": " << CheckpointStatusName(decoded.status) << ": "
+        << decoded.message;
+    ASSERT_EQ(restored.counts().SortedByCode(), reference[cut_batch])
+        << label;
+    ASSERT_EQ(restored.window_size(), writer.window_size()) << label;
+    ASSERT_EQ(restored.stats().events_ingested, cut) << label;
+
+    std::size_t batch_i = cut_batch;
+    for (std::size_t b = cut; b < all.size(); b += batch_size) {
+      const std::size_t e = std::min(all.size(), b + batch_size);
+      restored.Ingest(std::vector<Event>(
+          all.begin() + static_cast<std::ptrdiff_t>(b),
+          all.begin() + static_cast<std::ptrdiff_t>(e)));
+      ++batch_i;
+      ASSERT_EQ(restored.counts().SortedByCode(), reference[batch_i])
+          << label << " after restore at event " << cut << ", batch ending "
+          << e;
+    }
+  }
+}
+
+struct CheckpointCase {
+  const char* name;
+  EnumerationOptions options;
+};
+
+EnumerationOptions Opts(int k, int max_nodes, TimingConstraints timing = {},
+                        bool consecutive = false, bool cdg = false,
+                        Inducedness inducedness = Inducedness::kNone) {
+  EnumerationOptions o;
+  o.num_events = k;
+  o.max_nodes = max_nodes;
+  o.timing = timing;
+  o.consecutive_events_restriction = consecutive;
+  o.cdg_restriction = cdg;
+  o.inducedness = inducedness;
+  return o;
+}
+
+class CheckpointDifferentialTest
+    : public ::testing::TestWithParam<CheckpointCase> {};
+
+TEST_P(CheckpointDifferentialTest, RestoreEqualsContinuousCounting) {
+  const CheckpointCase& c = GetParam();
+  const std::vector<WindowPolicy> policies = {WindowPolicy::CountBased(10),
+                                              WindowPolicy::TimeBased(20)};
+  std::uint64_t base_seed = 0xc4ec;
+  for (const char* p = c.name; *p != '\0'; ++p) {
+    base_seed = base_seed * 131 + static_cast<std::uint64_t>(*p);
+  }
+  ForEachRandomGraph(
+      base_seed, 3, CheckpointSpec(),
+      [&](std::uint64_t seed, const TemporalGraph& g) {
+        for (const WindowPolicy& policy : policies) {
+          for (const std::size_t batch : {std::size_t{1}, std::size_t{5}}) {
+            KillAndRestoreCheck(
+                g, c.options, policy, batch,
+                std::string(c.name) + " seed=" + std::to_string(seed) +
+                    " window=" + policy.ToString() +
+                    " batch=" + std::to_string(batch));
+            if (::testing::Test::HasFatalFailure()) return;
+          }
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CheckpointDifferentialTest,
+    ::testing::Values(
+        CheckpointCase{"kovanen",
+                       OptionsForModel(ModelId::kKovanen, 3, 3, 8, 0)},
+        CheckpointCase{"paranjape",
+                       OptionsForModel(ModelId::kParanjape, 3, 3, 0, 12)},
+        CheckpointCase{"hulovatyy",
+                       OptionsForModel(ModelId::kHulovatyy, 3, 3, 8, 0)},
+        CheckpointCase{"song", OptionsForModel(ModelId::kSong, 3, 3, 0, 12)},
+        CheckpointCase{"static_induced",
+                       Opts(3, 3, {}, false, false, Inducedness::kStatic)},
+        CheckpointCase{"static_consecutive",
+                       Opts(3, 3, {}, true, false, Inducedness::kStatic)},
+        CheckpointCase{"cdg",
+                       Opts(3, 3, TimingConstraints::OnlyDeltaC(10), false,
+                            true)},
+        CheckpointCase{"window_induced",
+                       Opts(3, 3, TimingConstraints::OnlyDeltaW(14), false,
+                            false, Inducedness::kTemporalWindow)}),
+    [](const ::testing::TestParamInfo<CheckpointCase>& info) {
+      return std::string(info.param.name);
+    });
+
+/// A fixed little stream every byte-level test below shares.
+std::vector<Event> FixtureEvents() {
+  return {
+      {0, 1, 10, 0, kNoLabel}, {1, 2, 12, 0, kNoLabel},
+      {2, 0, 15, 0, kNoLabel}, {0, 2, 18, 0, kNoLabel},
+      {2, 1, 20, 0, kNoLabel}, {1, 0, 24, 0, kNoLabel},
+      {0, 1, 27, 0, kNoLabel}, {1, 2, 30, 0, kNoLabel},
+  };
+}
+
+StreamConfig FixtureConfig() {
+  StreamConfig config;
+  config.options = Opts(3, 3, TimingConstraints::OnlyDeltaW(15));
+  config.window = WindowPolicy::CountBased(6);
+  return config;
+}
+
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = TempPath("ckpt_roundtrip.tmck");
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  const CheckpointResult written = WriteCheckpoint(counter, path);
+  ASSERT_TRUE(written.ok()) << written.message;
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // Temp file was renamed away.
+
+  StreamingMotifCounter restored(FixtureConfig());
+  const CheckpointResult read = RestoreCheckpoint(path, &restored);
+  ASSERT_TRUE(read.ok()) << read.message;
+  EXPECT_EQ(restored.counts().SortedByCode(),
+            counter.counts().SortedByCode());
+  EXPECT_EQ(restored.window_size(), counter.window_size());
+  EXPECT_EQ(restored.max_time_seen(), counter.max_time_seen());
+  EXPECT_EQ(restored.stats().events_ingested,
+            counter.stats().events_ingested);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsIoError) {
+  StreamingMotifCounter counter(FixtureConfig());
+  const CheckpointResult read =
+      RestoreCheckpoint(TempPath("ckpt_does_not_exist.tmck"), &counter);
+  EXPECT_EQ(read.status, CheckpointStatus::kIoError);
+  EXPECT_FALSE(read.message.empty());
+}
+
+// --- Corruption fixtures: every mode gets its own distinct status. ---
+
+TEST(Checkpoint, TruncationsAreDetected) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  const std::string bytes = EncodeCheckpoint(counter);
+  // Every proper prefix must decode as kTruncated — the torn-write shapes
+  // a crash mid-write can leave behind.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, std::size_t{15},
+        bytes.size() / 2, bytes.size() - 5, bytes.size() - 1}) {
+    StreamingMotifCounter fresh(FixtureConfig());
+    const CheckpointResult r = DecodeCheckpoint(bytes.substr(0, keep), &fresh);
+    EXPECT_EQ(r.status, CheckpointStatus::kTruncated)
+        << "prefix of " << keep << " bytes: " << r.message;
+  }
+}
+
+TEST(Checkpoint, BitFlipFailsTheChecksum) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  std::string bytes = EncodeCheckpoint(counter);
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x01);  // Inside the payload.
+  StreamingMotifCounter fresh(FixtureConfig());
+  const CheckpointResult r = DecodeCheckpoint(bytes, &fresh);
+  EXPECT_EQ(r.status, CheckpointStatus::kBadChecksum) << r.message;
+}
+
+TEST(Checkpoint, StaleVersionIsRejected) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  std::string bytes = EncodeCheckpoint(counter);
+  bytes[4] = static_cast<char>(bytes[4] + 1);  // Version u32, little-endian.
+  StreamingMotifCounter fresh(FixtureConfig());
+  const CheckpointResult r = DecodeCheckpoint(bytes, &fresh);
+  EXPECT_EQ(r.status, CheckpointStatus::kBadVersion) << r.message;
+}
+
+TEST(Checkpoint, WrongMagicIsRejected) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  std::string bytes = EncodeCheckpoint(counter);
+  bytes[0] = 'X';
+  StreamingMotifCounter fresh(FixtureConfig());
+  const CheckpointResult r = DecodeCheckpoint(bytes, &fresh);
+  EXPECT_EQ(r.status, CheckpointStatus::kBadMagic) << r.message;
+}
+
+TEST(Checkpoint, TrailingGarbageIsMalformed) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  const std::string bytes = EncodeCheckpoint(counter) + "extra";
+  StreamingMotifCounter fresh(FixtureConfig());
+  const CheckpointResult r = DecodeCheckpoint(bytes, &fresh);
+  EXPECT_EQ(r.status, CheckpointStatus::kMalformed) << r.message;
+}
+
+TEST(Checkpoint, DifferentConfigIsRejected) {
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  const std::string bytes = EncodeCheckpoint(counter);
+
+  StreamConfig other = FixtureConfig();
+  other.options.num_events = 4;
+  other.options.max_nodes = 4;
+  StreamingMotifCounter fresh(other);
+  const CheckpointResult r = DecodeCheckpoint(bytes, &fresh);
+  EXPECT_EQ(r.status, CheckpointStatus::kConfigMismatch) << r.message;
+}
+
+TEST(Checkpoint, OperationalKnobsDoNotChangeTheFingerprint) {
+  StreamConfig a = FixtureConfig();
+  StreamConfig b = FixtureConfig();
+  b.num_threads = 7;
+  b.store_budget_bytes = 12345;
+  b.store_promote_batches = 9;
+  b.store_compaction_slack = 0;
+  b.static_flips = StaticFlipStrategy::kScopedRecount;
+  EXPECT_EQ(StreamConfigFingerprint(a), StreamConfigFingerprint(b));
+
+  StreamConfig c = FixtureConfig();
+  c.options.timing.delta_w = 16;
+  EXPECT_NE(StreamConfigFingerprint(a), StreamConfigFingerprint(c));
+  StreamConfig d = FixtureConfig();
+  d.lateness = 10;
+  EXPECT_NE(StreamConfigFingerprint(a), StreamConfigFingerprint(d));
+  StreamConfig e = FixtureConfig();
+  e.window = WindowPolicy::TimeBased(600);
+  EXPECT_NE(StreamConfigFingerprint(a), StreamConfigFingerprint(e));
+}
+
+// --- Fault-injected write paths. ---
+
+TEST(Checkpoint, ShortWriteFailsAndNeverTearsTheFinalFile) {
+  testing::FaultInjectionGuard guard;
+  const std::string path = TempPath("ckpt_short.tmck");
+  std::remove(path.c_str());
+  StreamingMotifCounter counter(FixtureConfig());
+  counter.Ingest(FixtureEvents());
+  {
+    testing::ScopedFault fault("checkpoint.short_write",
+                               testing::FailOnce(/*payload=*/10));
+    const CheckpointResult written = WriteCheckpoint(counter, path);
+    EXPECT_EQ(written.status, CheckpointStatus::kIoError) << written.message;
+    EXPECT_EQ(fault.fires(), 1u);
+  }
+  // The torn bytes stayed under the temp name; the final name was never
+  // created.
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  // And the torn temp file is unrestorable, loudly.
+  StreamingMotifCounter fresh(FixtureConfig());
+  const CheckpointResult read = RestoreCheckpoint(path + ".tmp", &fresh);
+  EXPECT_EQ(read.status, CheckpointStatus::kTruncated) << read.message;
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(Checkpoint, CrashBeforeRenameKeepsThePreviousCheckpoint) {
+  testing::FaultInjectionGuard guard;
+  const std::string path = TempPath("ckpt_crash_before.tmck");
+  StreamConfig config = FixtureConfig();
+  StreamingMotifCounter counter(config);
+  const std::vector<Event> all = FixtureEvents();
+
+  counter.Ingest(std::vector<Event>(all.begin(), all.begin() + 4));
+  ASSERT_TRUE(WriteCheckpoint(counter, path).ok());
+  const auto old_counts = counter.counts().SortedByCode();
+
+  counter.Ingest(std::vector<Event>(all.begin() + 4, all.end()));
+  {
+    testing::ScopedFault fault("checkpoint.crash_before_rename",
+                               testing::FailOnce());
+    const CheckpointResult written = WriteCheckpoint(counter, path);
+    EXPECT_EQ(written.status, CheckpointStatus::kIoError) << written.message;
+  }
+  // The new bytes are stranded under the temp name; the published
+  // checkpoint still restores the OLD state.
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  StreamingMotifCounter restored(config);
+  ASSERT_TRUE(RestoreCheckpoint(path, &restored).ok());
+  EXPECT_EQ(restored.counts().SortedByCode(), old_counts);
+  EXPECT_EQ(restored.stats().events_ingested, 4u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(Checkpoint, CrashAfterRenamePublishedTheNewCheckpoint) {
+  testing::FaultInjectionGuard guard;
+  const std::string path = TempPath("ckpt_crash_after.tmck");
+  StreamConfig config = FixtureConfig();
+  StreamingMotifCounter counter(config);
+  const std::vector<Event> all = FixtureEvents();
+  counter.Ingest(all);
+  {
+    testing::ScopedFault fault("checkpoint.crash_after_rename",
+                               testing::FailOnce());
+    const CheckpointResult written = WriteCheckpoint(counter, path);
+    EXPECT_EQ(written.status, CheckpointStatus::kIoError) << written.message;
+  }
+  // The rename happened before the simulated crash: the full new state is
+  // already durable under the final name.
+  StreamingMotifCounter restored(config);
+  ASSERT_TRUE(RestoreCheckpoint(path, &restored).ok());
+  EXPECT_EQ(restored.counts().SortedByCode(), counter.counts().SortedByCode());
+  std::remove(path.c_str());
+}
+
+// The operational loop under injected faults: periodic checkpoints where
+// one write dies mid-stream. The previous checkpoint must survive, and a
+// kill-and-restore from whatever the file holds must still converge to the
+// continuous counts.
+TEST(Checkpoint, PeriodicCheckpointsSurviveAnInjectedFailure) {
+  testing::FaultInjectionGuard guard;
+  const std::string path = TempPath("ckpt_periodic.tmck");
+  std::remove(path.c_str());
+  StreamConfig config = FixtureConfig();
+  const std::vector<Event> all = FixtureEvents();
+  const std::size_t batch_size = 2;
+
+  StreamingMotifCounter continuous(config);
+  IngestRange(&continuous, all, 0, all.size(), batch_size);
+
+  // Replay with a checkpoint after every batch; the second write dies.
+  testing::ScopedFault fault("checkpoint.short_write",
+                             testing::FailNth(2, /*payload=*/7));
+  StreamingMotifCounter writer(config);
+  int failures = 0;
+  for (std::size_t b = 0; b < all.size(); b += batch_size) {
+    const std::size_t e = std::min(all.size(), b + batch_size);
+    writer.Ingest(std::vector<Event>(
+        all.begin() + static_cast<std::ptrdiff_t>(b),
+        all.begin() + static_cast<std::ptrdiff_t>(e)));
+    if (!WriteCheckpoint(writer, path).ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(fault.fires(), 1u);
+
+  // The file holds the last successful checkpoint; restoring and replaying
+  // the un-checkpointed suffix reproduces the continuous counts.
+  StreamingMotifCounter restored(config);
+  ASSERT_TRUE(RestoreCheckpoint(path, &restored).ok());
+  const std::size_t resume =
+      static_cast<std::size_t>(restored.stats().events_ingested);
+  ASSERT_LE(resume, all.size());
+  IngestRange(&restored, all, resume, all.size(), batch_size);
+  EXPECT_EQ(restored.counts().SortedByCode(),
+            continuous.counts().SortedByCode());
+  std::remove(path.c_str());
+}
+
+// A counter checkpointed in a degraded store mode restores into the same
+// rung with the same counts, and keeps counting exactly.
+TEST(Checkpoint, DegradedStoreModeRoundTrips) {
+  StreamConfig config;
+  config.options = Opts(3, 3, {}, false, false, Inducedness::kStatic);
+  config.window = WindowPolicy::CountBased(12);
+  config.store_budget_bytes = 1;  // Impossible budget: degrade immediately.
+
+  const std::vector<Event> all = FixtureEvents();
+  StreamingMotifCounter counter(config);
+  counter.Ingest(std::vector<Event>(all.begin(), all.begin() + 6));
+  ASSERT_NE(counter.store_mode(), StoreMode::kFull);
+
+  const std::string bytes = EncodeCheckpoint(counter);
+  StreamingMotifCounter restored(config);
+  const CheckpointResult r = DecodeCheckpoint(bytes, &restored);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(restored.store_mode(), counter.store_mode());
+  EXPECT_EQ(restored.counts().SortedByCode(), counter.counts().SortedByCode());
+
+  StreamingMotifCounter continuous(config);
+  continuous.Ingest(std::vector<Event>(all.begin(), all.begin() + 6));
+  restored.Ingest(std::vector<Event>(all.begin() + 6, all.end()));
+  continuous.Ingest(std::vector<Event>(all.begin() + 6, all.end()));
+  EXPECT_EQ(restored.counts().SortedByCode(),
+            continuous.counts().SortedByCode());
+}
+
+}  // namespace
+}  // namespace tmotif

@@ -88,6 +88,109 @@ TEST(LoadEdgeList, MissingFileReturnsNullopt) {
   EXPECT_FALSE(LoadEdgeList("/no/such/file.txt").has_value());
 }
 
+TEST(LoadEdgeList, MissingFileFillsErrorString) {
+  std::string error;
+  EXPECT_FALSE(LoadEdgeList("/no/such/file.txt", {}, &error).has_value());
+  EXPECT_NE(error.find("/no/such/file.txt"), std::string::npos);
+  EXPECT_NE(error.find("No such file"), std::string::npos);
+}
+
+TEST(LoadEdgeList, ReportsStructuredErrorsWithPhysicalLineNumbers) {
+  const std::string path = TempPath("structured.txt");
+  // Blank and comment lines still advance the physical line counter, so
+  // the reported numbers match what an editor shows.
+  WriteFile(path,
+            "# header\n"
+            "\n"
+            "0 1\n"                          // line 3: too few fields
+            "not numbers at all\n"           // line 4: non-numeric
+            "0 1 10\n"                       // line 5: fine
+            "-1 2 5\n"                       // line 6: negative node id
+            "1 2 999999999999999999999999\n"  // line 7: overflow
+            "0 1 10 -4\n"                    // line 8: negative duration
+            "0 1 10 4 5 6\n");               // line 9: 6 fields
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  EXPECT_EQ(result->num_bad_lines, 6u);
+  ASSERT_EQ(result->errors.size(), 6u);
+  EXPECT_EQ(result->errors[0].line, 3u);
+  EXPECT_NE(result->errors[0].message.find("at least 3 fields"),
+            std::string::npos);
+  EXPECT_EQ(result->errors[1].line, 4u);
+  EXPECT_NE(result->errors[1].message.find("non-numeric"), std::string::npos);
+  EXPECT_EQ(result->errors[2].line, 6u);
+  EXPECT_NE(result->errors[2].message.find("negative node id"),
+            std::string::npos);
+  EXPECT_EQ(result->errors[3].line, 7u);
+  EXPECT_NE(result->errors[3].message.find("out of range"),
+            std::string::npos);
+  EXPECT_EQ(result->errors[4].line, 8u);
+  EXPECT_NE(result->errors[4].message.find("negative duration"),
+            std::string::npos);
+  EXPECT_EQ(result->errors[5].line, 9u);
+  EXPECT_NE(result->errors[5].message.find("trailing garbage"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, SelfLoopIsAnErrorWhenNotSkipping) {
+  const std::string path = TempPath("selfloop_err.txt");
+  WriteFile(path, "3 3 10\n0 1 20\n");
+  EdgeListOptions options;
+  options.skip_self_loops = false;
+  const auto result = LoadEdgeList(path, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  ASSERT_EQ(result->errors.size(), 1u);
+  EXPECT_EQ(result->errors[0].line, 1u);
+  EXPECT_NE(result->errors[0].message.find("self-loop"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, RejectsRawNodeIdsBeyondInt32WithoutCompaction) {
+  const std::string path = TempPath("wide_ids.txt");
+  WriteFile(path, "5000000000 1 10\n0 1 20\n");
+  const auto without = LoadEdgeList(path);
+  ASSERT_TRUE(without.has_value());
+  EXPECT_EQ(without->num_events, 1u);
+  ASSERT_EQ(without->errors.size(), 1u);
+  EXPECT_NE(without->errors[0].message.find("32-bit id space"),
+            std::string::npos);
+
+  EdgeListOptions compact;
+  compact.compact_node_ids = true;  // Remapping makes wide ids legal.
+  const auto with = LoadEdgeList(path, compact);
+  ASSERT_TRUE(with.has_value());
+  EXPECT_EQ(with->num_events, 2u);
+  EXPECT_EQ(with->num_bad_lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, ErrorRecordsAreCappedButTheCountIsNot) {
+  const std::string path = TempPath("many_bad.txt");
+  std::string content;
+  for (int i = 0; i < 12; ++i) content += "bogus line\n";
+  content += "0 1 10\n";
+  WriteFile(path, content);
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 1u);
+  EXPECT_EQ(result->num_bad_lines, 12u);
+  EXPECT_EQ(result->errors.size(), kMaxEdgeListErrors);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEdgeList, ToleratesCrlfLineEndings) {
+  const std::string path = TempPath("crlf.txt");
+  WriteFile(path, "0 1 10\r\n\r\n1 2 20\r\n");
+  const auto result = LoadEdgeList(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_events, 2u);
+  EXPECT_EQ(result->num_bad_lines, 0u);
+  std::remove(path.c_str());
+}
+
 TEST(SaveEdgeList, RoundTripsThroughLoad) {
   TemporalGraphBuilder builder;
   builder.AddEvent(0, 1, 10, 3, 7).AddEvent(1, 2, 20);

@@ -1,0 +1,293 @@
+// Memory-budget degradation tests: under StreamConfig::store_budget_bytes
+// the live-instance store must shed memory by walking the degradation
+// ladder (full -> counted-only -> scoped-recount), never end a batch over
+// budget, re-promote with hysteresis when pressure clears — and through
+// all of it the counts must stay bit-identical to from-scratch counting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/counter.h"
+#include "obs/metrics.h"
+#include "stream/instance_store.h"
+#include "stream/streaming_counter.h"
+#include "testing/random_graphs.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+
+RandomGraphSpec BudgetSpec() {
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_events = 28;
+  spec.max_time = 64;
+  spec.prob_duplicate_time = 0.3;
+  return spec;
+}
+
+EnumerationOptions StaticInducedOpts(bool consecutive = false) {
+  EnumerationOptions o;
+  o.num_events = 3;
+  o.max_nodes = 3;
+  o.inducedness = Inducedness::kStatic;
+  o.consecutive_events_restriction = consecutive;
+  return o;
+}
+
+/// Replays `all` through `config`, asserting after every batch that the
+/// counts are exact and the footprint respects the budget. `out_stats`
+/// receives the final stats (ASSERT macros force a void return).
+void ReplayExactUnderBudget(const std::vector<Event>& all,
+                            const StreamConfig& config,
+                            std::size_t batch_size, const std::string& label,
+                            IngestStats* out_stats,
+                            std::size_t extra_pressure = 0) {
+  StreamingMotifCounter counter(config);
+  for (std::size_t b = 0; b < all.size(); b += batch_size) {
+    const std::size_t e = std::min(all.size(), b + batch_size);
+    counter.Ingest(std::vector<Event>(
+        all.begin() + static_cast<std::ptrdiff_t>(b),
+        all.begin() + static_cast<std::ptrdiff_t>(e)));
+    const MotifCounts expected =
+        CountMotifs(counter.window_graph(), config.options);
+    ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+        << label << " after event " << e << " in mode "
+        << static_cast<int>(counter.store_mode());
+    if (config.store_budget_bytes > 0) {
+      ASSERT_LE(counter.store_approx_bytes() + extra_pressure,
+                config.store_budget_bytes)
+          << label << " after event " << e << ": batch ended over budget in "
+          << "mode " << static_cast<int>(counter.store_mode());
+    }
+  }
+  *out_stats = counter.stats();
+}
+
+// Two-pass differential: measure the unbudgeted peak, then cap below it
+// and demand (a) demotions happened, (b) the budget held after every
+// batch, (c) the counts never changed.
+TEST(StreamBudget, DegradesUnderBudgetWithoutChangingCounts) {
+  std::uint64_t demotions_seen = 0;
+  ForEachRandomGraph(
+      0xb0d9e7, 4, BudgetSpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig config;
+        config.options = StaticInducedOpts();
+        config.window = WindowPolicy::CountBased(14);
+
+        // Pass 1: unbudgeted peak footprint.
+        std::size_t peak = 0;
+        {
+          StreamingMotifCounter counter(config);
+          for (std::size_t b = 0; b < g.events().size(); b += 4) {
+            const std::size_t e = std::min(g.events().size(), b + 4);
+            counter.Ingest(std::vector<Event>(
+                g.events().begin() + static_cast<std::ptrdiff_t>(b),
+                g.events().begin() + static_cast<std::ptrdiff_t>(e)));
+            peak = std::max(peak, counter.store_approx_bytes());
+          }
+        }
+        ASSERT_GT(peak, 0u) << "seed " << seed;
+
+        // Pass 2: cap at half the peak.
+        config.store_budget_bytes = peak / 2;
+        IngestStats stats;
+        ReplayExactUnderBudget(g.events(), config, 4,
+                               "seed " + std::to_string(seed), &stats);
+        demotions_seen +=
+            stats.store_demotions_counted + stats.store_demotions_recount;
+        if (::testing::Test::HasFatalFailure()) return;
+      });
+  EXPECT_GT(demotions_seen, 0u);
+}
+
+// A pressure schedule that spikes then clears must drive the ladder down
+// and (with the hysteresis satisfied) back up to full.
+TEST(StreamBudget, RepromotesWhenPressureClears) {
+  ForEachRandomGraph(
+      0x9e0407e, 2, BudgetSpec(),
+      [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig config;
+        config.options = StaticInducedOpts();
+        config.window = WindowPolicy::CountBased(14);
+        config.store_budget_bytes = 1u << 20;  // Roomy; pressure drives it.
+        config.store_promote_batches = 2;
+        config.store_promote_fraction = 0.9;
+
+        std::size_t batch_index = 0;
+        std::size_t pressure = 0;
+        config.budget_pressure_for_test = [&] { return pressure; };
+
+        StreamingMotifCounter counter(config);
+        bool saw_degraded = false;
+        for (std::size_t b = 0; b < g.events().size(); b += 4) {
+          // Spike external pressure for batches 1 and 2, then clear it.
+          // 28 events / batch 4 = 7 batches, so four calm batches remain:
+          // enough for the two-rung climb back (2 calm batches per rung).
+          pressure = (batch_index == 1 || batch_index == 2) ? (1u << 21) : 0;
+          const std::size_t e = std::min(g.events().size(), b + 4);
+          counter.Ingest(std::vector<Event>(
+              g.events().begin() + static_cast<std::ptrdiff_t>(b),
+              g.events().begin() + static_cast<std::ptrdiff_t>(e)));
+          const MotifCounts expected =
+              CountMotifs(counter.window_graph(), config.options);
+          ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+              << "seed " << seed << " batch " << batch_index;
+          if (counter.store_mode() != StoreMode::kFull) saw_degraded = true;
+          ++batch_index;
+        }
+        const IngestStats& stats = counter.stats();
+        ASSERT_TRUE(saw_degraded) << "seed " << seed;
+        ASSERT_GT(stats.store_demotions_counted +
+                      stats.store_demotions_recount,
+                  0u)
+            << "seed " << seed;
+        // Pressure cleared well before the end: the hysteresis (2 calm
+        // batches at <=90% of budget) must have re-promoted to full.
+        ASSERT_EQ(counter.store_mode(), StoreMode::kFull) << "seed " << seed;
+        ASSERT_GT(stats.store_promotions_full, 0u) << "seed " << seed;
+      });
+}
+
+// Order predicates (track-tails configs) have no coherent counted-only
+// rung: demotion must go straight to scoped-recount.
+TEST(StreamBudget, OrderPredicatesDemoteStraightToRecount) {
+  ForEachRandomGraph(
+      0x7a115, 2, BudgetSpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig config;
+        config.options = StaticInducedOpts(/*consecutive=*/true);
+        config.window = WindowPolicy::CountBased(14);
+        config.store_budget_bytes = 1;  // Impossible: demote immediately.
+        IngestStats stats;
+        ReplayExactUnderBudget(g.events(), config, 4,
+                               "seed " + std::to_string(seed), &stats);
+        if (::testing::Test::HasFatalFailure()) return;
+        ASSERT_EQ(stats.store_demotions_counted, 0u) << "seed " << seed;
+        ASSERT_GT(stats.store_demotions_recount, 0u) << "seed " << seed;
+      });
+}
+
+// An impossible budget walks the full ladder (counted-only first, then
+// scoped recount) on plain static-induced configs, and the counter keeps
+// counting exactly from the bottom rung.
+TEST(StreamBudget, ImpossibleBudgetReachesRecountMode) {
+  ForEachRandomGraph(
+      0x1adde5, 2, BudgetSpec(),
+      [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig config;
+        config.options = StaticInducedOpts();
+        config.window = WindowPolicy::CountBased(14);
+        config.store_budget_bytes = 1;
+        StreamingMotifCounter counter(config);
+        counter.Ingest(g.events());
+        const MotifCounts expected =
+            CountMotifs(counter.window_graph(), config.options);
+        ASSERT_EQ(counter.counts().SortedByCode(), expected.SortedByCode())
+            << "seed " << seed;
+        EXPECT_EQ(counter.store_mode(), StoreMode::kRecount);
+        EXPECT_FALSE(counter.store_active());
+        EXPECT_EQ(counter.store_approx_bytes(), 0u);
+        const IngestStats& stats = counter.stats();
+        EXPECT_GT(stats.store_demotions_counted, 0u);
+        EXPECT_GT(stats.store_demotions_recount, 0u);
+      });
+}
+
+#ifndef TMOTIF_NO_TELEMETRY
+// Every ladder transition must be visible in the exported metrics. The
+// registry is process-global, so assert growth, not absolute values.
+TEST(StreamBudget, TransitionsAreExportedAsMetrics) {
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  const std::uint64_t demotions_before =
+      registry.GetCounter("stream.store_demotions_counted")->Value() +
+      registry.GetCounter("stream.store_demotions_recount")->Value();
+
+  ForEachRandomGraph(
+      0x3e71c, 1, BudgetSpec(), [&](std::uint64_t, const TemporalGraph& g) {
+        StreamConfig config;
+        config.options = StaticInducedOpts();
+        config.window = WindowPolicy::CountBased(14);
+        config.store_budget_bytes = 1;
+        StreamingMotifCounter counter(config);
+        counter.Ingest(g.events());
+        EXPECT_EQ(counter.store_mode(), StoreMode::kRecount);
+      });
+
+  const std::uint64_t demotions_after =
+      registry.GetCounter("stream.store_demotions_counted")->Value() +
+      registry.GetCounter("stream.store_demotions_recount")->Value();
+  EXPECT_GT(demotions_after, demotions_before);
+  // The mode gauge reports the latest published rung (kRecount = 2).
+  EXPECT_EQ(registry.GetGauge("stream.store_mode")->Value(), 2);
+}
+#endif  // TMOTIF_NO_TELEMETRY
+
+// --- Compaction-threshold knob (StreamConfig::store_compaction_slack). ---
+
+// Direct store-level check: zero slack compacts as soon as dead bucket
+// refs outnumber live entries; a huge slack never compacts.
+TEST(StreamBudget, CompactionSlackControlsBucketCompaction) {
+  const auto churn = [](LiveInstanceStore* store) {
+    // Insert and evict anchors one by one: every eviction strands bucket
+    // refs, the classic compaction driver.
+    std::uint64_t id = 0;
+    const NodeId nodes[3] = {0, 1, 2};
+    for (int round = 0; round < 64; ++round) {
+      const std::uint64_t ids[1] = {id};
+      store->Insert(ids, 1, /*packed=*/0x01, nodes, 2, /*distinct=*/1,
+                    /*covered=*/true, /*order_valid=*/true);
+      store->EvictFront(1, [](const LiveInstanceStore::Entry&) {});
+      ++id;
+    }
+  };
+
+  LiveInstanceStore eager;
+  eager.SetCompactionSlack(0);
+  churn(&eager);
+  EXPECT_GT(eager.compactions(), 0u);
+
+  LiveInstanceStore lazy;
+  lazy.SetCompactionSlack(1u << 20);
+  churn(&lazy);
+  EXPECT_EQ(lazy.compactions(), 0u);
+}
+
+// Counter-level: the config knob reaches the store, and forcing eager
+// compaction changes no counts.
+TEST(StreamBudget, CompactionSlackKnobPlumbsThroughTheCounter) {
+  ForEachRandomGraph(
+      0xc0a7, 2, BudgetSpec(), [&](std::uint64_t seed, const TemporalGraph& g) {
+        StreamConfig eager_config;
+        eager_config.options = StaticInducedOpts();
+        eager_config.window = WindowPolicy::CountBased(10);
+        eager_config.store_compaction_slack = 0;
+        StreamingMotifCounter eager(eager_config);
+
+        StreamConfig lazy_config = eager_config;
+        lazy_config.store_compaction_slack = 1u << 20;
+        StreamingMotifCounter lazy(lazy_config);
+
+        for (std::size_t b = 0; b < g.events().size(); b += 3) {
+          const std::size_t e = std::min(g.events().size(), b + 3);
+          const std::vector<Event> batch(
+              g.events().begin() + static_cast<std::ptrdiff_t>(b),
+              g.events().begin() + static_cast<std::ptrdiff_t>(e));
+          eager.Ingest(batch);
+          lazy.Ingest(batch);
+          ASSERT_EQ(eager.counts().SortedByCode(),
+                    lazy.counts().SortedByCode())
+              << "seed " << seed << " after event " << e;
+        }
+        EXPECT_GE(eager.store_compactions(), lazy.store_compactions())
+            << "seed " << seed;
+      });
+}
+
+}  // namespace
+}  // namespace tmotif

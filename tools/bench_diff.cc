@@ -152,6 +152,9 @@ constexpr GatedField kGatedFields[] = {
      true},
     {"obs_overhead", "counting_overhead_ratio", false},
     {"obs_overhead", "ingest_overhead_ratio", false},
+    {"checkpoint", "checkpoint_write_mbps", true},
+    {"checkpoint", "checkpoint_restore_mbps", true},
+    {"checkpoint", "degraded_ingest_ratio", true},
 };
 
 /// True when a record name is a gated-field row ("bench.field") rather

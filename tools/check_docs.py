@@ -51,6 +51,13 @@ REQUIRED_SECTIONS = {
         "boundary revalidation",
         "store_order_rechecks",
     ),
+    "docs/RESILIENCE.md": (
+        "## Checkpoint format",
+        "## Degradation state machine",
+        "## Fault-point catalog",
+        "stream.store_mode",
+        "checkpoint.short_write",
+    ),
     "docs/OBSERVABILITY.md": (
         "## Metric catalog",
         "## Phase tracing",

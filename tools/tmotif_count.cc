@@ -169,10 +169,19 @@ int Main(int argc, char** argv) {
 
   EdgeListOptions load_options;
   load_options.compact_node_ids = args.compact_ids;
-  const auto loaded = LoadEdgeList(args.input, load_options);
+  std::string load_error;
+  const auto loaded = LoadEdgeList(args.input, load_options, &load_error);
   if (!loaded.has_value()) {
-    std::fprintf(stderr, "cannot read %s\n", args.input.c_str());
+    std::fprintf(stderr, "cannot read %s\n", load_error.c_str());
     return 1;
+  }
+  for (const EdgeListError& e : loaded->errors) {
+    std::fprintf(stderr, "warning: %s:%zu: %s\n", args.input.c_str(), e.line,
+                 e.message.c_str());
+  }
+  if (loaded->num_bad_lines > loaded->errors.size()) {
+    std::fprintf(stderr, "warning: ... and %zu more malformed lines\n",
+                 loaded->num_bad_lines - loaded->errors.size());
   }
   if (loaded->num_bad_lines > 0) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",

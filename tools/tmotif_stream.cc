@@ -24,6 +24,7 @@
 #include "graph/graph_io.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "stream/checkpoint.h"
 #include "stream/streaming_counter.h"
 
 namespace tmotif {
@@ -54,6 +55,11 @@ struct CliArgs {
   std::string metrics_format = "prom";  // prom|jsonl.
   int metrics_interval = 0;  // Batches between metric dumps; 0 = final only.
   std::string trace_out;     // Empty = tracing off.
+  std::string checkpoint_out;  // Empty = no checkpoints.
+  int checkpoint_interval = 0;  // Batches between checkpoints; 0 = final only.
+  std::string restore;          // Empty = start fresh.
+  long long store_budget = 0;   // Instance-store byte budget; 0 = unlimited.
+  long long store_compaction_slack = -1;  // -1 = library default.
 };
 
 void Usage(const char* argv0, std::FILE* out = stderr) {
@@ -87,7 +93,17 @@ void Usage(const char* argv0, std::FILE* out = stderr) {
       "  --metrics-format=F  prom|jsonl exporter format (default prom)\n"
       "  --metrics-interval=N  also dump every N batches (0 = final only)\n"
       "  --trace-out=FILE    record phase spans; dump chrome://tracing "
-      "JSON ('-' = stdout)\n",
+      "JSON ('-' = stdout)\n"
+      "  --checkpoint-out=FILE  write a durable checkpoint here (atomic\n"
+      "                      write + rename; see docs/RESILIENCE.md)\n"
+      "  --checkpoint-interval=N  also checkpoint every N batches "
+      "(0 = final only)\n"
+      "  --restore=FILE      restore a checkpoint before replaying; the\n"
+      "                      replay resumes after the checkpointed events\n"
+      "  --store-budget=BYTES  instance-store memory budget; over it the\n"
+      "                      store degrades gracefully (0 = unlimited)\n"
+      "  --store-compaction-slack=N  dead bucket slots tolerated before\n"
+      "                      the store compacts (default 64)\n",
       argv0);
 }
 
@@ -126,6 +142,11 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value("--metrics-format=")) args->metrics_format = v;
     else if (const char* v = value("--metrics-interval=")) args->metrics_interval = std::atoi(v);
     else if (const char* v = value("--trace-out=")) args->trace_out = v;
+    else if (const char* v = value("--checkpoint-out=")) args->checkpoint_out = v;
+    else if (const char* v = value("--checkpoint-interval=")) args->checkpoint_interval = std::atoi(v);
+    else if (const char* v = value("--restore=")) args->restore = v;
+    else if (const char* v = value("--store-budget=")) args->store_budget = std::atoll(v);
+    else if (const char* v = value("--store-compaction-slack=")) args->store_compaction_slack = std::atoll(v);
     else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       Usage(argv[0], stdout);
       std::exit(0);
@@ -179,6 +200,18 @@ bool Parse(int argc, char** argv, CliArgs* args) {
   }
   if (args->metrics_interval > 0 && args->metrics_out.empty()) {
     std::fprintf(stderr, "--metrics-interval needs --metrics-out\n");
+    return false;
+  }
+  if (args->checkpoint_interval < 0) {
+    std::fprintf(stderr, "--checkpoint-interval must be >= 0\n");
+    return false;
+  }
+  if (args->checkpoint_interval > 0 && args->checkpoint_out.empty()) {
+    std::fprintf(stderr, "--checkpoint-interval needs --checkpoint-out\n");
+    return false;
+  }
+  if (args->store_budget < 0) {
+    std::fprintf(stderr, "--store-budget must be >= 0\n");
     return false;
   }
   return true;
@@ -274,14 +307,28 @@ int Main(int argc, char** argv) {
   if (args.scoped_recounts) {
     config.static_flips = StaticFlipStrategy::kScopedRecount;
   }
+  config.store_budget_bytes = static_cast<std::size_t>(args.store_budget);
+  if (args.store_compaction_slack >= 0) {
+    config.store_compaction_slack =
+        static_cast<std::size_t>(args.store_compaction_slack);
+  }
 
   EdgeListOptions load_options;
   load_options.compact_node_ids = args.compact_ids;
   load_options.keep_arrival_order = true;
-  const auto loaded = LoadEdgeList(args.input, load_options);
+  std::string load_error;
+  const auto loaded = LoadEdgeList(args.input, load_options, &load_error);
   if (!loaded.has_value()) {
-    std::fprintf(stderr, "cannot read %s\n", args.input.c_str());
+    std::fprintf(stderr, "cannot read %s\n", load_error.c_str());
     return 1;
+  }
+  for (const EdgeListError& e : loaded->errors) {
+    std::fprintf(stderr, "warning: %s:%zu: %s\n", args.input.c_str(), e.line,
+                 e.message.c_str());
+  }
+  if (loaded->num_bad_lines > loaded->errors.size()) {
+    std::fprintf(stderr, "warning: ... and %zu more malformed lines\n",
+                 loaded->num_bad_lines - loaded->errors.size());
   }
   if (loaded->num_bad_lines > 0) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
@@ -320,9 +367,30 @@ int Main(int argc, char** argv) {
   }
 
   StreamingMotifCounter counter(config);
+  std::size_t resume_offset = 0;
+  if (!args.restore.empty()) {
+    const CheckpointResult restored = RestoreCheckpoint(args.restore, &counter);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot restore %s: %s: %s\n",
+                   args.restore.c_str(),
+                   CheckpointStatusName(restored.status),
+                   restored.message.c_str());
+      return 1;
+    }
+    // The checkpoint records how many replay events it had consumed; skip
+    // them so the resumed run continues exactly where the writer stopped.
+    resume_offset = std::min<std::size_t>(
+        static_cast<std::size_t>(counter.stats().events_ingested),
+        events.size());
+    std::printf("restored %s: %zu window events, %llu counted instances; "
+                "resuming at event %zu\n",
+                args.restore.c_str(), counter.window_size(),
+                static_cast<unsigned long long>(counter.total()),
+                resume_offset);
+  }
   const auto start = std::chrono::steady_clock::now();
   std::size_t batch_index = 0;
-  for (std::size_t begin = 0; begin < events.size();
+  for (std::size_t begin = resume_offset; begin < events.size();
        begin += static_cast<std::size_t>(args.batch)) {
     const std::size_t end =
         std::min(events.size(), begin + static_cast<std::size_t>(args.batch));
@@ -348,6 +416,31 @@ int Main(int argc, char** argv) {
                      batch_index);
       }
       DumpMetrics(args, metrics_file);
+    }
+    if (args.checkpoint_interval > 0 &&
+        batch_index % static_cast<std::size_t>(args.checkpoint_interval) ==
+            0) {
+      const CheckpointResult written =
+          WriteCheckpoint(counter, args.checkpoint_out);
+      if (!written.ok()) {
+        // A failed periodic checkpoint must not kill the stream: the
+        // previous checkpoint (if any) is still intact under the final
+        // name, so warn and keep ingesting.
+        std::fprintf(stderr, "warning: checkpoint failed: %s: %s\n",
+                     CheckpointStatusName(written.status),
+                     written.message.c_str());
+      }
+    }
+  }
+  if (!args.checkpoint_out.empty()) {
+    const CheckpointResult written =
+        WriteCheckpoint(counter, args.checkpoint_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s: %s\n",
+                   args.checkpoint_out.c_str(),
+                   CheckpointStatusName(written.status),
+                   written.message.c_str());
+      return 1;
     }
   }
 
@@ -377,6 +470,30 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.store_entries_touched),
         static_cast<unsigned long long>(stats.store_admitted),
         static_cast<unsigned long long>(stats.store_retired));
+  }
+  {
+    const unsigned long long transitions =
+        stats.store_demotions_counted + stats.store_demotions_recount +
+        stats.store_promotions_counted + stats.store_promotions_full;
+    if (transitions > 0) {
+      const char* mode_name =
+          counter.store_mode() == StoreMode::kFull
+              ? "full"
+              : (counter.store_mode() == StoreMode::kCountedOnly
+                     ? "counted-only"
+                     : "scoped-recount");
+      std::printf(
+          "store budget: %llu-byte cap, ended in %s mode; %llu demotions "
+          "(%llu to counted-only, %llu to scoped-recount), %llu promotions\n",
+          static_cast<unsigned long long>(config.store_budget_bytes),
+          mode_name,
+          static_cast<unsigned long long>(stats.store_demotions_counted +
+                                          stats.store_demotions_recount),
+          static_cast<unsigned long long>(stats.store_demotions_counted),
+          static_cast<unsigned long long>(stats.store_demotions_recount),
+          static_cast<unsigned long long>(stats.store_promotions_counted +
+                                          stats.store_promotions_full));
+    }
   }
   if (stats.late_events + stats.late_dropped > 0) {
     std::printf(
