@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
@@ -28,9 +29,38 @@
 
 #include "common/check.h"
 #include "core/enumerator.h"
+#include "core/simd/dispatch.h"
+#include "obs/metrics.h"
 
 namespace tmotif {
 namespace internal {
+
+/// Detects graphs exposing the flat SoA incident mirror
+/// (`incident_indices(node)` -> contiguous int32 run). The vectorized
+/// candidate gather needs raw pointers into the runs, so only flat
+/// graphs (TemporalGraph) take that path; deque-backed graphs (the
+/// streaming WindowGraph) keep the iterator-based merge.
+template <typename G, typename = void>
+struct GraphHasFlatIncident : std::false_type {};
+
+template <typename G>
+struct GraphHasFlatIncident<
+    G, std::void_t<decltype(std::declval<const G&>().incident_indices(
+           NodeId{0}))>> : std::true_type {};
+
+/// Kill switch for the scope-saturated edge-run final path under
+/// temporal-window inducedness: bench_perf_counting measures the lift
+/// against the generic final loop, and the differential tests assert
+/// both routes agree. On by default; engines read it once at
+/// construction.
+inline std::atomic<bool>& SaturatedWindowRunsFlag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+inline void SetSaturatedWindowRunsForTesting(bool enabled) {
+  SaturatedWindowRunsFlag().store(enabled, std::memory_order_relaxed);
+}
 
 /// Detects the optional batch half of the sink contract:
 /// `EmitBatch(packed_code, count)` accepts a whole saturated edge run of
@@ -162,14 +192,43 @@ class DfsEngine {
       : graph_(graph),
         opt_(opt),
         sink_(sink),
+        ops_(&simd::Kernels()),
         use_dc_(opt.timing.delta_c.has_value()),
         use_dw_(opt.timing.delta_w.has_value()),
         static_induced_(opt.inducedness == Inducedness::kStatic),
+        window_saturated_runs_(
+            opt.inducedness == Inducedness::kTemporalWindow &&
+            SaturatedWindowRunsFlag().load(std::memory_order_relaxed)),
         batch_saturated_(!opt.cdg_restriction &&
                          !opt.consecutive_events_restriction &&
                          opt.max_instances == 0),
         dc_(use_dc_ ? *opt.timing.delta_c : 0),
         dw_(use_dw_ ? *opt.timing.delta_w : 0) {}
+
+  /// Flushes the per-kernel invocation tallies into the process-wide
+  /// counting.kernel_* counters (same funnel pattern as
+  /// PackedMotifTable::PublishTelemetry — the hot loops stay
+  /// increment-only). EnumerateCore/EnumerateCoreAtRoots call it after
+  /// the run.
+  void PublishKernelTelemetry() {
+#ifndef TMOTIF_NO_TELEMETRY
+    if (merge_gathers_ == 0 && distinct_scans_ == 0 && prefilters_ == 0) {
+      return;
+    }
+    static obs::Counter* const gathers =
+        obs::GlobalMetrics().GetCounter("counting.kernel_merge_gathers");
+    static obs::Counter* const scans =
+        obs::GlobalMetrics().GetCounter("counting.kernel_distinct_scans");
+    static obs::Counter* const filters =
+        obs::GlobalMetrics().GetCounter("counting.kernel_prefilters");
+    gathers->Add(merge_gathers_);
+    scans->Add(distinct_scans_);
+    filters->Add(prefilters_);
+    merge_gathers_ = 0;
+    distinct_scans_ = 0;
+    prefilters_ = 0;
+#endif
+  }
 
   std::uint64_t Run(EventIndex first_begin, EventIndex first_end) {
     const int k = opt_.num_events;
@@ -263,6 +322,26 @@ class DfsEngine {
     return count;
   }
 
+  /// Distinct digit pairs of `code`'s first `k` bytes, routed through the
+  /// dispatched scan kernel. Tiny prefixes (k <= 3: at most three byte
+  /// compares) stay inline — the function-pointer hop would cost more
+  /// than the scan.
+  int DistinctPairs(std::uint64_t code, int k) {
+#ifndef TMOTIF_NO_TELEMETRY
+    ++distinct_scans_;
+#endif
+    if (k <= 3) {
+      const std::uint32_t b0 = code & 0xFF;
+      const std::uint32_t b1 = (code >> 8) & 0xFF;
+      if (k <= 1) return 1;
+      if (k == 2) return 1 + (b1 != b0 ? 1 : 0);
+      const std::uint32_t b2 = (code >> 16) & 0xFF;
+      return 1 + (b1 != b0 ? 1 : 0) +
+             (b2 != b0 && b2 != b1 ? 1 : 0);
+    }
+    return ops_->distinct_pair_count(code, k);
+  }
+
   bool PassesFinalChecks(std::uint64_t packed, int num_nodes) {
     if (opt_.inducedness == Inducedness::kNone) return true;
     const int k = opt_.num_events;
@@ -272,7 +351,7 @@ class DfsEngine {
       // pairs number scope_static_edges_ — a pure byte scan, no graph
       // queries. (The final-depth loop inlines this check; this branch
       // serves the k == 1 root path.)
-      return PackedDistinctPairCount(packed, k) == scope_static_edges_;
+      return DistinctPairs(packed, k) == scope_static_edges_;
     }
     // Temporal-window inducedness: the events among the instance's node set
     // within [t_first, t_last] must be exactly the instance's k events.
@@ -341,49 +420,89 @@ class DfsEngine {
   }
 
   /// Final-depth loop for a saturated scope (num_nodes_ == max_nodes)
-  /// under static inducedness (the only caller — ExtendFinal — gates on
-  /// it): no new node may enter, so every admissible candidate lies on one
-  /// of the scope's <= n*(n-1) internal static edges. Iterating those
+  /// under static or temporal-window inducedness (ExtendFinal gates on
+  /// both): no new node may enter, so every admissible candidate lies on
+  /// one of the scope's <= n*(n-1) internal static edges. Iterating those
   /// edges' occurrence runs — resolved through the digit-pair memo —
   /// visits only viable candidates, skipping the (typically far more
-  /// numerous) incident events that lead outside the scope, and whole runs
-  /// are accepted or rejected up front: every candidate on the same edge
-  /// yields the same packed code, so the per-candidate inducedness check
-  /// vanishes. The runs are disjoint (each event lies on exactly one
-  /// edge), and the min-scan merges them in ascending index order, so
-  /// emission order is unchanged.
+  /// numerous) incident events that lead outside the scope.
+  ///
+  /// Static mode rejects whole runs up front: every candidate on the same
+  /// edge yields the same packed code, so one prefilter_codes kernel call
+  /// over the collected pair codes replaces all per-candidate inducedness
+  /// checks. Temporal-window mode admits every pair's run and checks each
+  /// candidate with the memo'd rank scan: the windowed event total over
+  /// the scope pairs is at least k (the chosen events are all
+  /// scope-internal here) and nondecreasing in the candidate timestamp,
+  /// so the instance passes iff the total is exactly k — and the first
+  /// total above k ends the whole merge.
+  ///
+  /// The runs are disjoint (each event lies on exactly one edge), and the
+  /// min-scan merges them in ascending index order, so emission order is
+  /// unchanged.
   void SaturatedFinal(int depth, NodeId prev_src, NodeId prev_dst,
                       Timestamp t_prev, Timestamp upper) {
-    // Batch short-circuit: with no per-candidate order predicates (CDG /
-    // consecutive) and no instance cap, every occurrence of an accepted
-    // edge in (t_prev, upper] is an instance with the run's code — two
-    // rank queries per scope edge replace the whole min-merge, and the
-    // sink absorbs each run as one EmitBatch. Only batch-capable sinks
-    // take this branch; identity sinks still get per-instance Emit calls
-    // in deterministic order below.
+    const int k = opt_.num_events;
+    // Collect the scope's resolved ordered pairs once; codes and memos
+    // feed the run-level pre-filter (static) or the windowed rank total
+    // (temporal-window).
+    constexpr int kMaxPairs = kMaxCoreNodes * (kMaxCoreNodes - 1);
+    std::uint64_t codes[kMaxPairs];
+    PairMemo* memos[kMaxPairs];
+    std::int8_t src_digits[kMaxPairs];
+    std::int8_t dst_digits[kMaxPairs];
+    std::uint8_t pass[kMaxPairs];
+    int npairs = 0;
+    for (int a = 0; a < num_nodes_; ++a) {
+      for (int b = 0; b < num_nodes_; ++b) {
+        if (a == b) continue;
+        PairMemo& m = MemoFor(a, b);
+        if (m.handle == Graph::kNoEdgeHandle) continue;
+        codes[npairs] = packed_ | PackPair(a, b, depth);
+        memos[npairs] = &m;
+        src_digits[npairs] = static_cast<std::int8_t>(a);
+        dst_digits[npairs] = static_cast<std::int8_t>(b);
+        ++npairs;
+      }
+    }
+    if (npairs == 0) return;
+    if (static_induced_) {
+      // One kernel call filters every run: pass[i] <=> run i's code covers
+      // exactly the scope's static edges.
+      ops_->prefilter_codes(codes, npairs, k, scope_static_edges_, pass);
+#ifndef TMOTIF_NO_TELEMETRY
+      ++prefilters_;
+#endif
+    } else {
+      // Temporal-window: admission is per-candidate (the rank total
+      // depends on the candidate's timestamp), so every run stays live.
+      for (int i = 0; i < npairs; ++i) pass[i] = 1;
+    }
+
+    // Batch short-circuit (static only — window totals are per-candidate):
+    // with no per-candidate order predicates (CDG / consecutive) and no
+    // instance cap, every occurrence of an accepted edge in
+    // (t_prev, upper] is an instance with the run's code — two rank
+    // queries per scope edge replace the whole min-merge, and the sink
+    // absorbs each run as one EmitBatch. Only batch-capable sinks take
+    // this branch; identity sinks still get per-instance Emit calls in
+    // deterministic order below.
     if constexpr (SinkHasEmitBatch<Sink>::value) {
-      if (batch_saturated_) {
-        const int k = opt_.num_events;
-        for (int a = 0; a < num_nodes_; ++a) {
-          for (int b = 0; b < num_nodes_; ++b) {
-            if (a == b) continue;
-            PairMemo& m = MemoFor(a, b);
-            if (m.handle == Graph::kNoEdgeHandle) continue;
-            const std::uint64_t code = packed_ | PackPair(a, b, depth);
-            if (PackedDistinctPairCount(code, k) != scope_static_edges_) {
-              continue;
-            }
-            const std::size_t lo = graph_.EdgeUpperRank(m.handle, t_prev);
-            const std::size_t hi = graph_.EdgeUpperRank(m.handle, upper);
-            if (hi <= lo) continue;
-            const std::uint64_t n = hi - lo;
-            count_ += n;
-            sink_.EmitBatch(code, n);
-          }
+      if (batch_saturated_ && static_induced_) {
+        for (int i = 0; i < npairs; ++i) {
+          if (!pass[i]) continue;
+          const EdgeHandle handle = memos[i]->handle;
+          const std::size_t lo = graph_.EdgeUpperRank(handle, t_prev);
+          const std::size_t hi = graph_.EdgeUpperRank(handle, upper);
+          if (hi <= lo) continue;
+          const std::uint64_t n = hi - lo;
+          count_ += n;
+          sink_.EmitBatch(codes[i], n);
         }
         return;
       }
     }
+
     struct ScopeRun {
       EdgeRunIter cur;
       EdgeRunIter end;
@@ -392,27 +511,35 @@ class DfsEngine {
       int dst_digit;
       bool same_edge_as_prev;
     };
-    ScopeRun runs[kMaxCoreNodes * (kMaxCoreNodes - 1)];
+    ScopeRun runs[kMaxPairs];
     int nruns = 0;
-    const int k = opt_.num_events;
-    for (int a = 0; a < num_nodes_; ++a) {
-      for (int b = 0; b < num_nodes_; ++b) {
-        if (a == b) continue;
-        PairMemo& m = MemoFor(a, b);
-        if (m.handle == Graph::kNoEdgeHandle) continue;
-        const std::uint64_t code = packed_ | PackPair(a, b, depth);
-        if (PackedDistinctPairCount(code, k) != scope_static_edges_) {
-          continue;  // No candidate on this edge can ever pass.
+    for (int i = 0; i < npairs; ++i) {
+      if (!pass[i]) continue;  // Static: no candidate on this edge passes.
+      const EdgeHandle handle = memos[i]->handle;
+      const auto range = graph_.edge_occurrences(handle);
+      const std::size_t lo = graph_.EdgeUpperRank(handle, t_prev);
+      if (lo >= range.size()) continue;
+      EdgeRunIter cur = range.begin() + static_cast<std::ptrdiff_t>(lo);
+      if (cur.time() > upper) continue;  // Ascending: the run is spent.
+      const int a = src_digits[i];
+      const int b = dst_digits[i];
+      runs[nruns++] = ScopeRun{
+          cur, range.end(), codes[i], a, b,
+          nodes_[static_cast<std::size_t>(a)] == prev_src &&
+              nodes_[static_cast<std::size_t>(b)] == prev_dst};
+    }
+    if (nruns == 0) return;
+
+    if (!static_induced_) {
+      // Resolve each pair's lower rank at the root's first-event timestamp
+      // once; every candidate's windowed total reuses them.
+      const Timestamp t_first = graph_.event_time(chosen_[0]);
+      for (int i = 0; i < npairs; ++i) {
+        PairMemo& m = *memos[i];
+        if (!m.lo_valid) {
+          m.lo_rank = graph_.EdgeLowerRank(m.handle, t_first);
+          m.lo_valid = true;
         }
-        const auto range = graph_.edge_occurrences(m.handle);
-        const std::size_t lo = graph_.EdgeUpperRank(m.handle, t_prev);
-        if (lo >= range.size()) continue;
-        EdgeRunIter cur = range.begin() + static_cast<std::ptrdiff_t>(lo);
-        if (cur.time() > upper) continue;  // Ascending: the run is spent.
-        runs[nruns++] = ScopeRun{
-            cur, range.end(), code, a, b,
-            nodes_[static_cast<std::size_t>(a)] == prev_src &&
-                nodes_[static_cast<std::size_t>(b)] == prev_dst};
       }
     }
 
@@ -451,8 +578,25 @@ class DfsEngine {
         if (violated) continue;
       }
 
+      if (!static_induced_) {
+        // Windowed total over the scope pairs in [t_first, tc]. All k
+        // instance events are scope-internal here, so total >= k always;
+        // the instance is window-induced iff nothing else intrudes
+        // (total == k). EdgeUpperRank is nondecreasing in tc and the merge
+        // emits in ascending time, so the first overshoot ends the loop.
+        int total = 0;
+        for (int i = 0; i < npairs; ++i) {
+          const PairMemo& m = *memos[i];
+          total += static_cast<int>(graph_.EdgeUpperRank(m.handle, tc) -
+                                    m.lo_rank);
+          if (total > k) break;
+        }
+        if (total > k) break;
+        if (total < k) continue;  // Unreachable; keeps the check total.
+      }
+
       chosen_[static_cast<std::size_t>(depth)] = c;
-      // The run-level pre-filter already passed.
+      // The run-level pre-filter / windowed total already passed.
       EmitUnchecked(run.code, num_nodes_);
       if (stopped_) return;
     }
@@ -471,12 +615,27 @@ class DfsEngine {
     const Timestamp t_prev = graph_.event_time(prev_idx);
     const Timestamp upper = ExtensionUpperBound(prev_idx, t_prev);
     if (upper <= t_prev) return;
-    // The edge-run path wins exactly when its run-level code pre-filter can
-    // reject whole runs — i.e. under static inducedness. For other option
+    // The edge-run path wins exactly when an inducedness predicate makes
+    // run-level work pay: static mode rejects whole runs via the code
+    // pre-filter, temporal-window mode replaces the generic per-emit pair
+    // scan with memo'd ranks and a monotone early exit. For other option
     // sets the incident merge below is cheaper (no per-pair setup).
-    if (static_induced_ && num_nodes_ == opt_.max_nodes) {
+    if ((static_induced_ || window_saturated_runs_) &&
+        num_nodes_ == opt_.max_nodes) {
       SaturatedFinal(depth, prev_src, prev_dst, t_prev, upper);
       return;
+    }
+
+    // Flat graphs expose raw incident runs, so the merge-union can gather
+    // candidates through the vectorized kernel in chunks. The consecutive
+    // restriction needs the per-round cursor positions the gather does not
+    // keep (its O(1) predecessor read), so it stays on the scalar merge.
+    if constexpr (GraphHasFlatIncident<Graph>::value) {
+      if (!opt_.consecutive_events_restriction) {
+        ExtendFinalGather(depth, inherited, prev_idx, prev_src, prev_dst,
+                          t_prev, upper);
+        return;
+      }
     }
 
     const int frontier = num_nodes_;
@@ -579,7 +738,7 @@ class DfsEngine {
         const int sd = src_digit < 0 ? nd : src_digit;
         const int dd = dst_digit < 0 ? nd : dst_digit;
         const std::uint64_t code = packed_ | PackPair(sd, dd, depth);
-        const int distinct = PackedDistinctPairCount(code, opt_.num_events);
+        const int distinct = DistinctPairs(code, opt_.num_events);
         if (new_nodes == 0) {
           if (distinct != scope_static_edges_) continue;
         } else {
@@ -621,6 +780,134 @@ class DfsEngine {
       chosen_[static_cast<std::size_t>(depth)] = c;
       Emit(packed_ | PackPair(src_digit, dst_digit, depth), effective_nodes);
       if (stopped_) return;
+    }
+  }
+
+  /// Chunked vectorized variant of the final-depth loop for flat graphs
+  /// (no consecutive restriction — see the dispatch in ExtendFinal): the
+  /// merge-union gather kernel fills a candidate buffer from the raw SoA
+  /// incident runs, and the scalar tail applies the per-candidate
+  /// predicates. The kernel's output and cursor contract matches the
+  /// iterator merge exactly, so emission order is unchanged.
+  void ExtendFinalGather(int depth, int inherited, EventIndex prev_idx,
+                         NodeId prev_src, NodeId prev_dst, Timestamp t_prev,
+                         Timestamp upper) {
+    const int frontier = num_nodes_;
+    const EventIndex* runs[kMaxCoreNodes];
+    int lens[kMaxCoreNodes];
+    int curs[kMaxCoreNodes];
+    bool may_tie = false;
+    for (int d = 0; d < frontier; ++d) {
+      const std::size_t s = static_cast<std::size_t>(d);
+      const auto span = graph_.incident_indices(nodes_[s]);
+      runs[d] = span.begin();
+      lens[d] = static_cast<int>(span.size());
+      if (d < inherited) {
+        // The flat run mirrors the fat incident entries position for
+        // position, so the inherited iterator's offset is the cursor.
+        curs[d] = static_cast<int>(
+            cursors_[static_cast<std::size_t>(depth - 1)][s] -
+            graph_.incident(nodes_[s]).begin());
+      } else {
+        curs[d] = static_cast<int>(
+            graph_.IncidentUpperBound(nodes_[s], prev_idx) -
+            graph_.incident(nodes_[s]).begin());
+      }
+      if (curs[d] < lens[d] &&
+          graph_.event_time(runs[d][curs[d]]) <= t_prev) {
+        may_tie = true;
+      }
+    }
+    if (may_tie) {
+      // Global index order is time order, so one jump past the previous
+      // event's timestamp-tie group clears every run for good: everything
+      // at or beyond the new cursors is strictly after t_prev, and the
+      // candidate loop needs no per-candidate tie check.
+      const EventIndex lo = graph_.UpperBoundTime(t_prev);
+      for (int d = 0; d < frontier; ++d) {
+        curs[d] = static_cast<int>(
+            std::lower_bound(runs[d] + curs[d], runs[d] + lens[d], lo) -
+            runs[d]);
+      }
+    }
+
+    // Per-call cache of the last new node's static-edge count to the
+    // scope (same rationale as the iterator merge).
+    NodeId cached_new_node = kInvalidNode;
+    int cached_new_delta = 0;
+
+    constexpr int kGatherChunk = 128;
+    EventIndex buf[kGatherChunk];
+    for (;;) {
+      const int got = ops_->merge_union_gather(runs, lens, curs, frontier,
+                                               buf, kGatherChunk);
+#ifndef TMOTIF_NO_TELEMETRY
+      ++merge_gathers_;
+#endif
+      for (int i = 0; i < got; ++i) {
+        const EventIndex c = buf[i];
+        const Timestamp tc = graph_.event_time(c);
+        if (tc > upper) return;  // Sorted by time: no more candidates.
+        const NodeId c_src = graph_.event_src(c);
+        const NodeId c_dst = graph_.event_dst(c);
+        int src_digit = DigitOf(c_src);
+        int dst_digit = DigitOf(c_dst);
+        const int new_nodes =
+            (src_digit < 0 ? 1 : 0) + (dst_digit < 0 ? 1 : 0);
+        if (num_nodes_ + new_nodes > opt_.max_nodes) continue;
+
+        if (opt_.cdg_restriction &&
+            (prev_src != c_src || prev_dst != c_dst) &&
+            graph_.HasAdjacentEdgeEventInRange(c, t_prev, tc)) {
+          continue;  // Another event on (c_src, c_dst) inside [t1, t2].
+        }
+
+        if (static_induced_) {
+          // Same static-inducedness fast path as the iterator merge.
+          const int nd = src_digit < 0 ? num_nodes_
+                                       : (dst_digit < 0 ? num_nodes_ : -1);
+          const int sd = src_digit < 0 ? nd : src_digit;
+          const int dd = dst_digit < 0 ? nd : dst_digit;
+          const std::uint64_t code = packed_ | PackPair(sd, dd, depth);
+          const int distinct = DistinctPairs(code, opt_.num_events);
+          if (new_nodes == 0) {
+            if (distinct != scope_static_edges_) continue;
+          } else {
+            const int needed = distinct - scope_static_edges_;
+            if (needed < 1 || needed > 2 * num_nodes_) continue;
+            const NodeId w = src_digit < 0 ? c_src : c_dst;
+            if (w != cached_new_node) {
+              cached_new_node = w;
+              cached_new_delta = StaticEdgesToScope(w, num_nodes_);
+            }
+            if (needed != cached_new_delta) continue;
+            nodes_[static_cast<std::size_t>(nd)] = w;
+          }
+          chosen_[static_cast<std::size_t>(depth)] = c;
+          EmitUnchecked(code, num_nodes_ + new_nodes);
+          if (stopped_) return;
+          continue;
+        }
+
+        int effective_nodes = num_nodes_;
+        if (src_digit < 0) {
+          src_digit = effective_nodes;
+          nodes_[static_cast<std::size_t>(effective_nodes)] = c_src;
+          digit_gen_[static_cast<std::size_t>(effective_nodes++)] =
+              ++gen_counter_;
+        }
+        if (dst_digit < 0) {
+          dst_digit = effective_nodes;
+          nodes_[static_cast<std::size_t>(effective_nodes)] = c_dst;
+          digit_gen_[static_cast<std::size_t>(effective_nodes++)] =
+              ++gen_counter_;
+        }
+        chosen_[static_cast<std::size_t>(depth)] = c;
+        Emit(packed_ | PackPair(src_digit, dst_digit, depth),
+             effective_nodes);
+        if (stopped_) return;
+      }
+      if (got < kGatherChunk) return;
     }
   }
 
@@ -775,7 +1062,7 @@ class DfsEngine {
       // subtree before recursing.
       const bool prefix_viable =
           !static_induced_ ||
-          scope_static_edges_ - PackedDistinctPairCount(packed_, depth + 1) <=
+          scope_static_edges_ - DistinctPairs(packed_, depth + 1) <=
               opt_.num_events - (depth + 1);
       if (prefix_viable) {
         Extend(depth + 1, /*inherited=*/frontier);
@@ -793,10 +1080,16 @@ class DfsEngine {
   const Graph& graph_;
   const EnumerationOptions& opt_;
   Sink& sink_;
+  /// Dispatched kernel table (core/simd/), resolved once at construction so
+  /// the engine's view is stable even if a test flips the level mid-run.
+  const simd::KernelOps* const ops_;
   // Timing knobs hoisted out of the candidate loop.
   const bool use_dc_;
   const bool use_dw_;
   const bool static_induced_;
+  /// Temporal-window inducedness also takes the scope-saturated edge-run
+  /// final path (SaturatedFinal) unless the kill switch disabled it.
+  const bool window_saturated_runs_;
   /// Saturated-final runs may be absorbed whole (see SaturatedFinal): no
   /// per-candidate order predicate and no instance cap to respect.
   const bool batch_saturated_;
@@ -825,6 +1118,14 @@ class DfsEngine {
       cursors_{};
   std::array<std::array<IncidentIter, kMaxCoreNodes>, kMaxCoreEvents>
       cursor_ends_{};
+#ifndef TMOTIF_NO_TELEMETRY
+  /// Per-kernel invocation tallies since the last PublishKernelTelemetry.
+  /// Deterministic and dispatch-level-independent: the scalar and vector
+  /// kernels are bit-identical, so call counts never depend on the ISA.
+  std::uint64_t merge_gathers_ = 0;
+  std::uint64_t distinct_scans_ = 0;
+  std::uint64_t prefilters_ = 0;
+#endif
 };
 
 /// Runs the DFS over instances whose first event lies in
@@ -836,7 +1137,9 @@ std::uint64_t EnumerateCore(const Graph& graph,
                             EventIndex first_begin, EventIndex first_end,
                             Sink& sink) {
   DfsEngine<Graph, Sink> engine(graph, options, sink);
-  return engine.Run(first_begin, first_end);
+  const std::uint64_t total = engine.Run(first_begin, first_end);
+  engine.PublishKernelTelemetry();
+  return total;
 }
 
 /// Runs the DFS over instances whose first event is one of `roots`
@@ -853,6 +1156,7 @@ std::uint64_t EnumerateCoreAtRoots(const Graph& graph,
   for (const EventIndex root : roots) {
     total = engine.Run(root, root + 1);
   }
+  engine.PublishKernelTelemetry();
   return total;
 }
 

@@ -1,0 +1,204 @@
+// AVX2 variants of the counting kernels. Compiled with -mavx2 on this
+// file only and self-gated on the predefined macro (see
+// kernels_sse42.cc for the pattern). The 16-byte group matchers and the
+// single-code byte scan are naturally SSE-width operations, so those
+// reuse the 128-bit forms; the merge boundary scan runs 8 candidates per
+// compare and the run-level code pre-filter judges 4 codes per iteration.
+
+#include "core/simd/kernels.h"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <limits>
+
+namespace tmotif {
+namespace simd {
+namespace {
+
+constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+
+/// Number of leading elements of `p[0..n)` strictly below `bound`
+/// (ascending run, `p[0] < bound` guaranteed by the caller).
+int PrefixBelow(const EventIndex* p, int n, EventIndex bound) {
+  const __m256i b = _mm256_set1_epi32(bound);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(b, v))));
+    if (lt != 0xFFu) return i + __builtin_ctz(~lt);
+  }
+  while (i < n && p[i] < bound) ++i;
+  return i;
+}
+
+int MergeUnionGatherAvx2(const EventIndex* const* runs, const int* lens,
+                         int* cursors, int num_runs, EventIndex* out,
+                         int cap) {
+  int m = 0;
+  while (m < cap) {
+    EventIndex best = kDone;
+    EventIndex second = kDone;
+    int win = -1;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] >= lens[r]) continue;
+      const EventIndex v = runs[r][cursors[r]];
+      if (v < best) {
+        second = best;
+        best = v;
+        win = r;
+      } else if (v < second) {
+        second = v;
+      }
+    }
+    if (win < 0) break;
+    if (best < second) {
+      // Exclusive lead: bulk-copy the winning run's prefix below the
+      // second-smallest front (see kernels_sse42.cc).
+      const EventIndex* p = runs[win] + cursors[win];
+      const int avail = lens[win] - cursors[win];
+      const int room = cap - m;
+      const int take =
+          PrefixBelow(p, avail < room ? avail : room, second);
+      if (take >= 8) {
+        std::memcpy(out + m, p,
+                    static_cast<std::size_t>(take) * sizeof(EventIndex));
+      } else {
+        // Interleaved runs yield short bursts; an inline copy beats the
+        // libc memcpy call for these.
+        for (int j = 0; j < take; ++j) out[m + j] = p[j];
+      }
+      cursors[win] += take;
+      m += take;
+      continue;
+    }
+    out[m++] = best;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] < lens[r] && runs[r][cursors[r]] == best) ++cursors[r];
+    }
+  }
+  return m;
+}
+
+std::uint32_t MatchTagsAvx2(const std::uint8_t* group, std::uint8_t tag) {
+  const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+  const __m128i t = _mm_set1_epi8(static_cast<char>(tag));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(g, t)));
+}
+
+std::uint32_t MatchEmptyAvx2(const std::uint8_t* group) {
+  return MatchTagsAvx2(group, kEmptyCtrl);
+}
+
+__m128i ByteShift128(__m128i v, int bytes) {
+  switch (bytes) {
+    case 1: return _mm_slli_si128(v, 1);
+    case 2: return _mm_slli_si128(v, 2);
+    case 3: return _mm_slli_si128(v, 3);
+    case 4: return _mm_slli_si128(v, 4);
+    case 5: return _mm_slli_si128(v, 5);
+    case 6: return _mm_slli_si128(v, 6);
+    default: return _mm_slli_si128(v, 7);
+  }
+}
+
+int DistinctPairCountAvx2(std::uint64_t packed, int k) {
+  const __m128i v = _mm_cvtsi64_si128(static_cast<long long>(packed));
+  __m128i dup = _mm_setzero_si128();
+  switch (k) {
+    case 8: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 7))); [[fallthrough]];
+    case 7: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 6))); [[fallthrough]];
+    case 6: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 5))); [[fallthrough]];
+    case 5: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 4))); [[fallthrough]];
+    case 4: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 3))); [[fallthrough]];
+    case 3: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 2))); [[fallthrough]];
+    case 2: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, ByteShift128(v, 1))); [[fallthrough]];
+    default: break;
+  }
+  const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(dup)) &
+                        ((1u << k) - 1u);
+  return k - __builtin_popcount(mask);
+}
+
+/// Per-64-bit-lane byte shift over four packed codes at once.
+__m256i LaneShift256(__m256i v, int bytes) {
+  switch (bytes) {
+    case 1: return _mm256_slli_epi64(v, 8);
+    case 2: return _mm256_slli_epi64(v, 16);
+    case 3: return _mm256_slli_epi64(v, 24);
+    case 4: return _mm256_slli_epi64(v, 32);
+    case 5: return _mm256_slli_epi64(v, 40);
+    case 6: return _mm256_slli_epi64(v, 48);
+    default: return _mm256_slli_epi64(v, 56);
+  }
+}
+
+void PrefilterCodesAvx2(const std::uint64_t* codes, int n, int k, int want,
+                        std::uint8_t* out_pass) {
+  const __m256i lane_mask = _mm256_set1_epi64x(
+      k >= 8 ? -1LL
+             : static_cast<long long>((std::uint64_t{1} << (8 * k)) - 1));
+  const __m256i wantv =
+      _mm256_set1_epi64x(static_cast<long long>(k - want));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    __m256i dup = zero;
+    switch (k) {
+      case 8: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 7))); [[fallthrough]];
+      case 7: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 6))); [[fallthrough]];
+      case 6: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 5))); [[fallthrough]];
+      case 5: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 4))); [[fallthrough]];
+      case 4: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 3))); [[fallthrough]];
+      case 3: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 2))); [[fallthrough]];
+      case 2: dup = _mm256_or_si256(dup, _mm256_cmpeq_epi8(v, LaneShift256(v, 1))); [[fallthrough]];
+      default: break;
+    }
+    dup = _mm256_and_si256(dup, lane_mask);
+    // Per-lane duplicate-byte count via SAD, then a 64-bit equality
+    // against k - want; the sign-bit movemask of the 4 lanes is the
+    // pass/fail vector.
+    const __m256i dups = _mm256_sad_epu8(_mm256_and_si256(dup, one), zero);
+    const __m256i eq = _mm256_cmpeq_epi64(dups, wantv);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    out_pass[i] = static_cast<std::uint8_t>(mask & 1);
+    out_pass[i + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    out_pass[i + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    out_pass[i + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    out_pass[i] = DistinctPairCountAvx2(codes[i], k) == want ? 1 : 0;
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    &MergeUnionGatherAvx2, &MatchTagsAvx2,      &MatchEmptyAvx2,
+    &DistinctPairCountAvx2, &PrefilterCodesAvx2,
+};
+
+}  // namespace
+
+const KernelOps* Avx2Kernels() { return &kAvx2Ops; }
+
+}  // namespace simd
+}  // namespace tmotif
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace tmotif {
+namespace simd {
+
+const KernelOps* Avx2Kernels() { return nullptr; }
+
+}  // namespace simd
+}  // namespace tmotif
+
+#endif

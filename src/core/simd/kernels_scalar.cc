@@ -1,0 +1,83 @@
+// Scalar reference implementations of the counting kernels — always
+// compiled, selected on machines without SSE4.2/AVX2 or when
+// TMOTIF_FORCE_SCALAR=1. The vector variants must match these
+// bit-for-bit (outputs, cursor positions, masks, verdicts); the
+// differential grid in tests/kernel_diff_test.cc enforces it.
+
+#include <cstring>
+#include <limits>
+
+#include "core/simd/kernels.h"
+
+namespace tmotif {
+namespace simd {
+namespace {
+
+constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+
+int MergeUnionGatherScalar(const EventIndex* const* runs, const int* lens,
+                           int* cursors, int num_runs, EventIndex* out,
+                           int cap) {
+  int m = 0;
+  while (m < cap) {
+    EventIndex best = kDone;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] >= lens[r]) continue;
+      const EventIndex v = runs[r][cursors[r]];
+      if (v < best) best = v;
+    }
+    if (best == kDone) break;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] < lens[r] && runs[r][cursors[r]] == best) ++cursors[r];
+    }
+    out[m++] = best;
+  }
+  return m;
+}
+
+std::uint32_t MatchTagsScalar(const std::uint8_t* group, std::uint8_t tag) {
+  std::uint32_t mask = 0;
+  for (int i = 0; i < kGroupSize; ++i) {
+    mask |= group[i] == tag ? (1u << i) : 0u;
+  }
+  return mask;
+}
+
+std::uint32_t MatchEmptyScalar(const std::uint8_t* group) {
+  return MatchTagsScalar(group, kEmptyCtrl);
+}
+
+int DistinctPairCountScalar(std::uint64_t packed, int k) {
+  int distinct = 0;
+  for (int i = 0; i < k; ++i) {
+    const std::uint64_t byte = (packed >> (8 * i)) & 0xFF;
+    bool dup = false;
+    for (int j = 0; j < i; ++j) {
+      if (((packed >> (8 * j)) & 0xFF) == byte) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) ++distinct;
+  }
+  return distinct;
+}
+
+void PrefilterCodesScalar(const std::uint64_t* codes, int n, int k, int want,
+                          std::uint8_t* out_pass) {
+  for (int i = 0; i < n; ++i) {
+    out_pass[i] = DistinctPairCountScalar(codes[i], k) == want ? 1 : 0;
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    &MergeUnionGatherScalar, &MatchTagsScalar,      &MatchEmptyScalar,
+    &DistinctPairCountScalar, &PrefilterCodesScalar,
+};
+
+}  // namespace
+
+const KernelOps* ScalarKernels() { return &kScalarOps; }
+
+}  // namespace simd
+}  // namespace tmotif

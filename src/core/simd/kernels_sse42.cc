@@ -1,0 +1,193 @@
+// SSE4.2 variants of the counting kernels. The whole translation unit is
+// compiled with -msse4.2 (CMake sets the flag on this file only) and
+// self-gates on the predefined macro, so on targets without SSE4.2 it
+// collapses to a stub and the dispatcher falls back to scalar. No code
+// here may be called before the runtime CPU check in core/simd/dispatch.cc
+// has confirmed the ISA.
+
+#include "core/simd/kernels.h"
+
+#if defined(__SSE4_2__) && defined(__x86_64__)
+
+#include <emmintrin.h>
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <cstring>
+#include <limits>
+
+namespace tmotif {
+namespace simd {
+namespace {
+
+constexpr EventIndex kDone = std::numeric_limits<EventIndex>::max();
+
+/// Number of leading elements of `p[0..n)` strictly below `bound`
+/// (ascending run, `p[0] < bound` guaranteed by the caller).
+int PrefixBelow(const EventIndex* p, int n, EventIndex bound) {
+  const __m128i b = _mm_set1_epi32(bound);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned lt = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(v, b))));
+    if (lt != 0xFu) return i + __builtin_ctz(~lt);
+  }
+  while (i < n && p[i] < bound) ++i;
+  return i;
+}
+
+int MergeUnionGatherSse42(const EventIndex* const* runs, const int* lens,
+                          int* cursors, int num_runs, EventIndex* out,
+                          int cap) {
+  int m = 0;
+  while (m < cap) {
+    // Min and second-min of the live run fronts (num_runs <= 9: a scalar
+    // scan beats any gather here).
+    EventIndex best = kDone;
+    EventIndex second = kDone;
+    int win = -1;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] >= lens[r]) continue;
+      const EventIndex v = runs[r][cursors[r]];
+      if (v < best) {
+        second = best;
+        best = v;
+        win = r;
+      } else if (v < second) {
+        second = v;
+      }
+    }
+    if (win < 0) break;
+    if (best < second) {
+      // The winning run leads exclusively up to `second`: every one of
+      // its values below that bound belongs to the union as-is (no other
+      // run can contain them), so the whole prefix bulk-copies after one
+      // vector scan for the boundary. With `second == kDone` (a single
+      // live run) the scan never finds a boundary and the copy drains
+      // the run.
+      const EventIndex* p = runs[win] + cursors[win];
+      const int avail = lens[win] - cursors[win];
+      const int room = cap - m;
+      const int take =
+          PrefixBelow(p, avail < room ? avail : room, second);
+      if (take >= 8) {
+        std::memcpy(out + m, p,
+                    static_cast<std::size_t>(take) * sizeof(EventIndex));
+      } else {
+        // Interleaved runs yield short bursts; an inline copy beats the
+        // libc memcpy call for these.
+        for (int j = 0; j < take; ++j) out[m + j] = p[j];
+      }
+      cursors[win] += take;
+      m += take;
+      continue;
+    }
+    // Tie across runs: emit once, advance every matching cursor.
+    out[m++] = best;
+    for (int r = 0; r < num_runs; ++r) {
+      if (cursors[r] < lens[r] && runs[r][cursors[r]] == best) ++cursors[r];
+    }
+  }
+  return m;
+}
+
+std::uint32_t MatchTagsSse42(const std::uint8_t* group, std::uint8_t tag) {
+  const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+  const __m128i t = _mm_set1_epi8(static_cast<char>(tag));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(g, t)));
+}
+
+std::uint32_t MatchEmptySse42(const std::uint8_t* group) {
+  return MatchTagsSse42(group, kEmptyCtrl);
+}
+
+/// Byte-equality matrix trick shared by the scan kernels: OR-accumulate
+/// equality of `v` against itself shifted left by 1..k-1 bytes, so the
+/// accumulator's byte j is 0xFF iff v's byte j equals some earlier byte
+/// j-i. Zero bytes shifted in at the bottom never match — code bytes are
+/// non-zero by construction (core/enumerate_core.h PackPair). The shift
+/// amounts must be immediates, hence the unrolled fallthrough switches.
+
+int DistinctPairCountSse42(std::uint64_t packed, int k) {
+  const __m128i v = _mm_cvtsi64_si128(static_cast<long long>(packed));
+  __m128i dup = _mm_setzero_si128();
+  switch (k) {
+    case 8: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 7))); [[fallthrough]];
+    case 7: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 6))); [[fallthrough]];
+    case 6: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 5))); [[fallthrough]];
+    case 5: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 4))); [[fallthrough]];
+    case 4: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 3))); [[fallthrough]];
+    case 3: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 2))); [[fallthrough]];
+    case 2: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_si128(v, 1))); [[fallthrough]];
+    default: break;
+  }
+  const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(dup)) &
+                        ((1u << k) - 1u);
+  return k - __builtin_popcount(mask);
+}
+
+void PrefilterCodesSse42(const std::uint64_t* codes, int n, int k, int want,
+                         std::uint8_t* out_pass) {
+  // Shifted-in zeros can alias the zero padding bytes above byte k-1, so
+  // those lanes are masked out before counting.
+  const __m128i lane_mask = _mm_set1_epi64x(
+      k >= 8 ? -1LL
+             : static_cast<long long>((std::uint64_t{1} << (8 * k)) - 1));
+  const __m128i wantv = _mm_set1_epi64x(static_cast<long long>(k - want));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi8(1);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    // Per-64-bit-lane byte shifts: each lane holds one code, so
+    // duplicates are detected for two codes at once.
+    __m128i dup = zero;
+    switch (k) {
+      case 8: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 56))); [[fallthrough]];
+      case 7: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 48))); [[fallthrough]];
+      case 6: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 40))); [[fallthrough]];
+      case 5: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 32))); [[fallthrough]];
+      case 4: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 24))); [[fallthrough]];
+      case 3: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 16))); [[fallthrough]];
+      case 2: dup = _mm_or_si128(dup, _mm_cmpeq_epi8(v, _mm_slli_epi64(v, 8))); [[fallthrough]];
+      default: break;
+    }
+    dup = _mm_and_si128(dup, lane_mask);
+    // Duplicate-byte count per lane: SAD against zero sums the 0/1 bytes
+    // into each lane's low 16 bits. distinct == want <=> dups == k - want.
+    const __m128i dups = _mm_sad_epu8(_mm_and_si128(dup, one), zero);
+    const __m128i eq = _mm_cmpeq_epi64(dups, wantv);
+    out_pass[i] = static_cast<std::uint8_t>(_mm_extract_epi8(eq, 0) & 1);
+    out_pass[i + 1] = static_cast<std::uint8_t>(_mm_extract_epi8(eq, 8) & 1);
+  }
+  for (; i < n; ++i) {
+    out_pass[i] = DistinctPairCountSse42(codes[i], k) == want ? 1 : 0;
+  }
+}
+
+constexpr KernelOps kSse42Ops = {
+    &MergeUnionGatherSse42, &MatchTagsSse42,      &MatchEmptySse42,
+    &DistinctPairCountSse42, &PrefilterCodesSse42,
+};
+
+}  // namespace
+
+const KernelOps* Sse42Kernels() { return &kSse42Ops; }
+
+}  // namespace simd
+}  // namespace tmotif
+
+#else  // !(__SSE4_2__ && __x86_64__)
+
+namespace tmotif {
+namespace simd {
+
+const KernelOps* Sse42Kernels() { return nullptr; }
+
+}  // namespace simd
+}  // namespace tmotif
+
+#endif

@@ -284,6 +284,14 @@ class TemporalGraph {
   /// the cache lines.
   IncidentIterator IncidentUpperBound(NodeId node, EventIndex after) const;
 
+  /// The slim 4-byte mirror of `incident(node)`: the same ascending event
+  /// indices as one flat contiguous int32 run (positions coincide with the
+  /// fat entries'). This is the SoA surface the vectorized candidate
+  /// gather (core/simd/) streams — graphs without a flat mirror (the
+  /// streaming WindowGraph) simply don't expose it and the enumeration
+  /// core keeps its iterator-based merge there.
+  EventIndexSpan incident_indices(NodeId node) const;
+
   /// Resolves the directed static edge (src, dst) to its slot via the
   /// per-node neighbor CSR; `kNoEdgeHandle` when the edge never occurs.
   /// Out-of-range node ids resolve to `kNoEdgeHandle`.

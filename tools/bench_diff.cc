@@ -150,11 +150,19 @@ constexpr GatedField kGatedFields[] = {
     {"counting_throughput", "fastpath_song_instances_per_sec", true},
     {"counting_throughput", "fastpath_vanilla_2node_instances_per_sec",
      true},
+    {"counting_throughput", "window_induced_instances_per_sec", true},
     {"obs_overhead", "counting_overhead_ratio", false},
     {"obs_overhead", "ingest_overhead_ratio", false},
     {"checkpoint", "checkpoint_write_mbps", true},
     {"checkpoint", "checkpoint_restore_mbps", true},
     {"checkpoint", "degraded_ingest_ratio", true},
+    // Vectorized-kernel microbench: best-ISA over scalar per kernel. A
+    // change that quietly devectorizes a kernel shows up as a speedup
+    // collapse, a regression even though wall seconds barely move.
+    {"kernel_micro", "merge_speedup", true},
+    {"kernel_micro", "probe_speedup", true},
+    {"kernel_micro", "distinct_speedup", true},
+    {"kernel_micro", "prefilter_speedup", true},
 };
 
 /// True when a record name is a gated-field row ("bench.field") rather

@@ -20,6 +20,7 @@
 #include "analysis/report.h"
 #include "common/csv.h"
 #include "core/models/model_info.h"
+#include "core/simd/dispatch.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "obs/export.h"
@@ -233,6 +234,10 @@ int Main(int argc, char** argv) {
   }
 
   if (!args.metrics_out.empty()) {
+    // The human-readable twin of the counting.simd_dispatch_level gauge in
+    // the snapshot; stderr so "-" stdout dumps stay machine-parseable.
+    std::fprintf(stderr, "counting kernels: %s dispatch\n",
+                 simd::DispatchLevelName(simd::ActiveDispatchLevel()));
     const std::string text =
         obs::ToPrometheusText(obs::GlobalMetrics().Snapshot());
     std::FILE* out = args.metrics_out == "-"
