@@ -1,0 +1,85 @@
+#include "algorithms/partition.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace tmotif {
+
+namespace {
+
+// splitmix64: cheap, well-mixed, and endianness-free, so hash plans are
+// identical across machines (a requirement once shards span processes).
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(std::vector<std::int32_t> assignment, int num_shards)
+    : node_shard_(std::move(assignment)), num_shards_(num_shards) {}
+
+ShardPlan ShardPlan::Hash(NodeId num_nodes, int num_shards,
+                          std::uint64_t seed) {
+  TMOTIF_CHECK(num_nodes >= 0 && num_shards >= 1);
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    assignment[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(
+        SplitMix64(static_cast<std::uint64_t>(v) ^ seed) %
+        static_cast<std::uint64_t>(num_shards));
+  }
+  return ShardPlan(std::move(assignment), num_shards);
+}
+
+ShardPlan ShardPlan::RoundRobin(NodeId num_nodes, int num_shards) {
+  TMOTIF_CHECK(num_nodes >= 0 && num_shards >= 1);
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    assignment[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(v % num_shards);
+  }
+  return ShardPlan(std::move(assignment), num_shards);
+}
+
+ShardPlan ShardPlan::Blocks(NodeId num_nodes, int num_shards) {
+  TMOTIF_CHECK(num_nodes >= 0 && num_shards >= 1);
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(num_nodes));
+  const NodeId per_shard =
+      num_nodes == 0 ? 1 : (num_nodes + num_shards - 1) / num_shards;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    assignment[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(v / per_shard);
+  }
+  return ShardPlan(std::move(assignment), num_shards);
+}
+
+ShardPlan ShardPlan::Explicit(std::vector<std::int32_t> assignment,
+                              int num_shards) {
+  TMOTIF_CHECK(num_shards >= 1);
+  for (const std::int32_t s : assignment) {
+    TMOTIF_CHECK_MSG(s >= 0 && s < num_shards,
+                     "shard assignment out of range");
+  }
+  return ShardPlan(std::move(assignment), num_shards);
+}
+
+std::vector<NodeId> ShardPlan::OwnedNodes(int shard) const {
+  std::vector<NodeId> owned;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (shard_of(v) == shard) owned.push_back(v);
+  }
+  return owned;
+}
+
+std::vector<NodeId> ShardPlan::OwnedCounts() const {
+  std::vector<NodeId> counts(static_cast<std::size_t>(num_shards_), 0);
+  for (const std::int32_t s : node_shard_) {
+    ++counts[static_cast<std::size_t>(s)];
+  }
+  return counts;
+}
+
+}  // namespace tmotif

@@ -1,0 +1,65 @@
+#ifndef TMOTIF_ALGORITHMS_PARTITION_H_
+#define TMOTIF_ALGORITHMS_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tmotif {
+
+/// Node-space partition for sharded counting (algorithms/sharded.h): every
+/// node id in [0, num_nodes) is assigned to exactly one shard in
+/// [0, num_shards). A plan is pure data — how shards map to threads,
+/// sockets, or processes is the caller's concern, which keeps the same plan
+/// reusable by the future multi-process mode (ROADMAP item 2).
+///
+/// Shards may own zero nodes (an explicit plan can concentrate everything
+/// on one shard); the counting layer handles empty shards gracefully.
+class ShardPlan {
+ public:
+  /// Hash assignment: splitmix64(node ^ seed) % num_shards. Statistically
+  /// balanced and stable across runs for a fixed seed; the default for
+  /// `tmotif_count --shards=N`.
+  static ShardPlan Hash(NodeId num_nodes, int num_shards,
+                        std::uint64_t seed = 0);
+
+  /// Round-robin assignment: node % num_shards. Adversarial for locality
+  /// (neighboring ids land on different shards, so nearly every instance
+  /// is cross-shard) — the differential grid uses it to stress stitching.
+  static ShardPlan RoundRobin(NodeId num_nodes, int num_shards);
+
+  /// Contiguous block assignment: shard i owns one dense id range. Best
+  /// case for community-ordered node ids (small halo); the scaling bench
+  /// uses it.
+  static ShardPlan Blocks(NodeId num_nodes, int num_shards);
+
+  /// Explicit per-node assignment. `assignment[node]` must lie in
+  /// [0, num_shards); violations are a checked failure.
+  static ShardPlan Explicit(std::vector<std::int32_t> assignment,
+                            int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(node_shard_.size());
+  }
+  int shard_of(NodeId node) const {
+    return node_shard_[static_cast<std::size_t>(node)];
+  }
+
+  /// Node ids owned by `shard`, ascending.
+  std::vector<NodeId> OwnedNodes(int shard) const;
+
+  /// Per-shard owned-node counts (size num_shards()).
+  std::vector<NodeId> OwnedCounts() const;
+
+ private:
+  ShardPlan(std::vector<std::int32_t> assignment, int num_shards);
+
+  std::vector<std::int32_t> node_shard_;
+  int num_shards_ = 1;
+};
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ALGORITHMS_PARTITION_H_

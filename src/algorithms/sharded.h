@@ -1,0 +1,117 @@
+#ifndef TMOTIF_ALGORITHMS_SHARDED_H_
+#define TMOTIF_ALGORITHMS_SHARDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/partition.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+
+namespace tmotif {
+
+/// Node-space sharded motif counting.
+///
+/// Where CountMotifsParallel (algorithms/parallel.h) splits *event ranges*
+/// inside one shared graph, this module partitions the *graph*: each shard
+/// owns a node set (ShardPlan) and counts on its own private sub-graph, so
+/// shards touch disjoint working sets — the stepping stone to per-socket
+/// shard groups and the multi-process mode (ROADMAP item 2).
+///
+/// Exactness contract (the halo + ownership rule):
+///   * Every motif instance spans at most min(max_nodes, num_events + 1)
+///     nodes that grow as one connected component, so every instance node
+///     lies within (that bound − 1) static-projection hops of the
+///     instance's minimum node id.
+///   * Shard s's sub-graph therefore contains every event with at least
+///     one endpoint in closure(s) = owned(s) ∪ halo(s), where halo(s) is
+///     the ≤(k−1)-hop BFS boundary of owned(s) over the undirected static
+///     projection.
+///   * Every enumeration predicate (timing, consecutive-events, CDG,
+///     static and temporal-window inducedness) only *reads* events
+///     incident to instance nodes, and blocks on their presence. All such
+///     events are in the sub-graph for any instance whose minimum node is
+///     owned, so sub-graph validity coincides with full-graph validity.
+///   * Each instance is charged to exactly one shard — the shard owning
+///     its minimum node id — making the merged result bit-identical to
+///     serial CountMotifs.
+///
+/// Telemetry (obs/metrics.h; no-op under TMOTIF_NO_TELEMETRY):
+///   * sharding.halo_nodes — histogram, per-shard halo size.
+///   * sharding.cross_shard_instances — counter, charged instances whose
+///     node set spans more than one shard.
+///   * sharding.shard_latency_ns — histogram, per-shard build+count wall
+///     time.
+///   * sharding.shard_instances — histogram, charged instances per shard.
+
+/// Per-shard accounting from one sharded count.
+struct ShardCountStats {
+  /// Instances charged to this shard (min node owned here).
+  std::uint64_t instances = 0;
+  /// Charged instances whose node set touches at least one other shard.
+  std::uint64_t cross_shard_instances = 0;
+  NodeId owned_nodes = 0;
+  /// Boundary nodes replicated into this shard (closure minus owned).
+  NodeId halo_nodes = 0;
+  /// Events materialized in this shard's sub-graph.
+  EventIndex subgraph_events = 0;
+  /// Shard-local wall time (sub-graph build + count), seconds. Under
+  /// oversubscription (more shards than cores) this includes time spent
+  /// descheduled — use cpu_seconds to measure work.
+  double seconds = 0.0;
+  /// Shard-local thread CPU time, seconds: the work this shard actually
+  /// did, independent of how many cores ran the shards concurrently.
+  double cpu_seconds = 0.0;
+  /// True when the shard ran unfiltered (empty halo ⇒ every sub-graph
+  /// instance is owned) and was eligible for fast-path dispatch.
+  bool pure = false;
+};
+
+/// Merged counts plus the per-shard breakdown the property tests and the
+/// scaling bench consume.
+struct ShardedCountResult {
+  MotifCounts counts;
+  std::vector<ShardCountStats> shards;
+
+  std::uint64_t TotalInstances() const;
+  std::uint64_t CrossShardInstances() const;
+  /// Sum of per-shard CPU times — the aggregate work. serial_cpu /
+  /// AggregateCpuSeconds() is the machine-independent upper bound on
+  /// per-shard parallel speedup (the bench's scaling_efficiency): the only
+  /// extra work sharding does is halo redundancy, and CPU time counts it
+  /// regardless of how many cores the shards shared.
+  double AggregateCpuSeconds() const;
+};
+
+/// Counts motifs by independent per-shard sub-graph enumeration (one
+/// thread per shard; sub-graphs are built on the worker so their CSR and
+/// SoA mirrors are first-touch local). The result is bit-identical to
+/// serial CountMotifs for any plan. Requirements: plan.num_nodes() ==
+/// graph.num_nodes() and options.max_instances == 0 (a cap would make
+/// results depend on scheduling).
+ShardedCountResult CountMotifsShardedWithStats(const TemporalGraph& graph,
+                                               const EnumerationOptions& options,
+                                               const ShardPlan& plan);
+
+/// Counts-only convenience wrapper.
+MotifCounts CountMotifsSharded(const TemporalGraph& graph,
+                               const EnumerationOptions& options,
+                               const ShardPlan& plan);
+
+namespace internal {
+
+/// Hop bound for the boundary halo: instances have at most
+/// min(max_nodes, num_events + 1) distinct nodes forming one connected
+/// component, so every node sits within (bound − 1) hops of the minimum.
+int HaloHops(const EnumerationOptions& options);
+
+/// CPU time consumed by the calling thread, seconds (falls back to wall
+/// time where thread clocks are unavailable). Exposed so the scaling bench
+/// measures its serial baseline with the same clock as the shards.
+double ThreadCpuSeconds();
+
+}  // namespace internal
+
+}  // namespace tmotif
+
+#endif  // TMOTIF_ALGORITHMS_SHARDED_H_

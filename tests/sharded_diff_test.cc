@@ -1,0 +1,296 @@
+// Differential and property grid for node-space sharded counting
+// (algorithms/sharded.h). The three-way check — sharded == serial
+// CountMotifs == brute-force ReferenceEnumerate oracle — runs across shard
+// counts, all four model presets, every inducedness mode, and adversarial
+// partitions (everything on one shard, round-robin, seeded random), because
+// halo stitching fails in ways that are invisible to any single
+// configuration: double-charged boundary instances, missed cross-shard
+// ties, and halo radii one hop too small all need different graph/partition
+// shapes to surface.
+
+#include "algorithms/sharded.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/partition.h"
+#include "core/counter.h"
+#include "core/enumerator.h"
+#include "core/models/model_info.h"
+#include "testing/random_graphs.h"
+#include "testing/reference_oracle.h"
+
+namespace tmotif {
+namespace {
+
+using testing::ForEachRandomGraph;
+using testing::RandomGraphSpec;
+using testing::ReferenceCountMotifs;
+
+constexpr int kShardCounts[] = {1, 2, 3, 7};
+
+std::string Describe(const MotifCounts& counts) {
+  std::string out;
+  for (const auto& [code, count] : counts.SortedByCode()) {
+    out += code + ":" + std::to_string(count) + " ";
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+void ExpectBitIdentical(const MotifCounts& expected, const MotifCounts& got,
+                        const std::string& context) {
+  EXPECT_EQ(expected.SortedByCode(), got.SortedByCode())
+      << context << "\nexpected: " << Describe(expected)
+      << "\ngot:      " << Describe(got);
+}
+
+ShardPlan RandomAssignment(NodeId num_nodes, int num_shards,
+                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int32_t> dist(0, num_shards - 1);
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(num_nodes));
+  for (auto& s : assignment) s = dist(rng);
+  return ShardPlan::Explicit(std::move(assignment), num_shards);
+}
+
+/// All plans the grid exercises for one (graph, num_shards) cell. The
+/// all-on-one-shard plan concentrates every node on the last shard so the
+/// remaining shards are completely empty; round-robin maximizes boundary
+/// crossings; hash and seeded-random sit in between.
+std::vector<ShardPlan> PlansFor(NodeId num_nodes, int num_shards,
+                                std::uint64_t seed) {
+  std::vector<ShardPlan> plans;
+  plans.push_back(ShardPlan::Hash(num_nodes, num_shards, seed));
+  plans.push_back(ShardPlan::RoundRobin(num_nodes, num_shards));
+  plans.push_back(ShardPlan::Blocks(num_nodes, num_shards));
+  plans.push_back(ShardPlan::Explicit(
+      std::vector<std::int32_t>(static_cast<std::size_t>(num_nodes),
+                                num_shards - 1),
+      num_shards));
+  plans.push_back(RandomAssignment(num_nodes, num_shards, seed ^ 0xabcdef));
+  return plans;
+}
+
+// --- Three-way differential: sharded == serial == oracle. ----------------
+
+/// Runs the full partition-strategy grid for one (graph, options) pair,
+/// anchoring on the brute-force oracle. Returns total cross-shard
+/// instances observed (for the coverage guard).
+std::uint64_t CheckAgainstOracle(const TemporalGraph& graph,
+                                 const EnumerationOptions& options,
+                                 std::uint64_t seed,
+                                 const std::string& context) {
+  const MotifCounts oracle = ReferenceCountMotifs(graph, options);
+  const MotifCounts serial = CountMotifs(graph, options);
+  ExpectBitIdentical(oracle, serial, context + " serial-vs-oracle");
+  std::uint64_t cross = 0;
+  for (const int num_shards : kShardCounts) {
+    int plan_index = 0;
+    for (const ShardPlan& plan :
+         PlansFor(graph.num_nodes(), num_shards, seed)) {
+      const ShardedCountResult result =
+          CountMotifsShardedWithStats(graph, options, plan);
+      ExpectBitIdentical(serial, result.counts,
+                         context + " shards=" + std::to_string(num_shards) +
+                             " plan=" + std::to_string(plan_index));
+      // No boundary instance may be charged twice: the per-shard tables
+      // must sum to exactly the merged total.
+      EXPECT_EQ(result.TotalInstances(), result.counts.total())
+          << context << " shards=" << num_shards << " plan=" << plan_index;
+      cross += result.CrossShardInstances();
+      ++plan_index;
+    }
+  }
+  return cross;
+}
+
+TEST(ShardedDiffTest, AllModelPresetsMatchSerialAndOracle) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 8;
+  spec.num_events = 20;
+  spec.max_time = 60;
+  std::uint64_t cross = 0;
+  for (const ModelId model : kAllModels) {
+    const EnumerationOptions options = OptionsForModel(model, 3, 3, 20, 40);
+    ForEachRandomGraph(101, 3, spec, [&](std::uint64_t seed,
+                                         const TemporalGraph& graph) {
+      cross += CheckAgainstOracle(
+          graph, options, seed,
+          "model=" + std::to_string(static_cast<int>(model)) +
+              " seed=" + std::to_string(seed));
+    });
+  }
+  // Coverage guard: the grid must actually exercise stitching — at least
+  // one charged instance whose node set spans two shards.
+  EXPECT_GT(cross, 0u);
+}
+
+TEST(ShardedDiffTest, EveryInducednessModeMatchesSerialAndOracle) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_events = 18;
+  spec.max_time = 40;
+  std::uint64_t cross = 0;
+  for (const Inducedness inducedness :
+       {Inducedness::kNone, Inducedness::kStatic,
+        Inducedness::kTemporalWindow}) {
+    EnumerationOptions options;
+    options.num_events = 3;
+    options.max_nodes = 3;
+    options.timing.delta_w = 25;
+    options.inducedness = inducedness;
+    ForEachRandomGraph(202, 3, spec, [&](std::uint64_t seed,
+                                         const TemporalGraph& graph) {
+      cross += CheckAgainstOracle(
+          graph, options, seed,
+          std::string("inducedness=") + InducednessName(inducedness) +
+              " seed=" + std::to_string(seed));
+    });
+  }
+  EXPECT_GT(cross, 0u);
+}
+
+TEST(ShardedDiffTest, RestrictionsAndWiderMotifsMatchSerialAndOracle) {
+  // k=4 / 4-node motifs push the halo to 3 hops; the consecutive-events
+  // and CDG restrictions are the predicates most sensitive to missing
+  // halo events (they block on events *incident* to instance nodes).
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_events = 14;
+  spec.max_time = 30;
+  EnumerationOptions consecutive;
+  consecutive.num_events = 3;
+  consecutive.max_nodes = 3;
+  consecutive.timing.delta_c = 15;
+  consecutive.consecutive_events_restriction = true;
+  EnumerationOptions cdg;
+  cdg.num_events = 3;
+  cdg.max_nodes = 3;
+  cdg.timing.delta_c = 15;
+  cdg.cdg_restriction = true;
+  cdg.inducedness = Inducedness::kStatic;
+  EnumerationOptions wide;
+  wide.num_events = 4;
+  wide.max_nodes = 4;
+  wide.timing.delta_w = 25;
+  std::uint64_t cross = 0;
+  int option_index = 0;
+  for (const EnumerationOptions& options : {consecutive, cdg, wide}) {
+    ForEachRandomGraph(303, 2, spec, [&](std::uint64_t seed,
+                                         const TemporalGraph& graph) {
+      cross += CheckAgainstOracle(
+          graph, options, seed,
+          "options#" + std::to_string(option_index) +
+              " seed=" + std::to_string(seed));
+    });
+    ++option_index;
+  }
+  EXPECT_GT(cross, 0u);
+}
+
+// --- Properties of the stats surface. ------------------------------------
+
+TEST(ShardedDiffTest, PerShardTablesSumToMergedTotal) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 10;
+  spec.num_events = 32;
+  spec.max_time = 64;
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing.delta_w = 30;
+  ForEachRandomGraph(404, 4, spec, [&](std::uint64_t seed,
+                                       const TemporalGraph& graph) {
+    const MotifCounts serial = CountMotifs(graph, options);
+    for (const int num_shards : kShardCounts) {
+      const ShardedCountResult result = CountMotifsShardedWithStats(
+          graph, options, ShardPlan::Hash(graph.num_nodes(), num_shards, seed));
+      EXPECT_EQ(result.TotalInstances(), serial.total())
+          << "seed=" << seed << " shards=" << num_shards;
+      EXPECT_EQ(result.counts.total(), serial.total())
+          << "seed=" << seed << " shards=" << num_shards;
+      EXPECT_EQ(result.shards.size(), static_cast<std::size_t>(num_shards));
+      NodeId owned_total = 0;
+      for (const ShardCountStats& s : result.shards) {
+        owned_total += s.owned_nodes;
+      }
+      EXPECT_EQ(owned_total, graph.num_nodes());
+    }
+  });
+}
+
+TEST(ShardedDiffTest, SingleShardIsPureAndHasNoHalo) {
+  RandomGraphSpec spec;
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing.delta_w = 30;
+  ForEachRandomGraph(505, 2, spec, [&](std::uint64_t seed,
+                                       const TemporalGraph& graph) {
+    const ShardedCountResult result = CountMotifsShardedWithStats(
+        graph, options, ShardPlan::Hash(graph.num_nodes(), 1, seed));
+    ASSERT_EQ(result.shards.size(), 1u);
+    EXPECT_TRUE(result.shards[0].pure);
+    EXPECT_EQ(result.shards[0].halo_nodes, 0);
+    EXPECT_EQ(result.shards[0].cross_shard_instances, 0u);
+    EXPECT_EQ(result.shards[0].subgraph_events, graph.num_events());
+    ExpectBitIdentical(CountMotifs(graph, options), result.counts,
+                       "single shard seed=" + std::to_string(seed));
+  });
+}
+
+TEST(ShardedDiffTest, EmptyShardsAndMoreShardsThanNodes) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 5;
+  spec.num_events = 12;
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  options.timing.delta_w = 30;
+  ForEachRandomGraph(606, 2, spec, [&](std::uint64_t seed,
+                                       const TemporalGraph& graph) {
+    // 7 shards over 5 nodes: at least two shards own nothing.
+    const ShardedCountResult result = CountMotifsShardedWithStats(
+        graph, options, ShardPlan::RoundRobin(graph.num_nodes(), 7));
+    ExpectBitIdentical(CountMotifs(graph, options), result.counts,
+                       "more-shards-than-nodes seed=" + std::to_string(seed));
+    for (std::size_t s = 5; s < result.shards.size(); ++s) {
+      EXPECT_EQ(result.shards[s].owned_nodes, 0);
+      EXPECT_EQ(result.shards[s].instances, 0u);
+    }
+  });
+}
+
+TEST(ShardedDiffTest, HashPlanIsDeterministicAndBalanced) {
+  const ShardPlan a = ShardPlan::Hash(1000, 4, 7);
+  const ShardPlan b = ShardPlan::Hash(1000, 4, 7);
+  for (NodeId v = 0; v < 1000; ++v) {
+    ASSERT_EQ(a.shard_of(v), b.shard_of(v));
+  }
+  for (const NodeId owned : a.OwnedCounts()) {
+    EXPECT_GT(owned, 150);  // 250 expected; hash skew stays mild
+    EXPECT_LT(owned, 350);
+  }
+}
+
+TEST(ShardedDiffTest, HaloHopsTracksMotifDiameter) {
+  EnumerationOptions options;
+  options.num_events = 3;
+  options.max_nodes = 3;
+  EXPECT_EQ(internal::HaloHops(options), 2);
+  options.max_nodes = 2;
+  EXPECT_EQ(internal::HaloHops(options), 1);
+  options.num_events = 1;
+  options.max_nodes = 2;
+  EXPECT_EQ(internal::HaloHops(options), 1);
+  options.num_events = 4;
+  options.max_nodes = 4;
+  EXPECT_EQ(internal::HaloHops(options), 3);
+}
+
+}  // namespace
+}  // namespace tmotif

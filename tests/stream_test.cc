@@ -298,6 +298,76 @@ TEST(StreamingMotifCounter, ParallelIngestionMatchesSerial) {
                      });
 }
 
+// The live-instance store population (phase 6 arrivals and rebuilds) is
+// sharded over StreamConfig::num_threads with serial in-shard-order
+// insertion, so the parallel store *state* — not just the counts — must be
+// byte-equivalent to the serial one at every batch boundary. Batches of 96
+// new events keep the candidate ranges above the >= 64-event threshold that
+// engages the worker shards; the single oversized first batch in the second
+// phase routes through the window-reset recount (RebuildStore) instead of
+// incremental arrivals, covering both sharded fill paths.
+TEST(StreamingMotifCounter, ParallelStorePopulationMatchesSerialStoreState) {
+  RandomGraphSpec spec;
+  spec.num_nodes = 12;
+  spec.num_events = 320;
+  spec.max_time = 640;
+  const EnumerationOptions options =
+      Opts(3, 3, TimingConstraints::OnlyDeltaW(48), false, false,
+           Inducedness::kStatic);
+  const auto check_pair = [](StreamingMotifCounter& serial,
+                             StreamingMotifCounter& parallel,
+                             const std::string& label) {
+    ASSERT_EQ(serial.counts().SortedByCode(),
+              parallel.counts().SortedByCode())
+        << label << ": serial=" << DescribeCounts(serial.counts())
+        << " parallel=" << DescribeCounts(parallel.counts());
+    ASSERT_EQ(serial.store_mode(), parallel.store_mode()) << label;
+    ASSERT_EQ(serial.store_size(), parallel.store_size()) << label;
+    ASSERT_EQ(serial.store_approx_bytes(), parallel.store_approx_bytes())
+        << label;
+    ASSERT_EQ(serial.stats().store_admitted, parallel.stats().store_admitted)
+        << label;
+    ASSERT_EQ(serial.stats().store_retired, parallel.stats().store_retired)
+        << label;
+  };
+  ForEachRandomGraph(0x5704e, 3, spec, [&](std::uint64_t seed,
+                                           const TemporalGraph& g) {
+    StreamConfig serial_config;
+    serial_config.options = options;
+    serial_config.window = WindowPolicy::CountBased(192);
+    serial_config.num_threads = 1;
+    StreamConfig parallel_config = serial_config;
+    parallel_config.num_threads = 4;
+    const std::vector<Event>& all = g.events();
+
+    // Phase 1: incremental arrivals in >= 64-event batches.
+    StreamingMotifCounter serial(serial_config);
+    StreamingMotifCounter parallel(parallel_config);
+    constexpr std::size_t kBatch = 96;
+    for (std::size_t begin = 0; begin < all.size(); begin += kBatch) {
+      const std::size_t end = std::min(all.size(), begin + kBatch);
+      std::vector<Event> batch(
+          all.begin() + static_cast<std::ptrdiff_t>(begin),
+          all.begin() + static_cast<std::ptrdiff_t>(end));
+      serial.Ingest(batch);
+      parallel.Ingest(std::move(batch));
+      check_pair(serial, parallel,
+                 "seed=" + std::to_string(seed) + " arrivals after " +
+                     std::to_string(end));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    EXPECT_GT(serial.store_size(), 0u) << "seed=" << seed;
+
+    // Phase 2: one oversized batch (window reset + store rebuild).
+    StreamingMotifCounter serial_rebuild(serial_config);
+    StreamingMotifCounter parallel_rebuild(parallel_config);
+    serial_rebuild.Ingest(all);
+    parallel_rebuild.Ingest(all);
+    check_pair(serial_rebuild, parallel_rebuild,
+               "seed=" + std::to_string(seed) + " rebuild");
+  });
+}
+
 // Static-edge flips that actually change surviving instances' validity,
 // routed through the SCOPED recount (tie-free batches, flips local to a
 // small neighborhood inside a padded window so the cost gate keeps them

@@ -12,6 +12,11 @@
 # bench_perf_counting is a Google Benchmark binary and is driven through
 # --benchmark_* flags instead; it is skipped when it was not built (the
 # system Google Benchmark package is optional).
+#
+# TMOTIF_BENCH_DRY_RUN=1 skips the build and prints "would run <name>" for
+# every bench the glob enumerates without executing any of them — the CTest
+# smoke test uses it to pin the enumeration (new bench binaries must show
+# up; helper binaries and stray bench_*.json/csv files must stay excluded).
 
 set -euo pipefail
 
@@ -19,11 +24,14 @@ BUILD_DIR="${1:-build}"
 SCALE="${2:-0.05}"
 OUT_DIR="${3:-${BUILD_DIR}/bench_out}"
 SEED="${BENCH_SEED:-42}"
+DRY_RUN="${TMOTIF_BENCH_DRY_RUN:-0}"
 
-if [ ! -d "${BUILD_DIR}" ]; then
-  cmake -B "${BUILD_DIR}" -S .
+if [ "${DRY_RUN}" = "0" ]; then
+  if [ ! -d "${BUILD_DIR}" ]; then
+    cmake -B "${BUILD_DIR}" -S .
+  fi
+  cmake --build "${BUILD_DIR}" --target bench -j "$(nproc)"
 fi
-cmake --build "${BUILD_DIR}" --target bench -j "$(nproc)"
 
 mkdir -p "${OUT_DIR}"
 failures=0
@@ -41,6 +49,11 @@ for bin in "${BUILD_DIR}"/bench_*; do
     # instrumented binary itself, never run standalone.
     bench_obs_overhead_baseline) continue ;;
     bench_perf_counting)
+      if [ "${DRY_RUN}" != "0" ]; then
+        echo "would run ${name}"
+        ran=$((ran + 1))
+        continue
+      fi
       # Runs the Google Benchmark suite AND writes the
       # BENCH_counting_throughput.json trajectory record (the binary
       # splits --scale/--seed/--out from the --benchmark_* flags itself).
@@ -57,6 +70,11 @@ for bin in "${BUILD_DIR}"/bench_*; do
       fi
       ;;
     *)
+      if [ "${DRY_RUN}" != "0" ]; then
+        echo "would run ${name}"
+        ran=$((ran + 1))
+        continue
+      fi
       echo "== ${name} (scale ${SCALE}, seed ${SEED})"
       if "${bin}" "--scale=${SCALE}" "--seed=${SEED}" "--out=${OUT_DIR}" \
           > "${OUT_DIR}/${name}.log" 2>&1; then

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "algorithms/parallel.h"
+#include "algorithms/sharded.h"
 #include "analysis/report.h"
 #include "common/csv.h"
 #include "core/models/model_info.h"
@@ -40,6 +41,7 @@ struct CliArgs {
   bool consecutive = false;
   int top = 25;
   int threads = 1;
+  int shards = 1;
   std::string csv_out;
   bool compact_ids = true;
   std::string metrics_out;  // Empty = no metrics dump.
@@ -59,7 +61,10 @@ void Usage(const char* argv0, std::FILE* out = stderr) {
       "  --cdg            constrained-dynamic-graphlet restriction\n"
       "  --consecutive    Kovanen consecutive-events restriction\n"
       "  --top=N          rows to print (default 25, 0 = all)\n"
-      "  --threads=N      parallel counting shards (default 1)\n"
+      "  --threads=N      parallel counting over event ranges (default 1)\n"
+      "  --shards=N       node-space sharded counting: partition nodes by\n"
+      "                   hash, count per-shard sub-graphs with a boundary\n"
+      "                   halo, merge (exact; default 1 = off)\n"
       "  --csv=FILE       also write full counts as CSV\n"
       "  --raw-ids        node ids are already dense (skip remapping)\n"
       "  --metrics-out=FILE  dump a Prometheus-text metrics snapshot at "
@@ -85,6 +90,7 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (std::strcmp(a, "--consecutive") == 0) args->consecutive = true;
     else if (const char* v = value("--top=")) args->top = std::atoi(v);
     else if (const char* v = value("--threads=")) args->threads = std::atoi(v);
+    else if (const char* v = value("--shards=")) args->shards = std::atoi(v);
     else if (const char* v = value("--csv=")) args->csv_out = v;
     else if (std::strcmp(a, "--raw-ids") == 0) args->compact_ids = false;
     else if (const char* v = value("--metrics-out=")) args->metrics_out = v;
@@ -207,9 +213,23 @@ int Main(int argc, char** argv) {
                          ? ", static-induced"
                          : ", window-induced"));
 
-  const MotifCounts counts =
-      args.threads > 1 ? CountMotifsParallel(graph, options, args.threads)
-                       : CountMotifs(graph, options);
+  MotifCounts counts;
+  if (args.shards > 1) {
+    // Node-space sharding (algorithms/sharded.h): exact for any plan; the
+    // hash plan spreads hubs without needing a community layout.
+    const ShardedCountResult sharded = CountMotifsShardedWithStats(
+        graph, options, ShardPlan::Hash(graph.num_nodes(), args.shards));
+    std::printf("sharded over %d shards: %llu cross-shard instances, "
+                "aggregate shard cpu %.3fs\n",
+                args.shards,
+                static_cast<unsigned long long>(sharded.CrossShardInstances()),
+                sharded.AggregateCpuSeconds());
+    counts = sharded.counts;
+  } else if (args.threads > 1) {
+    counts = CountMotifsParallel(graph, options, args.threads);
+  } else {
+    counts = CountMotifs(graph, options);
+  }
   std::printf("%llu instances across %zu motif types\n\n",
               static_cast<unsigned long long>(counts.total()),
               counts.num_codes());
